@@ -1,0 +1,78 @@
+// Ablation A1 — MapReduce engine design choices (Fig. 1 execution engine):
+//  (a) speculative execution on/off across straggler severities — how much
+//      of the map-phase tail does the backup-task mechanism buy back;
+//  (b) storage replication factor 1/2/3 — how replica count drives
+//      data-local scheduling and through it the map phase.
+#include <iostream>
+
+#include "bigdata/mapreduce.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(std::cout,
+                        "A1 — MapReduce ablations: speculation & replication");
+  const std::uint64_t seed = 101;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "job", "100 blocks (12.5 GB) on 12 machines");
+
+  // (a) speculation x straggler severity.
+  metrics::Table spec({"straggler CV", "map phase off [s]", "map phase on [s]",
+                       "improvement", "backup copies"});
+  for (double cv : {0.2, 0.6, 1.0, 1.5, 2.5}) {
+    infra::Datacenter dc("a1", "eu");
+    dc.add_uniform_racks(3, 4, infra::ResourceVector{8, 32, 0}, 1.0);
+    bigdata::StorageEngine storage(dc, {}, sim::Rng(seed));
+    const auto data = storage.store("input", 12800.0);
+    bigdata::MapReduceJobConfig config;
+    config.dataset = data;
+    config.straggler_cv = cv;
+
+    config.speculative_execution = false;
+    bigdata::MapReduceSimulation sim_off(dc, storage, sim::Rng(seed + 1));
+    const auto off = sim_off.run(config);
+    config.speculative_execution = true;
+    bigdata::MapReduceSimulation sim_on(dc, storage, sim::Rng(seed + 1));
+    const auto on = sim_on.run(config);
+
+    spec.add_row({metrics::Table::num(cv, 1),
+                  metrics::Table::num(off.map_phase_seconds, 1),
+                  metrics::Table::num(on.map_phase_seconds, 1),
+                  metrics::Table::pct(1.0 - on.map_phase_seconds /
+                                                off.map_phase_seconds),
+                  std::to_string(on.speculative_copies)});
+  }
+  spec.print(std::cout);
+
+  // (b) replication factor -> locality -> map phase.
+  metrics::print_banner(std::cout, "Replication factor vs data locality");
+  metrics::Table repl({"replicas", "local reads", "rack-local", "remote",
+                       "map phase [s]"});
+  for (std::size_t replicas : {1u, 2u, 3u}) {
+    infra::Datacenter dc("a1", "eu");
+    dc.add_uniform_racks(3, 4, infra::ResourceVector{8, 32, 0}, 1.0);
+    bigdata::StorageEngine::Config sconfig;
+    sconfig.replication = replicas;
+    bigdata::StorageEngine storage(dc, sconfig, sim::Rng(seed));
+    const auto data = storage.store("input", 12800.0);
+    bigdata::MapReduceJobConfig config;
+    config.dataset = data;
+    config.straggler_cv = 0.3;
+    bigdata::MapReduceSimulation mr(dc, storage, sim::Rng(seed + 1));
+    const auto stats = mr.run(config);
+    const double total = static_cast<double>(
+        stats.local_reads + stats.rack_reads + stats.remote_reads);
+    repl.add_row(
+        {std::to_string(replicas),
+         metrics::Table::pct(stats.local_reads / total),
+         metrics::Table::pct(stats.rack_reads / total),
+         metrics::Table::pct(stats.remote_reads / total),
+         metrics::Table::num(stats.map_phase_seconds, 1)});
+  }
+  repl.print(std::cout);
+  std::cout << "\nDesign readout: speculation only pays once stragglers are\n"
+               "real (CV >= ~1), and each added replica converts remote reads\n"
+               "into local ones — the two mechanisms the Fig. 1 lower layers\n"
+               "contribute to end-to-end non-functional properties.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation A3 — provisioning-loop design knobs (the C7 dual problem's
+// provisioning half): autoscaler decision interval x machine boot delay,
+// for the React policy. Reads out how control-loop latency degrades
+// elasticity — the reason the paper treats provisioning as a first-class
+// scheduling problem rather than an operational afterthought.
+#include <iostream>
+
+#include "autoscale/autoscaler.hpp"
+#include "metrics/report.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(
+      std::cout, "A3 — Provisioning loop: decision interval x boot delay");
+  const std::uint64_t seed = 103;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "autoscaler", "react (fixed)");
+  metrics::print_kv(std::cout, "workload",
+                    "60 bursty jobs, 50% workflows, 1..32 machines");
+
+  auto make_jobs = [&] {
+    sim::Rng rng(seed);
+    workload::TraceConfig trace;
+    trace.job_count = 60;
+    trace.arrivals = workload::ArrivalKind::kBursty;
+    trace.arrival_rate_per_hour = 300.0;
+    trace.workflow_fraction = 0.5;
+    trace.mean_task_seconds = 40.0;
+    return workload::generate_trace(trace, rng);
+  };
+
+  metrics::Table table({"interval", "boot delay", "acc_U (norm)",
+                        "timeshare_U", "elasticity score", "mean slowdown",
+                        "cost [$]"});
+  for (sim::SimTime interval :
+       {10 * sim::kSecond, 30 * sim::kSecond, 2 * sim::kMinute,
+        10 * sim::kMinute}) {
+    for (sim::SimTime boot : {sim::SimTime{0}, 60 * sim::kSecond,
+                              5 * sim::kMinute}) {
+      infra::Datacenter dc("a3", "eu");
+      dc.add_uniform_racks(2, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
+      autoscale::AutoscaleRunConfig config;
+      config.interval = interval;
+      config.max_machines = 32;
+      config.provisioning.boot_delay = boot;
+      const auto r = autoscale::run_autoscaled(dc, make_jobs(),
+                                               autoscale::make_react(),
+                                               config);
+      table.add_row(
+          {metrics::Table::num(sim::to_seconds(interval), 0) + " s",
+           metrics::Table::num(sim::to_seconds(boot), 0) + " s",
+           metrics::Table::num(r.elasticity.accuracy_under_norm, 3),
+           metrics::Table::pct(r.elasticity.timeshare_under),
+           metrics::Table::num(r.elasticity_score, 3),
+           metrics::Table::num(r.sched.mean_slowdown),
+           metrics::Table::num(r.cost)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nDesign readout: both knobs add reaction lag, and lag shows\n"
+               "up directly as under-provisioning time and slowdown (compare\n"
+               "with the lag sweep of exp_elasticity). A sluggish loop turns\n"
+               "the best decision rule into a bad autoscaler — control-loop\n"
+               "latency is part of the policy, not an implementation detail.\n";
+  return 0;
+}

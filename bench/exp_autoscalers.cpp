@@ -1,0 +1,75 @@
+// Experiment E1 — the autoscaler comparison the paper invokes in C3/C6/C7
+// (Ilyushkin et al. [43]): seven autoscalers (five general, two
+// workflow-aware) plus a no-scaling baseline, on a bursty workflow
+// workload, scored with the SPEC elasticity metrics [32] and job slowdown.
+//
+// Published shape to reproduce (EXPERIMENTS.md): demand-trackers achieve
+// good supply accuracy; workflow-aware Plan/Token are competitive on
+// slowdown at lower cost; no-scaling (pin max) wins slowdown but wastes
+// the most resources; under-reactive policies starve the queue.
+#include <iostream>
+
+#include "autoscale/autoscaler.hpp"
+#include "metrics/report.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(
+      std::cout, "E1 — Autoscaler comparison (after [43], SPEC metrics [32])");
+  const std::uint64_t seed = 1743;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "workload",
+                    "90 jobs, 70% scientific workflows, bursty arrivals");
+  metrics::print_kv(std::cout, "pool", "1..48 machines x 4 cores, 60 s boot");
+
+  auto make_jobs = [&] {
+    sim::Rng rng(seed);
+    workload::TraceConfig trace;
+    trace.job_count = 90;
+    trace.arrivals = workload::ArrivalKind::kBursty;
+    trace.arrival_rate_per_hour = 300.0;
+    trace.workflow_fraction = 0.7;
+    trace.workflow_width = 12;
+    trace.mean_task_seconds = 45.0;
+    return workload::generate_trace(trace, rng);
+  };
+
+  metrics::Table table({"autoscaler", "acc_U (norm)", "acc_O (norm)",
+                        "t_U", "t_O", "jitter/h", "score", "risk",
+                        "avg machines", "cost [$]", "mean slowdown",
+                        "p95 slowdown"});
+  std::vector<std::string> names = {"none"};
+  for (const auto& n : autoscale::all_autoscaler_names()) names.push_back(n);
+
+  for (const std::string& name : names) {
+    infra::Datacenter dc("as-dc", "eu");
+    dc.add_uniform_racks(4, 12, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
+    autoscale::AutoscaleRunConfig config;
+    config.max_machines = 48;
+    config.provisioning.boot_delay = 60 * sim::kSecond;
+    config.provisioning.price_per_machine_hour = 0.20;
+    const auto r = autoscale::run_autoscaled(
+        dc, make_jobs(), autoscale::make_autoscaler(name), config);
+    table.add_row({r.autoscaler,
+                   metrics::Table::num(r.elasticity.accuracy_under_norm, 3),
+                   metrics::Table::num(r.elasticity.accuracy_over_norm, 3),
+                   metrics::Table::pct(r.elasticity.timeshare_under),
+                   metrics::Table::pct(r.elasticity.timeshare_over),
+                   metrics::Table::num(r.elasticity.jitter_per_hour, 1),
+                   metrics::Table::num(r.elasticity_score, 3),
+                   metrics::Table::num(metrics::operational_risk(r.elasticity), 3),
+                   metrics::Table::num(r.avg_machines, 1),
+                   metrics::Table::num(r.cost),
+                   metrics::Table::num(r.sched.mean_slowdown),
+                   metrics::Table::num(r.sched.p95_slowdown)});
+  }
+  table.print(std::cout);
+  std::cout <<
+      "\nReading guide (the [43] shape): 'none' pins the maximum — best\n"
+      "slowdown, worst over-provisioning and cost. Demand-trackers\n"
+      "(react/adapt/conpaas/hist/reg) cut cost sharply at modest slowdown\n"
+      "loss. Workflow-aware plan/token exploit DAG structure: comparable\n"
+      "slowdown to demand-trackers at the lowest provisioned volume.\n";
+  return 0;
+}

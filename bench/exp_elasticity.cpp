@@ -1,0 +1,99 @@
+// Experiment E2 — the SPEC elasticity metrics [32] (challenge C3) on
+// synthetic supply/demand patterns with analytically known values, then a
+// sweep showing how each metric isolates one pathology: lag, over-
+// provisioning headroom, oscillation.
+#include <iostream>
+
+#include "metrics/elasticity.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace mcs;
+  using metrics::StepSeries;
+  metrics::print_banner(std::cout,
+                        "E2 — SPEC elasticity metrics on known patterns");
+
+  const sim::SimTime horizon = 4 * sim::kHour;
+
+  struct Pattern {
+    std::string name;
+    StepSeries demand;
+    StepSeries supply;
+  };
+  std::vector<Pattern> patterns;
+
+  // Square-wave demand 4 <-> 12 every 30 min.
+  auto square_demand = [&] {
+    StepSeries d;
+    for (sim::SimTime t = 0; t < horizon; t += 30 * sim::kMinute) {
+      d.append(t, (t / (30 * sim::kMinute)) % 2 == 0 ? 4.0 : 12.0);
+    }
+    return d;
+  };
+
+  {  // perfect tracker
+    Pattern p{"perfect tracking", square_demand(), square_demand()};
+    patterns.push_back(std::move(p));
+  }
+  {  // lagging tracker: follows 10 minutes late
+    Pattern p{"lagging (10 min late)", square_demand(), {}};
+    for (const auto& s : p.demand.samples()) {
+      p.supply.append(s.at + 10 * sim::kMinute, s.value);
+    }
+    patterns.push_back(std::move(p));
+  }
+  {  // static over-provisioning at the peak
+    Pattern p{"static at peak (12)", square_demand(), {}};
+    p.supply.append(0, 12.0);
+    patterns.push_back(std::move(p));
+  }
+  {  // static under-provisioning at the valley
+    Pattern p{"static at valley (4)", square_demand(), {}};
+    p.supply.append(0, 4.0);
+    patterns.push_back(std::move(p));
+  }
+  {  // oscillating supply against flat demand
+    Pattern p{"oscillating vs flat", {}, {}};
+    p.demand.append(0, 8.0);
+    for (sim::SimTime t = 0; t < horizon; t += 5 * sim::kMinute) {
+      p.supply.append(t, (t / (5 * sim::kMinute)) % 2 == 0 ? 5.0 : 11.0);
+    }
+    patterns.push_back(std::move(p));
+  }
+
+  metrics::Table table({"pattern", "acc_U", "acc_O", "t_U", "t_O",
+                        "instability", "jitter/h", "score"});
+  for (const Pattern& p : patterns) {
+    const auto r = metrics::elasticity_report(p.demand, p.supply, 0, horizon);
+    table.add_row({p.name, metrics::Table::num(r.accuracy_under),
+                   metrics::Table::num(r.accuracy_over),
+                   metrics::Table::pct(r.timeshare_under),
+                   metrics::Table::pct(r.timeshare_over),
+                   metrics::Table::num(r.instability, 2),
+                   metrics::Table::num(r.jitter_per_hour, 1),
+                   metrics::Table::num(metrics::elasticity_score(r), 3)});
+  }
+  table.print(std::cout);
+
+  // Sweep: lag from 0 to 25 minutes — both accuracy metrics grow linearly.
+  metrics::print_banner(std::cout, "Lag sweep: tracking error vs reaction lag");
+  metrics::Table sweep({"lag [min]", "acc_U", "acc_O", "score"});
+  for (int lag_min : {0, 5, 10, 15, 20, 25}) {
+    StepSeries demand = square_demand();
+    StepSeries supply;
+    for (const auto& s : demand.samples()) {
+      supply.append(s.at + lag_min * sim::kMinute, s.value);
+    }
+    const auto r = metrics::elasticity_report(demand, supply, 0, horizon);
+    sweep.add_row({std::to_string(lag_min),
+                   metrics::Table::num(r.accuracy_under),
+                   metrics::Table::num(r.accuracy_over),
+                   metrics::Table::num(metrics::elasticity_score(r), 3)});
+  }
+  sweep.print(std::cout);
+  std::cout << "\nEach metric isolates one pathology: static-at-peak is all\n"
+               "acc_O/t_O, static-at-valley all acc_U/t_U, oscillation all\n"
+               "instability+jitter; lag degrades smoothly — the reason [32]\n"
+               "insists elasticity is not a single number.\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Experiment E3 — correlated failures (§2.2 problem 2; Gallet et al. [26],
+// Yigitbasi et al. [27]): four failure models at equal long-run failure
+// volume, first characterized (burst size, gap CV), then run under a BoT
+// workload to show the published shape — correlated failures hurt far
+// more than iid at the same volume, because they align downtime.
+#include <algorithm>
+#include <iostream>
+
+#include "failures/failure_model.hpp"
+#include "metrics/report.hpp"
+#include "sched/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mcs;
+
+const char* mode_name(failures::CorrelationMode m) {
+  switch (m) {
+    case failures::CorrelationMode::kIid: return "iid";
+    case failures::CorrelationMode::kSpaceCorrelated: return "space-correlated";
+    case failures::CorrelationMode::kTimeCorrelated: return "time-correlated";
+    case failures::CorrelationMode::kSpaceAndTime: return "space+time";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  metrics::print_banner(
+      std::cout, "E3 — Correlated failures vs iid (after [26], [27])");
+  const std::uint64_t seed = 26;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "floor", "4 racks x 16 machines");
+  metrics::print_kv(std::cout, "volume",
+                    "2 machine-failures per machine-day in every mode");
+
+  // Part 1: trace characterization, including the availability tail — the
+  // fraction of time with >= 25% of the floor simultaneously down, the
+  // quantity that breaks capacity guarantees ([26]'s headline effect).
+  metrics::Table character({"mode", "events", "machine failures",
+                            "mean burst", "max burst", "gap CV",
+                            "peak down", "time >=25% down"});
+  for (auto mode :
+       {failures::CorrelationMode::kIid,
+        failures::CorrelationMode::kSpaceCorrelated,
+        failures::CorrelationMode::kTimeCorrelated,
+        failures::CorrelationMode::kSpaceAndTime}) {
+    infra::Datacenter dc("f-dc", "eu");
+    dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
+    failures::FailureModelConfig config;
+    config.mode = mode;
+    config.failures_per_machine_day = 2.0;
+    sim::Rng rng(seed);
+    const auto trace =
+        failures::generate_failure_trace(dc, config, 14 * sim::kDay, rng);
+    const auto s = failures::summarize(trace);
+
+    // Sweep the trace to find simultaneous unavailability: machines down
+    // as a function of time (sorted down/up edge events).
+    std::vector<std::pair<sim::SimTime, int>> edges;
+    for (const auto& e : trace) {
+      edges.emplace_back(e.at, static_cast<int>(e.machines.size()));
+      edges.emplace_back(e.at + e.downtime,
+                         -static_cast<int>(e.machines.size()));
+    }
+    std::sort(edges.begin(), edges.end());
+    int down = 0, peak_down = 0;
+    sim::SimTime degraded_time = 0;
+    sim::SimTime prev = 0;
+    const int quarter = static_cast<int>(dc.machine_count() / 4);
+    for (const auto& [at, delta] : edges) {
+      if (down >= quarter) degraded_time += at - prev;
+      prev = at;
+      down += delta;
+      peak_down = std::max(peak_down, down);
+    }
+    character.add_row(
+        {mode_name(mode), std::to_string(s.events),
+         std::to_string(s.machine_failures),
+         metrics::Table::num(s.mean_event_size, 1),
+         metrics::Table::num(s.max_event_size, 0),
+         metrics::Table::num(s.gap_cv, 2),
+         metrics::Table::pct(static_cast<double>(peak_down) /
+                             static_cast<double>(dc.machine_count())),
+         metrics::Table::pct(sim::to_seconds(degraded_time) /
+                             sim::to_seconds(14 * sim::kDay))});
+  }
+  character.print(std::cout);
+
+  // Part 2: impact on a running workload.
+  metrics::print_banner(std::cout, "Impact on a bag-of-tasks workload");
+  metrics::Table impact({"mode", "tasks killed", "jobs abandoned",
+                         "mean slowdown", "p95 slowdown"});
+  for (auto mode :
+       {failures::CorrelationMode::kIid,
+        failures::CorrelationMode::kSpaceCorrelated,
+        failures::CorrelationMode::kTimeCorrelated,
+        failures::CorrelationMode::kSpaceAndTime}) {
+    infra::Datacenter dc("f-dc", "eu");
+    dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
+    sim::Simulator sim;
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+
+    sim::Rng wrng(seed + 1);
+    workload::TraceConfig trace;
+    trace.job_count = 150;
+    trace.arrival_rate_per_hour = 400.0;
+    trace.mean_tasks_per_job = 12.0;
+    trace.mean_task_seconds = 300.0;  // long tasks: exposed to failures
+    engine.submit_all(workload::generate_trace(trace, wrng));
+
+    failures::FailureModelConfig config;
+    config.mode = mode;
+    config.failures_per_machine_day = 6.0;
+    config.mean_repair_seconds = 3600.0;
+    sim::Rng frng(seed);
+    auto events =
+        failures::generate_failure_trace(dc, config, 2 * sim::kDay, frng);
+    failures::FailureInjector injector(sim, dc, events);
+    injector.arm([&](infra::MachineId id) { engine.on_machine_failed(id); },
+                 [&](infra::MachineId) { engine.kick(); });
+    sim.run_until();
+
+    const auto r = sched::summarize_run(engine, dc);
+    impact.add_row({mode_name(mode), std::to_string(engine.tasks_killed()),
+                    std::to_string(r.abandoned),
+                    metrics::Table::num(r.mean_slowdown),
+                    metrics::Table::num(r.p95_slowdown)});
+  }
+  impact.print(std::cout);
+  std::cout <<
+      "\nThe [26]/[27] shape: identical failure *volume*, very different\n"
+      "damage. Space-correlation turns singleton blips into rack-sized\n"
+      "simultaneous capacity losses (see peak-down / time-degraded), and\n"
+      "time-correlation clusters failures into storms; combined they\n"
+      "inflate the slowdown tail well beyond iid.\n";
+  return 0;
+}

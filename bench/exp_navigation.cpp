@@ -1,0 +1,99 @@
+// Experiment E11 — the Ecosystem Navigation challenge (C9): instance-type,
+// scale, and policy selection on the user's behalf, across three user
+// profiles for the same scientific workload. Regenerates the decision the
+// paper's §5.1 poses ("which of the tens of machine instances ... should a
+// researcher start to use?") as an auditable comparison table.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "sched/navigator.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(std::cout,
+                        "E11 — Ecosystem Navigation: selection for the user");
+  const std::uint64_t seed = 9;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+
+  sim::Rng rng(seed);
+  workload::TraceConfig trace;
+  trace.job_count = 60;
+  trace.workflow_fraction = 0.5;
+  trace.workflow_width = 8;
+  trace.mean_task_seconds = 420.0;
+  trace.mean_cores_per_task = 2.0;
+  auto jobs = workload::generate_trace(trace, rng);
+  const auto summary = workload::summarize(jobs);
+  metrics::print_kv(std::cout, "workload",
+                    std::to_string(summary.jobs) + " jobs / " +
+                        std::to_string(summary.tasks) + " tasks / " +
+                        metrics::Table::num(summary.total_work_seconds / 3600.0,
+                                            1) +
+                        " core-hours of work");
+
+  const auto catalog = infra::InstanceCatalog::representative();
+
+  struct Profile {
+    std::string name;
+    double deadline_seconds;
+    double budget;
+  };
+  const Profile profiles[] = {
+      {"student (tight budget)", 0.0, 6.00},
+      {"lab (deadline tonight)", 4.0 * 3600.0, 0.0},
+      {"urgent (2 hours, money no object)", 7200.0, 0.0},
+  };
+
+  metrics::Table table({"user profile", "instance", "machines", "policy",
+                        "predicted makespan", "predicted cost",
+                        "feasible?"});
+  for (const Profile& p : profiles) {
+    sched::NavigationRequest request;
+    request.workload = jobs;
+    request.deadline_seconds = p.deadline_seconds;
+    request.budget = p.budget;
+    request.max_machines = 64;
+    const auto plan = sched::navigate(request, catalog);
+    table.add_row(
+        {p.name, plan.chosen.instance_type,
+         std::to_string(plan.chosen.machines), plan.chosen.policy,
+         metrics::Table::num(plan.chosen.predicted_makespan_seconds / 60.0,
+                             0) +
+             " min",
+         "$" + metrics::Table::num(plan.chosen.predicted_cost),
+         plan.feasible ? "yes" : "best-effort"});
+  }
+  table.print(std::cout);
+
+  // Show the audit trail for the middle profile (C13: explainability).
+  sched::NavigationRequest request;
+  request.workload = jobs;
+  request.deadline_seconds = 4.0 * 3600.0;
+  const auto plan = sched::navigate(request, catalog);
+  metrics::print_banner(std::cout,
+                        "Audit trail for 'lab (deadline tonight)' — top "
+                        "alternatives by cost");
+  std::vector<sched::NavigationAlternative> alts = plan.alternatives;
+  std::sort(alts.begin(), alts.end(),
+            [](const auto& a, const auto& b) {
+              return a.predicted_cost < b.predicted_cost;
+            });
+  metrics::Table audit({"instance", "machines", "policy", "makespan [min]",
+                        "cost [$]", "meets deadline"});
+  std::size_t shown = 0;
+  for (const auto& alt : alts) {
+    audit.add_row({alt.instance_type, std::to_string(alt.machines),
+                   alt.policy,
+                   metrics::Table::num(alt.predicted_makespan_seconds / 60.0,
+                                       0),
+                   metrics::Table::num(alt.predicted_cost),
+                   alt.meets_deadline ? "yes" : "no"});
+    if (++shown == 10) break;
+  }
+  audit.print(std::cout);
+  metrics::print_kv(std::cout, "alternatives evaluated",
+                    std::to_string(plan.alternatives.size()));
+  metrics::print_kv(std::cout, "rationale", plan.rationale);
+  return 0;
+}

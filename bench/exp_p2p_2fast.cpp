@@ -1,0 +1,60 @@
+// Experiment E7 — 2fast collaborative downloads (challenge C5; Garbacki
+// et al. [106]).
+//
+// Published shape: on asymmetric (ADSL-class) links, a collector aided by
+// k social-group helpers downloads ~linearly faster with k, until its
+// downlink saturates; the swarm's aggregate capacity self-scales with the
+// crowd.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "p2p/swarm.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(std::cout,
+                        "E7 — 2fast collaborative downloads (after [106])");
+  p2p::SwarmConfig config;
+  config.file_mb = 700.0;       // the classic CD image
+  config.seed_up_mbps = 20.0;
+  config.peer.down_mbps = 8.0;  // ADSL down
+  config.peer.up_mbps = 1.0;    // ADSL up
+  metrics::print_kv(std::cout, "file", "700 MB");
+  metrics::print_kv(std::cout, "peer link", "8 Mbps down / 1 Mbps up (ADSL)");
+  metrics::print_kv(
+      std::cout, "tit-for-tat grant",
+      metrics::Table::num(p2p::granted_rate_mbps(config), 2) + " Mbps solo");
+
+  metrics::Table table({"helpers", "download time [s]", "speedup vs solo",
+                        "collector inflow [Mbps]"});
+  const double solo = p2p::solo_download_seconds(config);
+  for (std::size_t helpers : {0u, 1u, 2u, 3u, 4u, 6u, 8u, 12u, 16u}) {
+    const double t = p2p::collaborative_download_seconds(config, helpers);
+    table.add_row({std::to_string(helpers), metrics::Table::num(t, 0),
+                   metrics::Table::num(solo / t, 2),
+                   metrics::Table::num(config.file_mb * 8.0 / t, 2)});
+  }
+  table.print(std::cout);
+
+  metrics::print_banner(std::cout, "Swarm self-scaling (flash crowd)");
+  metrics::Table swarm_table({"leechers", "download time [s]",
+                              "vs seed-only service [s]",
+                              "peak aggregate upload [Mbps]"});
+  for (std::size_t leechers : {5u, 20u, 50u, 100u}) {
+    const auto run = p2p::swarm_download(config, leechers);
+    const double seed_only =
+        config.file_mb * 8.0 /
+        (config.seed_up_mbps / static_cast<double>(leechers));
+    swarm_table.add_row({std::to_string(leechers),
+                         metrics::Table::num(run.mean_seconds, 0),
+                         metrics::Table::num(seed_only, 0),
+                         metrics::Table::num(run.aggregate_upload_peak_mbps,
+                                             1)});
+  }
+  swarm_table.print(std::cout);
+  std::cout << "\nThe [106] shape: helper speedup is ~linear (1 Mbps relayed\n"
+               "per helper on ADSL) until the 8 Mbps downlink saturates at\n"
+               "~7 helpers; the flash-crowd table shows why P2P scales where\n"
+               "a lone seed cannot.\n";
+  return 0;
+}

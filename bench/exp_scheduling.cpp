@@ -1,0 +1,144 @@
+// Experiment E5 — allocation-policy sweep and portfolio scheduling
+// (challenge C7; Ghit et al. [22], van Beek et al. [112]).
+//
+// Published shape: no single policy dominates across workload regimes —
+// SJF wins mean metrics under heavy-tailed task mixes, FCFS/backfilling
+// behave under uniform loads, HEFT wins on heterogeneous machines — and a
+// portfolio scheduler tracks whichever fixed policy suits the regime.
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "sched/engine.hpp"
+#include "sched/portfolio.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mcs;
+
+struct Regime {
+  std::string name;
+  workload::TraceConfig trace;
+  bool heterogeneous = false;
+};
+
+infra::Datacenter make_dc(bool heterogeneous) {
+  infra::Datacenter dc("e5-dc", "eu");
+  if (heterogeneous) {
+    // Half slow, half fast machines (C4).
+    for (int i = 0; i < 6; ++i) {
+      dc.add_machine("slow-" + std::to_string(i),
+                     infra::ResourceVector{8, 32, 0}, 0.8, 0);
+    }
+    for (int i = 0; i < 6; ++i) {
+      dc.add_machine("fast-" + std::to_string(i),
+                     infra::ResourceVector{8, 32, 0}, 2.0, 1);
+    }
+  } else {
+    dc.add_uniform_racks(2, 6, infra::ResourceVector{8, 32, 0}, 1.0);
+  }
+  return dc;
+}
+
+}  // namespace
+
+int main() {
+  metrics::print_banner(
+      std::cout, "E5 — Scheduling policies across regimes + portfolio");
+  const std::uint64_t seed = 22;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+
+  std::vector<Regime> regimes;
+  {
+    Regime r;
+    r.name = "uniform BoT";
+    r.trace.job_count = 150;
+    r.trace.arrival_rate_per_hour = 700.0;
+    r.trace.mean_task_seconds = 60.0;
+    r.trace.cv_task_seconds = 0.3;
+    regimes.push_back(r);
+  }
+  {
+    Regime r;
+    r.name = "heavy-tailed BoT";
+    r.trace.job_count = 150;
+    r.trace.arrival_rate_per_hour = 2400.0;
+    r.trace.mean_task_seconds = 90.0;
+    r.trace.cv_task_seconds = 3.0;
+    regimes.push_back(r);
+  }
+  {
+    Regime r;
+    r.name = "workflows";
+    r.trace.job_count = 100;
+    r.trace.arrival_rate_per_hour = 1200.0;
+    r.trace.workflow_fraction = 1.0;
+    r.trace.workflow_width = 16;
+    r.trace.mean_task_seconds = 90.0;
+    regimes.push_back(r);
+  }
+  {
+    Regime r;
+    r.name = "bursty heterogeneous";
+    r.trace.job_count = 150;
+    r.trace.arrivals = workload::ArrivalKind::kBursty;
+    r.trace.arrival_rate_per_hour = 700.0;
+    r.trace.mean_task_seconds = 90.0;
+    r.trace.cv_task_seconds = 1.5;
+    r.heterogeneous = true;
+    regimes.push_back(r);
+  }
+
+  const std::vector<std::string> policies = {
+      "fcfs", "fcfs-bestfit", "sjf",      "ljf",
+      "fair-share", "edf",    "easy-backfill", "conservative-backfill",
+      "heft", "min-min",      "max-min",  "random"};
+
+  for (const Regime& regime : regimes) {
+    metrics::print_banner(std::cout, "Regime: " + regime.name);
+    sim::Rng rng(seed);
+    const auto jobs = workload::generate_trace(regime.trace, rng);
+    metrics::Table table({"policy", "mean slowdown", "p95 slowdown",
+                          "mean wait [s]", "makespan [s]"});
+    double best_slowdown = 1e18;
+    std::string best_policy;
+    for (const std::string& name : policies) {
+      auto dc = make_dc(regime.heterogeneous);
+      const auto r = sched::run_workload(dc, jobs, sched::make_policy(name));
+      if (r.mean_slowdown < best_slowdown) {
+        best_slowdown = r.mean_slowdown;
+        best_policy = name;
+      }
+      table.add_row({name, metrics::Table::num(r.mean_slowdown),
+                     metrics::Table::num(r.p95_slowdown),
+                     metrics::Table::num(r.mean_wait_seconds, 1),
+                     metrics::Table::num(r.makespan_seconds, 0)});
+    }
+    // Portfolio scheduler on the same regime.
+    {
+      auto dc = make_dc(regime.heterogeneous);
+      sim::Simulator sim;
+      sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+      engine.submit_all(jobs);
+      sched::PortfolioScheduler portfolio(sim, dc, engine,
+                                          sched::default_portfolio(),
+                                          30 * sim::kSecond);
+      portfolio.start();
+      sim.run_until();
+      const auto r = sched::summarize_run(engine, dc);
+      table.add_row({"PORTFOLIO (" + std::to_string(portfolio.switches()) +
+                         " switches)",
+                     metrics::Table::num(r.mean_slowdown),
+                     metrics::Table::num(r.p95_slowdown),
+                     metrics::Table::num(r.mean_wait_seconds, 1),
+                     metrics::Table::num(r.makespan_seconds, 0)});
+    }
+    table.print(std::cout);
+    metrics::print_kv(std::cout, "best fixed policy", best_policy);
+  }
+  std::cout << "\nThe [22]/[112] shape: the winner changes per regime (note\n"
+               "SJF on heavy tails, HEFT on the heterogeneous floor), and\n"
+               "the portfolio stays near the per-regime winner without\n"
+               "knowing the regime in advance.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Regenerates Figure 5 ("FaaS Reference Architecture") behaviourally:
+// drives the image-pipeline business logic through all four layers and
+// reports what each layer did — composition hops, management-layer
+// cold/warm routing, orchestration placements, resource-layer memory.
+#include <iostream>
+
+#include "faas/composition.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace mcs;
+  metrics::print_banner(std::cout,
+                        "Figure 5 — FaaS reference architecture (executed)");
+  const std::uint64_t seed = 5;
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+
+  // Resource Layer.
+  infra::Datacenter dc("faas-dc", "eu-west");
+  dc.add_uniform_racks(1, 6, infra::ResourceVector{16.0, 16.0, 0.0}, 1.0);
+
+  sim::Simulator sim;
+  faas::FaasPlatform platform(sim, dc, {}, sim::Rng(seed));
+  auto fn = [](const char* name, double exec_s, double mem_mb, double cold_s) {
+    faas::FunctionSpec spec;
+    spec.name = name;
+    spec.mean_exec_seconds = exec_s;
+    spec.cv_exec = 0.2;
+    spec.memory_mb = mem_mb;
+    spec.cold_start_seconds = cold_s;
+    return spec;
+  };
+  platform.deploy(fn("extract", 0.05, 128, 0.4));
+  platform.deploy(fn("transform", 0.20, 512, 1.0));
+  platform.deploy(fn("load", 0.05, 128, 0.4));
+
+  // Function Composition Layer: the ETL workflow.
+  const auto wf = faas::Composition::sequence(
+      {faas::Composition::invoke("extract"),
+       faas::Composition::invoke("transform"),
+       faas::Composition::invoke("load")});
+  faas::CompositionEngine engine(sim, platform);
+
+  // Drive 300 requests in three bursts separated by idle gaps that let
+  // keep-alive reap instances (exposing the cold-start cycle).
+  metrics::Accumulator latency;
+  std::size_t completed = 0;
+  for (int burst = 0; burst < 3; ++burst) {
+    for (int i = 0; i < 100; ++i) {
+      sim.schedule_at(burst * sim::kHour + i * 500 * sim::kMillisecond, [&] {
+        engine.run(wf, [&](const faas::WorkflowResult& r) {
+          latency.add(r.latency_seconds);
+          ++completed;
+        });
+      });
+    }
+  }
+  sim.run_until();
+
+  metrics::Table layers({"Layer (Fig. 5)", "Responsibility",
+                         "Measured activity"});
+  layers.add_row({"Function Composition", "meta-scheduling of workflows",
+                  std::to_string(engine.workflows_run()) + " workflows, " +
+                      std::to_string(wf.invocation_count()) + " hops each"});
+  std::uint64_t invocations = 0, cold = 0, queued = 0;
+  for (const char* name : {"extract", "transform", "load"}) {
+    invocations += platform.stats(name).invocations;
+    cold += platform.stats(name).cold_starts;
+    queued += platform.stats(name).queued;
+  }
+  layers.add_row({"Function Management", "instance lifecycle + routing",
+                  std::to_string(invocations) + " invocations, " +
+                      std::to_string(cold) + " cold, " +
+                      std::to_string(queued) + " queued"});
+  layers.add_row({"Resource Orchestration", "instance placement",
+                  std::to_string(cold + platform.instances_reaped()) +
+                      " placements, " +
+                      std::to_string(platform.instances_reaped()) +
+                      " reaped by keep-alive"});
+  layers.add_row({"Resource Layer", "machines and memory",
+                  std::to_string(dc.machine_count()) + " machines, " +
+                      metrics::Table::num(platform.memory_in_use_mb(), 0) +
+                      " MB resident at end"});
+  layers.print(std::cout);
+
+  metrics::Table outcome({"business-logic outcome", "value"});
+  outcome.add_row({"pipelines completed", std::to_string(completed)});
+  outcome.add_row({"median latency [s]",
+                   metrics::Table::num(latency.median(), 3)});
+  outcome.add_row({"p99 latency [s]",
+                   metrics::Table::num(latency.quantile(0.99), 3)});
+  outcome.print(std::cout);
+  std::cout << "\nThe p99/median gap is the cold-start cycle: each burst "
+               "after an idle hour\nre-pays orchestration + runtime init "
+               "(§6.5's isolation-vs-performance tension).\n";
+  return 0;
+}

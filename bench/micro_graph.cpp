@@ -1,0 +1,94 @@
+// E10b — engineering microbenchmarks of the graph substrate
+// (google-benchmark): CSR construction, the traversal-bound and the
+// compute-bound Graphalytics kernels.
+#include <benchmark/benchmark.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace {
+
+using namespace mcs;
+
+const graph::Graph& test_graph() {
+  static const graph::Graph g = [] {
+    sim::Rng rng(7);
+    return graph::rmat(14, 8, rng);
+  }();
+  return g;
+}
+
+void BM_CsrConstruction(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::vector<graph::Edge> edges;
+  const auto n = static_cast<graph::VertexId>(1 << 14);
+  for (int i = 0; i < (8 << 14); ++i) {
+    edges.push_back(graph::Edge{
+        static_cast<graph::VertexId>(rng.uniform_int(0, n - 1)),
+        static_cast<graph::VertexId>(rng.uniform_int(0, n - 1)), 1.0});
+  }
+  for (auto _ : state) {
+    graph::Graph g(n, edges, true);
+    benchmark::DoNotOptimize(g.arc_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(edges.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_CsrConstruction);
+
+void BM_Bfs(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state) {
+    auto depth = graph::bfs(g, 0);
+    benchmark::DoNotOptimize(depth.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Bfs);
+
+void BM_PageRankIteration(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state) {
+    auto pr = graph::pagerank(g, 1);
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_PageRankIteration);
+
+void BM_Wcc(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state) {
+    auto labels = graph::wcc(g);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Wcc);
+
+void BM_Sssp(benchmark::State& state) {
+  const auto& g = test_graph();
+  for (auto _ : state) {
+    auto dist = graph::sssp(g, 0);
+    benchmark::DoNotOptimize(dist.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_Sssp);
+
+void BM_RmatGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Rng rng(7);
+    auto g = graph::rmat(12, 8, rng);
+    benchmark::DoNotOptimize(g.arc_count());
+  }
+}
+BENCHMARK(BM_RmatGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

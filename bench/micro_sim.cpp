@@ -1,0 +1,106 @@
+// E10a — engineering microbenchmarks of the simulation kernel and RNG
+// (google-benchmark). These quantify the substrate cost every experiment
+// in this repository pays: event throughput, cancellation, and the
+// distribution samplers used by the workload/failure models.
+#include <benchmark/benchmark.h>
+
+#include "metrics/elasticity.hpp"
+#include "sim/arrival.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace mcs;
+
+void BM_EventThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<sim::SimTime>(i), [&fired] { ++fired; });
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_SelfSchedulingChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::size_t count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) sim.schedule_after(10, tick);
+    };
+    sim.schedule_at(0, tick);
+    sim.run_until();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(10000 * state.iterations());
+}
+BENCHMARK(BM_SelfSchedulingChain);
+
+void BM_CancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(8192);
+    for (int i = 0; i < 8192; ++i) {
+      handles.push_back(sim.schedule_at(i, [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      sim.cancel(handles[i]);
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(8192 * state.iterations());
+}
+BENCHMARK(BM_CancelHeavy);
+
+void BM_RngExponential(benchmark::State& state) {
+  sim::Rng rng(1);
+  double sink = 0.0;
+  for (auto _ : state) sink += rng.exponential(1.0);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_RngZipf(benchmark::State& state) {
+  sim::Rng rng(1);
+  std::size_t sink = 0;
+  for (auto _ : state) sink += rng.zipf(10000, 1.1);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngZipf);
+
+void BM_MmppArrivals(benchmark::State& state) {
+  sim::Rng rng(1);
+  sim::MmppProcess mmpp(1.0, 20.0, 100.0, 10.0);
+  sim::SimTime sink = 0;
+  for (auto _ : state) sink += mmpp.next_gap(rng);
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_MmppArrivals);
+
+void BM_ElasticityReport(benchmark::State& state) {
+  metrics::StepSeries demand, supply;
+  sim::Rng rng(1);
+  for (sim::SimTime t = 0; t < sim::kDay; t += sim::kMinute) {
+    demand.append(t, rng.uniform(0.0, 32.0));
+    supply.append(t, rng.uniform(0.0, 32.0));
+  }
+  for (auto _ : state) {
+    auto r = metrics::elasticity_report(demand, supply, 0, sim::kDay);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ElasticityReport);
+
+}  // namespace
+
+BENCHMARK_MAIN();

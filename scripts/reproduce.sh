@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Reproduces everything: build, full test suite, every table/figure/
+# experiment bench (P8: reproducibility as essential service).
+# Outputs land in test_output.txt and bench_output.txt at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt
+echo "done: see test_output.txt and bench_output.txt"

@@ -1,0 +1,82 @@
+// The Pregel sub-ecosystem of Fig. 1: a BSP ("think like a vertex")
+// execution engine over hash-partitioned graph data, with a timing model
+// for the simulated cluster (compute per active vertex, message volume,
+// cross-partition traffic over the oversubscribed core, barrier latency).
+//
+// Semantics follow Pregel/Valiant BSP (the paper lists "computational
+// models including CSP and Valiant's BSP" among the imports from
+// Distributed Systems, §3.5): messages sent in superstep S are delivered
+// in S+1; a vertex halts by returning false and is reactivated by incoming
+// messages. Values and messages are doubles — sufficient for the four
+// Graphalytics kernels run this way (PR, BFS, WCC, SSSP).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcs::bigdata {
+
+struct PregelConfig {
+  std::size_t workers = 4;
+  double seconds_per_vertex = 2e-6;    ///< compute cost per active vertex
+  double seconds_per_message = 5e-7;   ///< cost to process one message
+  double message_bytes = 16.0;
+  double cross_mbps = 1000.0;          ///< aggregate cross-worker bandwidth
+  double barrier_seconds = 0.001;      ///< per-superstep sync cost
+};
+
+struct PregelStats {
+  std::size_t supersteps = 0;
+  double wall_seconds = 0.0;           ///< modelled cluster time
+  std::uint64_t total_messages = 0;
+  std::uint64_t cross_messages = 0;    ///< crossed a partition boundary
+  std::vector<std::size_t> active_per_superstep;
+};
+
+class PregelEngine {
+ public:
+  using SendFn = std::function<void(graph::VertexId, double)>;
+  /// compute(v, value, incoming, send, superstep) -> stay active?
+  using ComputeFn = std::function<bool(
+      graph::VertexId, double&, const std::vector<double>&, const SendFn&,
+      std::size_t)>;
+
+  PregelEngine(const graph::Graph& g, PregelConfig config);
+
+  /// Runs until no vertex is active and no messages are in flight, or
+  /// until max_supersteps. `values` must have one entry per vertex.
+  PregelStats run(std::vector<double>& values, const ComputeFn& compute,
+                  std::size_t max_supersteps);
+
+  [[nodiscard]] std::size_t worker_of(graph::VertexId v) const {
+    return v % config_.workers;
+  }
+
+ private:
+  const graph::Graph& g_;
+  PregelConfig config_;
+};
+
+// ---- the four kernels as vertex programs (cross-checked against
+// ---- graph/algorithms.hpp by the test suite) ----------------------------------
+
+struct PregelRun {
+  std::vector<double> values;
+  PregelStats stats;
+};
+
+[[nodiscard]] PregelRun pregel_pagerank(const graph::Graph& g,
+                                        std::size_t iterations,
+                                        PregelConfig config = {});
+[[nodiscard]] PregelRun pregel_bfs(const graph::Graph& g,
+                                   graph::VertexId source,
+                                   PregelConfig config = {});
+[[nodiscard]] PregelRun pregel_wcc(const graph::Graph& g,
+                                   PregelConfig config = {});
+[[nodiscard]] PregelRun pregel_sssp(const graph::Graph& g,
+                                    graph::VertexId source,
+                                    PregelConfig config = {});
+
+}  // namespace mcs::bigdata

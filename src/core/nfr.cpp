@@ -1,0 +1,85 @@
+#include "core/nfr.hpp"
+
+#include <algorithm>
+
+namespace mcs::core {
+
+std::string to_string(NfrDimension d) {
+  switch (d) {
+    case NfrDimension::kLatency: return "latency";
+    case NfrDimension::kThroughput: return "throughput";
+    case NfrDimension::kAvailability: return "availability";
+    case NfrDimension::kReliability: return "reliability";
+    case NfrDimension::kCost: return "cost";
+    case NfrDimension::kElasticity: return "elasticity";
+    case NfrDimension::kSecurity: return "security";
+    case NfrDimension::kEnergy: return "energy";
+  }
+  return "unknown";
+}
+
+Slo deadline_slo(double seconds, double weight) {
+  return Slo{NfrDimension::kLatency, seconds, /*is_ceiling=*/true, weight};
+}
+
+Slo availability_slo(double fraction, double weight) {
+  return Slo{NfrDimension::kAvailability, fraction, /*is_ceiling=*/false, weight};
+}
+
+Slo cost_slo(double budget, double weight) {
+  return Slo{NfrDimension::kCost, budget, /*is_ceiling=*/true, weight};
+}
+
+Slo throughput_slo(double per_second, double weight) {
+  return Slo{NfrDimension::kThroughput, per_second, /*is_ceiling=*/false, weight};
+}
+
+bool Sla::revise(NfrDimension dim, double new_target) {
+  for (Slo& s : objectives_) {
+    if (s.dimension == dim) {
+      s.target = new_target;
+      return true;
+    }
+  }
+  // Dimension not present: add with the conventional direction.
+  const bool ceiling = dim == NfrDimension::kLatency ||
+                       dim == NfrDimension::kCost ||
+                       dim == NfrDimension::kEnergy ||
+                       dim == NfrDimension::kElasticity;
+  objectives_.push_back(Slo{dim, new_target, ceiling, 1.0});
+  return false;
+}
+
+std::optional<Slo> Sla::objective(NfrDimension dim) const {
+  for (const Slo& s : objectives_) {
+    if (s.dimension == dim) return s;
+  }
+  return std::nullopt;
+}
+
+std::size_t Sla::violations(const std::vector<Observation>& obs) const {
+  std::size_t count = 0;
+  for (const Slo& s : objectives_) {
+    auto it = std::find_if(obs.begin(), obs.end(), [&](const Observation& o) {
+      return o.dimension == s.dimension;
+    });
+    if (it == obs.end() || !s.attained(it->value)) ++count;
+  }
+  return count;
+}
+
+double Sla::penalty(const std::vector<Observation>& obs,
+                    double unit_penalty) const {
+  double total = 0.0;
+  for (const Slo& s : objectives_) {
+    auto it = std::find_if(obs.begin(), obs.end(), [&](const Observation& o) {
+      return o.dimension == s.dimension;
+    });
+    if (it == obs.end() || !s.attained(it->value)) {
+      total += unit_penalty * s.weight;
+    }
+  }
+  return total;
+}
+
+}  // namespace mcs::core

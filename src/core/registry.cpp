@@ -1,0 +1,240 @@
+#include "core/registry.hpp"
+
+#include <algorithm>
+
+namespace mcs::core {
+
+std::string to_string(PrincipleType t) {
+  switch (t) {
+    case PrincipleType::kSystems: return "Systems";
+    case PrincipleType::kPeopleware: return "Peopleware";
+    case PrincipleType::kMethodology: return "Methodology";
+  }
+  return "?";
+}
+
+std::string to_string(ChallengeType t) {
+  switch (t) {
+    case ChallengeType::kSystems: return "Systems";
+    case ChallengeType::kPeopleware: return "Peopleware";
+    case ChallengeType::kMethodology: return "Methodology";
+  }
+  return "?";
+}
+
+const std::vector<Principle>& principles() {
+  static const std::vector<Principle> kPrinciples = {
+      {1, PrincipleType::kSystems, "The Age of Ecosystems",
+       "This is the Age of Computer Ecosystems."},
+      {2, PrincipleType::kSystems, "software-defined everything",
+       "Software-defined everything, but humans can still shape and control "
+       "the loop."},
+      {3, PrincipleType::kSystems, "non-functional requirements",
+       "Non-functional properties are first-class concerns, composable and "
+       "portable, whose relative importance and target values are dynamic."},
+      {4, PrincipleType::kSystems, "RM&S, Self-Awareness",
+       "Resource Management and Scheduling, and their combination with other "
+       "capabilities to achieve local and global Self-Awareness, are key to "
+       "ensure non-functional properties at runtime."},
+      {5, PrincipleType::kSystems, "super-distributed",
+       "Ecosystems are super-distributed."},
+      {6, PrincipleType::kPeopleware, "fundamental rights",
+       "People have a fundamental right to learn and to use ICT, and to "
+       "understand their own use."},
+      {7, PrincipleType::kPeopleware, "professional privilege",
+       "Experimenting, creating, and operating ecosystems are professional "
+       "privileges, granted through provable professional competence and "
+       "integrity."},
+      {8, PrincipleType::kMethodology, "science, practice, and culture of MCS",
+       "We understand and create together a science, practice, and culture "
+       "of computer ecosystems."},
+      {9, PrincipleType::kMethodology, "evolution and emergence",
+       "We are aware of the evolution and emergent behavior of computer "
+       "ecosystems, and control and nurture them."},
+      {10, PrincipleType::kMethodology, "ethics and transparency",
+       "We consider and help develop the ethics of computer ecosystems, and "
+       "inform and educate all stakeholders about them."},
+  };
+  return kPrinciples;
+}
+
+const std::vector<Challenge>& challenges() {
+  // The principle_refs column transcribes Table 3 of the paper exactly.
+  static const std::vector<Challenge> kChallenges = {
+      {1, ChallengeType::kSystems, "Ecosystems, overall", {1},
+       "core (Ecosystem), all benches"},
+      {2, ChallengeType::kSystems, "Software-defined everything", {2},
+       "infra (DatacenterStack), bench/fig3_datacenter"},
+      {3, ChallengeType::kSystems, "Non-functional requirements", {3, 5},
+       "core (Sla/Slo), bench/exp_elasticity"},
+      {4, ChallengeType::kSystems, "Extreme heterogeneity", {4},
+       "infra (InstanceCatalog), bench/exp_scheduling"},
+      {5, ChallengeType::kSystems, "Socially aware", {4},
+       "p2p (2fast), gaming (social), bench/exp_p2p_2fast"},
+      {6, ChallengeType::kSystems, "Adaptation, self-awareness", {4},
+       "autoscale, bench/exp_autoscalers"},
+      {7, ChallengeType::kSystems, "Scheduling, the dual problem", {4, 5},
+       "sched (provisioning+allocation), bench/exp_scheduling"},
+      {8, ChallengeType::kSystems, "Sophisticated services", {4},
+       "faas, bench/fig5_faas"},
+      {9, ChallengeType::kSystems, "The Ecosystem Navigation challenge",
+       {2, 3, 4, 5}, "sched (Navigator, portfolio), bench/exp_navigation"},
+      {10, ChallengeType::kSystems,
+       "Interoperability, federation, delegation", {4, 5},
+       "infra (Federation), examples/escience_workflows"},
+      {11, ChallengeType::kPeopleware, "Community engagement", {6},
+       "examples/quickstart (OpenDC-style entry point)"},
+      {12, ChallengeType::kPeopleware, "Curriculum, BOKMCS", {6},
+       ""},
+      {13, ChallengeType::kPeopleware, "Explaining to all stakeholders",
+       {4, 6}, "metrics (report), every bench prints operational tables"},
+      {14, ChallengeType::kPeopleware, "The Design of Design challenge",
+       {6, 7}, ""},
+      {15, ChallengeType::kMethodology,
+       "Simulation and Real-world experimentation", {7, 8},
+       "sim (kernel), the whole platform"},
+      {16, ChallengeType::kMethodology, "Reproducibility and benchmarking",
+       {7, 8}, "graph+bigdata (Graphalytics), bench/exp_graphalytics"},
+      {17, ChallengeType::kMethodology, "Testing, validation, verification",
+       {8}, "tests/ (unit+integration+property suites)"},
+      {18, ChallengeType::kMethodology, "A Science of MCS", {8, 9},
+       "core (registries), bench/table* invariants"},
+      {19, ChallengeType::kMethodology, "The New World challenge", {8, 9},
+       "workload (trace models), bench/exp_variability"},
+      {20, ChallengeType::kMethodology, "The ethics of MCS", {10},
+       ""},
+  };
+  return kChallenges;
+}
+
+const std::vector<OverviewRow>& overview() {
+  static const std::vector<OverviewRow> kOverview = {
+      {"Who?", "Stakeholders",
+       "scientists, engineers, designers, industry clients, governance, "
+       "individuals at-large"},
+      {"What?", "Central Paradigm",
+       "properties derived from ecosystem structure, organization, and "
+       "dynamics"},
+      {"What?", "Focus", "functional and non-functional properties"},
+      {"What?", "Concerns", "emergence, evolution"},
+      {"How?", "Design", "design methods and processes"},
+      {"How?", "Quantitative", "measurement, observation"},
+      {"How?", "Exper. & Sim.", "methodology, TRL, benchmarking"},
+      {"How?", "Empirical", "correlation, causality iff. possible"},
+      {"How?", "Instrumentation", "experiment infrastructure"},
+      {"How?", "Formal models", "validated, calibrated, robust"},
+      {"Related", "Computer science",
+       "Distrib.Sys., Sw.Eng., Perf.Eng."},
+      {"Related", "Systems/complexity", "General Systems Theory, etc."},
+      {"Related", "Problem solving", "computer-centric, human-centric"},
+  };
+  return kOverview;
+}
+
+const std::vector<FieldComparison>& field_comparisons() {
+  static const std::vector<FieldComparison> kFields = {
+      {"Modern Ecology", "1990s", "Biodiversity loss", "Ecology and Evolution",
+       "DS", "Biosphere", "ADHS", "AC"},
+      {"Modern Chem. Process", "1990s", "Process complexity",
+       "Chemical Engineering", "DE", "Chemical proc.", "ADHSP", "ACEM"},
+      {"Systems Biology", "2000s", "Systems complexity", "Molecular biology",
+       "S", "Biological sys.", "AHS", "ACEMTU"},
+      {"Modern Mech. Design", "2000s", "Process sustainability",
+       "Technical Design", "DE", "Mechanical sys.", "DHSP", "ACEM"},
+      {"Modern Optoelectronics", "2010s", "Artificial media",
+       "Microwave technology", "S", "Metamaterials", "DHSP", "ACEMTU"},
+      {"MCS", "this work", "Systems complexity", "Distributed Systems",
+       "DES", "Ecosystems", "ADHSP", "ACES"},
+  };
+  return kFields;
+}
+
+bool field_comparison_codes_valid(const FieldComparison& f) {
+  auto all_in = [](const std::string& s, const std::string& legal) {
+    return std::all_of(s.begin(), s.end(), [&](char c) {
+      return legal.find(c) != std::string::npos;
+    });
+  };
+  // Legends from Ropohl as printed under Table 5.
+  return all_in(f.objectives, "DES") && all_in(f.methodology, "ADHISP") &&
+         all_in(f.character, "ACEHMSTU");
+}
+
+const std::vector<UseCase>& use_cases() {
+  static const std::vector<UseCase> kUseCases = {
+      {"6.1", true, "Datacenter management", "RM&S, XaaS, ref.archi.",
+       "examples/quickstart"},
+      {"6.5", true, "Emerging application structures", "serverless MCS",
+       "examples/serverless_pipeline"},
+      {"6.6", true, "Generalized graph processing", "full MCS challenges",
+       "bench/exp_graphalytics"},
+      {"6.2", false, "Future science", "e-, democratized science",
+       "examples/escience_workflows"},
+      {"6.3", false, "Online gaming", "multi-functional MCS",
+       "examples/gaming_world"},
+      {"6.4", false, "Future banking", "regulated MCS",
+       "examples/banking_sla"},
+  };
+  return kUseCases;
+}
+
+RegistryValidation validate_registries() {
+  RegistryValidation v;
+  auto fail = [&](std::string msg) {
+    v.ok = false;
+    v.errors.push_back(std::move(msg));
+  };
+
+  // Principles: exactly 10, indices 1..10 in order.
+  const auto& ps = principles();
+  if (ps.size() != 10) fail("expected 10 principles");
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    if (ps[i].index != static_cast<int>(i) + 1) fail("principle index gap");
+  }
+
+  // Challenges: exactly 20, indices 1..20, every principle ref in range.
+  const auto& cs = challenges();
+  if (cs.size() != 20) fail("expected 20 challenges");
+  std::vector<bool> covered(ps.size() + 1, false);
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const Challenge& c = cs[i];
+    if (c.index != static_cast<int>(i) + 1) fail("challenge index gap");
+    if (c.principle_refs.empty()) {
+      fail("challenge C" + std::to_string(c.index) + " maps to no principle");
+    }
+    for (int p : c.principle_refs) {
+      if (p < 1 || p > static_cast<int>(ps.size())) {
+        fail("challenge C" + std::to_string(c.index) +
+             " references unknown principle P" + std::to_string(p));
+      } else {
+        covered[static_cast<std::size_t>(p)] = true;
+      }
+    }
+  }
+  for (std::size_t p = 1; p < covered.size(); ++p) {
+    if (!covered[p]) {
+      fail("principle P" + std::to_string(p) + " exercised by no challenge");
+    }
+  }
+
+  // Table 5: codes legal, MCS row present.
+  bool mcs_row = false;
+  for (const auto& f : field_comparisons()) {
+    if (!field_comparison_codes_valid(f)) {
+      fail("field '" + f.field + "' has illegal Ropohl codes");
+    }
+    if (f.field == "MCS") mcs_row = true;
+  }
+  if (!mcs_row) fail("Table 5 is missing the MCS row");
+
+  // Table 4: six use cases, three endogenous + three exogenous.
+  const auto& ucs = use_cases();
+  if (ucs.size() != 6) fail("expected 6 use-cases");
+  const auto endo = std::count_if(ucs.begin(), ucs.end(),
+                                  [](const UseCase& u) { return u.endogenous; });
+  if (endo != 3) fail("expected 3 endogenous use-cases");
+
+  return v;
+}
+
+}  // namespace mcs::core

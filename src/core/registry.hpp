@@ -1,0 +1,99 @@
+// Machine-readable registries of the paper's conceptual tables.
+//
+// Tables 1, 2, 3, and 5 of the paper are taxonomies, not measurements. To
+// make them reproducible artifacts rather than prose, this module carries
+// them as typed data with cross-reference invariants that the test suite and
+// the table benches enforce:
+//   - every challenge (Table 3) maps to at least one principle (Table 2),
+//     exactly as printed in the paper;
+//   - every principle is exercised by at least one challenge;
+//   - every challenge names the subsystem of this repository that
+//     demonstrates it, so the paper's agenda is traceable to code.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcs::core {
+
+// ---- Table 2: the ten principles ------------------------------------------
+
+enum class PrincipleType { kSystems, kPeopleware, kMethodology };
+
+struct Principle {
+  int index;                 ///< 1..10
+  PrincipleType type;
+  std::string key_aspects;   ///< verbatim "key aspects" column
+  std::string statement;     ///< the P-statement from §4
+};
+
+[[nodiscard]] const std::vector<Principle>& principles();
+[[nodiscard]] std::string to_string(PrincipleType t);
+
+// ---- Table 3: the twenty challenges ----------------------------------------
+
+enum class ChallengeType { kSystems, kPeopleware, kMethodology };
+
+struct Challenge {
+  int index;                         ///< 1..20
+  ChallengeType type;
+  std::string key_aspects;           ///< verbatim "key aspects" column
+  std::vector<int> principle_refs;   ///< "Princip." column, e.g. C3 -> {3,5}
+  std::string demonstrated_by;       ///< module/bench in this repo, "" if
+                                     ///< the challenge is non-computational
+};
+
+[[nodiscard]] const std::vector<Challenge>& challenges();
+[[nodiscard]] std::string to_string(ChallengeType t);
+
+// ---- Table 1: overview of MCS ----------------------------------------------
+
+struct OverviewRow {
+  std::string question;  ///< Who? / What? / How? / Related
+  std::string aspect;
+  std::string content;
+};
+
+[[nodiscard]] const std::vector<OverviewRow>& overview();
+
+// ---- Table 5: comparison with emerging fields ------------------------------
+
+struct FieldComparison {
+  std::string field;
+  std::string decade;
+  std::string crisis;
+  std::string continues;
+  std::string objectives;   ///< subset of "DES"
+  std::string object;
+  std::string methodology;  ///< subset of "ADHISP"
+  std::string character;    ///< subset of "ACEHMSTU"
+};
+
+[[nodiscard]] const std::vector<FieldComparison>& field_comparisons();
+
+/// Validates the acronym columns of Table 5 against Ropohl's legend.
+[[nodiscard]] bool field_comparison_codes_valid(const FieldComparison& f);
+
+// ---- Table 4: the six use-cases --------------------------------------------
+
+struct UseCase {
+  std::string section;       ///< e.g. "6.1"
+  bool endogenous;           ///< endogenous vs exogenous application
+  std::string description;
+  std::string key_aspects;
+  std::string example_binary;  ///< examples/ program exercising it
+};
+
+[[nodiscard]] const std::vector<UseCase>& use_cases();
+
+// ---- invariants -------------------------------------------------------------
+
+struct RegistryValidation {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+
+/// Runs all cross-reference checks across the four registries.
+[[nodiscard]] RegistryValidation validate_registries();
+
+}  // namespace mcs::core

@@ -1,0 +1,251 @@
+#include "evolve/evolution.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace mcs::evolve {
+
+std::string to_string(Lane lane) {
+  switch (lane) {
+    case Lane::kDistributedSystems: return "Distributed Systems";
+    case Lane::kSoftwareEngineering: return "Software Engineering";
+    case Lane::kPerformanceEngineering: return "Performance Engineering";
+  }
+  return "?";
+}
+
+const std::vector<TechMilestone>& fig2_timeline() {
+  using L = Lane;
+  static const std::vector<TechMilestone> kTimeline = {
+      // 1960s
+      {"time-sharing systems", 1960, L::kDistributedSystems, {}},
+      {"structured programming", 1960, L::kSoftwareEngineering, {}},
+      {"queueing theory for computers", 1960, L::kPerformanceEngineering, {}},
+      // 1970s
+      {"computer networks", 1970, L::kDistributedSystems,
+       {"time-sharing systems"}},
+      {"software engineering discipline", 1970, L::kSoftwareEngineering,
+       {"structured programming"}},
+      {"performance measurement", 1970, L::kPerformanceEngineering,
+       {"queueing theory for computers"}},
+      // 1980s
+      {"distributed operating systems", 1980, L::kDistributedSystems,
+       {"computer networks"}},
+      {"client-server computing", 1980, L::kDistributedSystems,
+       {"computer networks"}},
+      {"object-oriented development", 1980, L::kSoftwareEngineering,
+       {"software engineering discipline"}},
+      {"benchmarking suites", 1980, L::kPerformanceEngineering,
+       {"performance measurement"}},
+      // 1990s
+      {"clusters", 1990, L::kDistributedSystems,
+       {"distributed operating systems"}},
+      {"the Web", 1990, L::kDistributedSystems, {"client-server computing"}},
+      {"metacomputing", 1990, L::kDistributedSystems, {"clusters"}},
+      {"software patterns", 1990, L::kSoftwareEngineering,
+       {"object-oriented development"}},
+      {"workload modeling", 1990, L::kPerformanceEngineering,
+       {"benchmarking suites"}},
+      // 2000s
+      {"grid computing", 2000, L::kDistributedSystems,
+       {"metacomputing", "clusters"}},
+      {"peer-to-peer systems", 2000, L::kDistributedSystems, {"the Web"}},
+      {"utility computing", 2000, L::kDistributedSystems, {"grid computing"}},
+      {"agile processes", 2000, L::kSoftwareEngineering,
+       {"software patterns"}},
+      {"model-driven performance", 2000, L::kPerformanceEngineering,
+       {"workload modeling"}},
+      // 2010s
+      {"cloud computing", 2010, L::kDistributedSystems,
+       {"utility computing", "the Web"}},
+      {"big data processing", 2010, L::kDistributedSystems,
+       {"cloud computing", "grid computing"}},
+      {"edge-centric computing", 2010, L::kDistributedSystems,
+       {"cloud computing", "peer-to-peer systems"}},
+      {"serverless / FaaS", 2010, L::kDistributedSystems,
+       {"cloud computing"}},
+      {"devops", 2010, L::kSoftwareEngineering,
+       {"agile processes"}},
+      {"cloud benchmarking & elasticity metrics", 2010,
+       L::kPerformanceEngineering,
+       {"model-driven performance", "cloud computing"}},
+      // late 2010s: the synthesis this paper proposes.
+      {"Massivizing Computer Systems", 2018, L::kDistributedSystems,
+       {"big data processing", "edge-centric computing", "serverless / FaaS",
+        "devops", "cloud benchmarking & elasticity metrics"}},
+  };
+  return kTimeline;
+}
+
+TimelineValidation validate_timeline() {
+  TimelineValidation v;
+  auto fail = [&](std::string msg) {
+    v.ok = false;
+    v.errors.push_back(std::move(msg));
+  };
+  const auto& tl = fig2_timeline();
+  std::map<std::string, int> decade_of;
+  std::map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const TechMilestone& t = tl[i];
+    if (decade_of.count(t.name) != 0) fail("duplicate milestone " + t.name);
+    decade_of[t.name] = t.decade;
+    index_of[t.name] = i;
+  }
+  // Derivations must point backwards: to an earlier decade, or within the
+  // same decade to a milestone listed earlier (registry order encodes
+  // within-decade precedence), keeping the genealogy acyclic.
+  for (std::size_t i = 0; i < tl.size(); ++i) {
+    const TechMilestone& t = tl[i];
+    for (const std::string& parent : t.derived_from) {
+      auto it = decade_of.find(parent);
+      if (it == decade_of.end()) {
+        fail(t.name + " derives from unknown '" + parent + "'");
+      } else if (it->second > t.decade ||
+                 (it->second == t.decade && index_of[parent] >= i)) {
+        fail(t.name + " derives from non-earlier '" + parent + "'");
+      }
+    }
+  }
+  // MCS must be present and reachable from a 1960s root.
+  if (decade_of.count("Massivizing Computer Systems") == 0) {
+    fail("timeline is missing the MCS milestone");
+    return v;
+  }
+  // Reverse reachability: walk ancestors of MCS.
+  std::set<std::string> frontier = {"Massivizing Computer Systems"};
+  std::set<std::string> seen = frontier;
+  bool touches_sixties = false;
+  while (!frontier.empty()) {
+    std::set<std::string> next;
+    for (const std::string& name : frontier) {
+      for (const TechMilestone& t : tl) {
+        if (t.name != name) continue;
+        if (t.decade == 1960) touches_sixties = true;
+        for (const std::string& parent : t.derived_from) {
+          if (seen.insert(parent).second) next.insert(parent);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  for (const std::string& name : seen) {
+    auto it = decade_of.find(name);
+    if (it != decade_of.end() && it->second == 1960) touches_sixties = true;
+  }
+  if (!touches_sixties) fail("MCS is not rooted in the 1960s milestones");
+  return v;
+}
+
+EvolutionModel::EvolutionModel(EvolutionConfig config, sim::Rng rng)
+    : config_(config), rng_(rng) {
+  if (config_.max_population < 4 || config_.steps == 0) {
+    throw std::invalid_argument("EvolutionModel: bad config");
+  }
+  // Primordial technologies.
+  for (int i = 0; i < 4; ++i) {
+    Technology t;
+    t.id = next_id_++;
+    t.fitness = 1.0;
+    t.components = 1.0;
+    population_.push_back(t);
+  }
+}
+
+double EvolutionModel::total_complexity() const {
+  double total = 0.0;
+  for (const Technology& t : population_) total += t.components;
+  return total;
+}
+
+std::size_t EvolutionModel::fitness_proportional_pick() {
+  std::vector<double> weights;
+  weights.reserve(population_.size());
+  for (const Technology& t : population_) weights.push_back(t.fitness);
+  return rng_.weighted_index(weights);
+}
+
+void EvolutionModel::darwinian_step(EvolutionStats& stats) {
+  // Incremental variation of a fit parent (Arthur: "selecting and varying
+  // closely related components of pre-existing technology").
+  const Technology& parent = population_[fitness_proportional_pick()];
+  Technology child;
+  child.id = next_id_++;
+  child.generation = parent.generation + 1;
+  child.fitness = std::max(0.1, parent.fitness * rng_.normal(1.05, 0.1));
+  child.components = parent.components + rng_.uniform(0.5, 2.0);
+  population_.push_back(child);
+  ++stats.darwinian_events;
+}
+
+void EvolutionModel::non_darwinian_step(EvolutionStats& stats) {
+  // Radical combination of two (possibly unrelated) technologies.
+  const Technology& a = population_[fitness_proportional_pick()];
+  const std::size_t bi = static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(population_.size()) - 1));
+  const Technology& b = population_[bi];
+  Technology child;
+  child.id = next_id_++;
+  child.generation = std::max(a.generation, b.generation) + 1;
+  // Jumps can be large wins or flops ("seemingly random events").
+  child.fitness = std::max(0.1, (a.fitness + b.fitness) * rng_.uniform(0.3, 1.6));
+  child.components = a.components + b.components;
+  child.radical = true;
+  population_.push_back(child);
+  ++stats.non_darwinian_events;
+}
+
+void EvolutionModel::maybe_crisis(EvolutionStats& stats) {
+  // Selection pressure: cap the population, dropping the least fit.
+  if (population_.size() > config_.max_population) {
+    std::sort(population_.begin(), population_.end(),
+              [](const Technology& x, const Technology& y) {
+                return x.fitness > y.fitness;
+              });
+    population_.resize(config_.max_population);
+  }
+  // Crisis: complexity outgrew what the field can maintain; consolidation
+  // prunes aggressively (the 1960s software crisis / 2010s ecosystems
+  // crisis dynamic).
+  if (total_complexity() > config_.crisis_threshold) {
+    ++stats.crises;
+    std::sort(population_.begin(), population_.end(),
+              [](const Technology& x, const Technology& y) {
+                // Keep the most efficient: fitness per component.
+                return x.fitness / x.components > y.fitness / y.components;
+              });
+    const auto keep = static_cast<std::size_t>(
+        static_cast<double>(population_.size()) *
+        (1.0 - config_.crisis_prune_fraction));
+    population_.resize(std::max<std::size_t>(keep, 4));
+  }
+}
+
+EvolutionStats EvolutionModel::run() {
+  EvolutionStats stats;
+  for (std::size_t step = 0; step < config_.steps; ++step) {
+    if (rng_.chance(config_.darwinian_probability)) {
+      darwinian_step(stats);
+    } else {
+      non_darwinian_step(stats);
+    }
+    maybe_crisis(stats);
+    stats.complexity_series.push_back(total_complexity());
+  }
+  double fitness = 0.0, components = 0.0;
+  for (const Technology& t : population_) {
+    fitness += t.fitness;
+    components += t.components;
+  }
+  stats.final_population = population_.size();
+  if (!population_.empty()) {
+    stats.final_mean_fitness = fitness / static_cast<double>(population_.size());
+    stats.final_mean_components =
+        components / static_cast<double>(population_.size());
+  }
+  return stats;
+}
+
+}  // namespace mcs::evolve

@@ -1,0 +1,104 @@
+// Ecosystem evolution (§3.2) and the Figure 2 technology genealogy.
+//
+// Two halves:
+//  1. A curated, machine-checkable registry of the Fig. 2 timeline — the
+//     main technologies leading to MCS across the three lanes the paper
+//     synthesizes (Distributed Systems, Software Engineering, Performance
+//     Engineering), with derivation edges. bench/fig2_evolution prints it
+//     and validates that every derivation points backwards in time.
+//  2. A generative model of technology evolution after Arthur [11] as the
+//     paper adopts it: Darwinian steps (incremental variation of existing
+//     technology, fitness-proportional adoption) interleaved with
+//     non-Darwinian jumps (radical combination of unrelated technology),
+//     with complexity accumulating until a *crisis* forces consolidation —
+//     the software crisis of the 1960s and the ecosystems crisis of the
+//     late 2010s are the paper's two instances of this dynamic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mcs::evolve {
+
+// ---- 1. the curated Fig. 2 registry -----------------------------------------
+
+enum class Lane { kDistributedSystems, kSoftwareEngineering, kPerformanceEngineering };
+
+[[nodiscard]] std::string to_string(Lane lane);
+
+struct TechMilestone {
+  std::string name;
+  int decade = 1960;          ///< e.g. 1990 for "the 1990s"
+  Lane lane = Lane::kDistributedSystems;
+  std::vector<std::string> derived_from;  ///< names of earlier milestones
+};
+
+[[nodiscard]] const std::vector<TechMilestone>& fig2_timeline();
+
+/// Validates the registry: unique names, derivations resolve and point to
+/// strictly earlier decades, and the MCS milestone is reachable from the
+/// 1960s roots.
+struct TimelineValidation {
+  bool ok = true;
+  std::vector<std::string> errors;
+};
+[[nodiscard]] TimelineValidation validate_timeline();
+
+// ---- 2. the generative model ---------------------------------------------------
+
+struct EvolutionConfig {
+  std::size_t steps = 400;
+  std::size_t max_population = 120;
+  double darwinian_probability = 0.9;  ///< else: non-Darwinian combination
+  /// Complexity (total component count) that triggers a crisis.
+  double crisis_threshold = 1500.0;
+  /// Fraction of the population pruned by a crisis (consolidation).
+  double crisis_prune_fraction = 0.5;
+};
+
+struct Technology {
+  std::uint64_t id = 0;
+  std::uint64_t generation = 0;
+  double fitness = 1.0;
+  double components = 1.0;   ///< structural complexity (Arthur: assemblies)
+  bool radical = false;      ///< born from a non-Darwinian jump
+};
+
+struct EvolutionStats {
+  std::size_t darwinian_events = 0;
+  std::size_t non_darwinian_events = 0;
+  std::size_t crises = 0;
+  std::vector<double> complexity_series;  ///< per step
+  double final_mean_fitness = 0.0;
+  double final_mean_components = 0.0;
+  std::size_t final_population = 0;
+};
+
+class EvolutionModel {
+ public:
+  EvolutionModel(EvolutionConfig config, sim::Rng rng);
+
+  /// Runs the configured number of steps and returns the statistics.
+  [[nodiscard]] EvolutionStats run();
+
+  [[nodiscard]] const std::vector<Technology>& population() const {
+    return population_;
+  }
+
+ private:
+  void darwinian_step(EvolutionStats& stats);
+  void non_darwinian_step(EvolutionStats& stats);
+  void maybe_crisis(EvolutionStats& stats);
+  [[nodiscard]] double total_complexity() const;
+  [[nodiscard]] std::size_t fitness_proportional_pick();
+
+  EvolutionConfig config_;
+  sim::Rng rng_;
+  std::vector<Technology> population_;
+  std::uint64_t next_id_ = 0;
+};
+
+}  // namespace mcs::evolve

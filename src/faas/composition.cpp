@@ -1,0 +1,121 @@
+#include "faas/composition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::faas {
+
+Composition Composition::invoke(std::string function) {
+  Composition c;
+  c.kind_ = Kind::kInvoke;
+  c.function_ = std::move(function);
+  return c;
+}
+
+Composition Composition::sequence(std::vector<Composition> steps) {
+  if (steps.empty()) throw std::invalid_argument("sequence: empty");
+  Composition c;
+  c.kind_ = Kind::kSequence;
+  c.children_ = std::move(steps);
+  return c;
+}
+
+Composition Composition::parallel(std::vector<Composition> branches) {
+  if (branches.empty()) throw std::invalid_argument("parallel: empty");
+  Composition c;
+  c.kind_ = Kind::kParallel;
+  c.children_ = std::move(branches);
+  return c;
+}
+
+std::size_t Composition::invocation_count() const {
+  if (kind_ == Kind::kInvoke) return 1;
+  std::size_t total = 0;
+  for (const Composition& child : children_) total += child.invocation_count();
+  return total;
+}
+
+std::size_t Composition::sequential_depth() const {
+  switch (kind_) {
+    case Kind::kInvoke:
+      return 1;
+    case Kind::kSequence: {
+      std::size_t total = 0;
+      for (const Composition& c : children_) total += c.sequential_depth();
+      return total;
+    }
+    case Kind::kParallel: {
+      std::size_t best = 0;
+      for (const Composition& c : children_) {
+        best = std::max(best, c.sequential_depth());
+      }
+      return best;
+    }
+  }
+  return 0;
+}
+
+CompositionEngine::CompositionEngine(sim::Simulator& sim,
+                                     FaasPlatform& platform, Config config)
+    : sim_(sim), platform_(platform), config_(config) {}
+
+void CompositionEngine::run(const Composition& composition, Callback done) {
+  ++runs_;
+  auto acc = std::make_shared<WorkflowResult>();
+  const sim::SimTime start = sim_.now();
+  run_node(composition, acc, [this, acc, start, done = std::move(done)] {
+    acc->latency_seconds = sim::to_seconds(sim_.now() - start);
+    if (done) done(*acc);
+  });
+}
+
+void CompositionEngine::run_node(const Composition& node,
+                                 std::shared_ptr<WorkflowResult> acc,
+                                 std::function<void()> done) {
+  switch (node.kind()) {
+    case Composition::Kind::kInvoke: {
+      // Meta-scheduling delay, then submit to the management layer.
+      sim_.schedule_after(
+          sim::from_seconds(config_.meta_schedule_ms / 1000.0),
+          [this, name = node.function(), acc, done = std::move(done)] {
+            platform_.invoke(name,
+                             [acc, done](const InvocationResult& r) {
+                               ++acc->invocations;
+                               if (r.cold_start) ++acc->cold_starts;
+                               done();
+                             });
+          });
+      break;
+    }
+    case Composition::Kind::kSequence: {
+      // Chain children through shared state (children() outlives the
+      // callbacks because compositions are passed by caller reference).
+      auto advance = std::make_shared<std::function<void(std::size_t)>>();
+      const Composition* node_ptr = &node;
+      *advance = [this, node_ptr, acc, done = std::move(done),
+                  advance](std::size_t i) {
+        if (i >= node_ptr->children().size()) {
+          done();
+          return;
+        }
+        run_node(node_ptr->children()[i], acc,
+                 [advance, i] { (*advance)(i + 1); });
+      };
+      (*advance)(0);
+      break;
+    }
+    case Composition::Kind::kParallel: {
+      auto remaining = std::make_shared<std::size_t>(node.children().size());
+      auto shared_done =
+          std::make_shared<std::function<void()>>(std::move(done));
+      for (const Composition& child : node.children()) {
+        run_node(child, acc, [remaining, shared_done] {
+          if (--*remaining == 0) (*shared_done)();
+        });
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace mcs::faas

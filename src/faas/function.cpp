@@ -1,0 +1,29 @@
+#include "faas/function.hpp"
+
+#include <stdexcept>
+
+namespace mcs::faas {
+
+void FunctionRegistry::deploy(FunctionSpec spec) {
+  if (spec.name.empty() || spec.memory_mb <= 0.0 ||
+      spec.mean_exec_seconds <= 0.0 || spec.cold_start_seconds < 0.0) {
+    throw std::invalid_argument("FunctionRegistry::deploy: bad spec");
+  }
+  for (const FunctionSpec& f : functions_) {
+    if (f.name == spec.name) {
+      throw std::invalid_argument("FunctionRegistry::deploy: duplicate " +
+                                  spec.name);
+    }
+  }
+  functions_.push_back(std::move(spec));
+}
+
+std::optional<FunctionSpec> FunctionRegistry::find(
+    const std::string& name) const {
+  for (const FunctionSpec& f : functions_) {
+    if (f.name == name) return f;
+  }
+  return std::nullopt;
+}
+
+}  // namespace mcs::faas

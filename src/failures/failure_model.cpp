@@ -1,0 +1,124 @@
+#include "failures/failure_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/stats.hpp"
+
+namespace mcs::failures {
+
+std::vector<FailureEvent> generate_failure_trace(
+    const infra::Datacenter& dc, const FailureModelConfig& config,
+    sim::SimTime horizon, sim::Rng& rng) {
+  if (horizon <= 0) return {};
+  if (config.failures_per_machine_day <= 0.0) return {};
+  const std::size_t n_machines = dc.machine_count();
+  if (n_machines == 0) return {};
+
+  const bool space = config.mode == CorrelationMode::kSpaceCorrelated ||
+                     config.mode == CorrelationMode::kSpaceAndTime;
+  const bool time = config.mode == CorrelationMode::kTimeCorrelated ||
+                    config.mode == CorrelationMode::kSpaceAndTime;
+
+  // Machine-failures per second across the floor.
+  const double floor_rate = config.failures_per_machine_day *
+                            static_cast<double>(n_machines) / 86400.0;
+  // Space-correlated traces bundle failures into bursts; keep the long-run
+  // machine-failure volume equal by thinning event arrivals by the mean
+  // burst size.
+  const double event_rate =
+      space ? floor_rate / config.mean_burst_size : floor_rate;
+  const double mean_gap_s = 1.0 / event_rate;
+
+  // For time correlation, draw Weibull gaps with the same mean:
+  // mean of Weibull(k, lambda) = lambda * Gamma(1 + 1/k).
+  const double gamma_term = std::tgamma(1.0 + 1.0 / config.weibull_shape);
+  const double weibull_scale = mean_gap_s / gamma_term;
+
+  std::vector<FailureEvent> trace;
+  sim::SimTime clock = 0;
+  const std::size_t racks = std::max<std::size_t>(dc.rack_count(), 1);
+
+  for (;;) {
+    const double gap_s = time ? rng.weibull(config.weibull_shape, weibull_scale)
+                              : rng.exponential(mean_gap_s);
+    clock += std::max<sim::SimTime>(sim::from_seconds(gap_s), 1);
+    if (clock >= horizon) break;
+
+    FailureEvent event;
+    event.at = clock;
+    event.downtime = sim::from_seconds(std::max(
+        1.0, rng.lognormal_mean_cv(config.mean_repair_seconds,
+                                   config.cv_repair)));
+
+    if (space) {
+      // One rack is struck; the burst size is heavy-tailed (lognormal),
+      // clamped to the rack population [26].
+      const std::size_t rack =
+          static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(racks) - 1));
+      auto members = dc.rack_members(rack);
+      if (members.empty()) continue;
+      std::size_t burst = static_cast<std::size_t>(std::max(
+          1.0, std::round(rng.lognormal_mean_cv(config.mean_burst_size, 1.0))));
+      burst = std::min(burst, members.size());
+      rng.shuffle(members);
+      event.machines.assign(members.begin(),
+                            members.begin() + static_cast<std::ptrdiff_t>(burst));
+    } else {
+      event.machines.push_back(static_cast<infra::MachineId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n_machines) - 1)));
+    }
+    trace.push_back(std::move(event));
+  }
+  return trace;
+}
+
+FailureTraceStats summarize(const std::vector<FailureEvent>& trace) {
+  FailureTraceStats s;
+  s.events = trace.size();
+  if (trace.empty()) return s;
+  metrics::Accumulator sizes, gaps;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    sizes.add(static_cast<double>(trace[i].machines.size()));
+    s.machine_failures += trace[i].machines.size();
+    if (i > 0) {
+      gaps.add(sim::to_seconds(trace[i].at - trace[i - 1].at));
+    }
+  }
+  s.mean_event_size = sizes.mean();
+  s.max_event_size = sizes.max();
+  s.gap_cv = gaps.cv();
+  return s;
+}
+
+FailureInjector::FailureInjector(sim::Simulator& sim, infra::Datacenter& dc,
+                                 std::vector<FailureEvent> trace)
+    : sim_(sim), dc_(dc), trace_(std::move(trace)) {}
+
+void FailureInjector::arm(FailureCallback on_failure,
+                          FailureCallback on_repair) {
+  for (const FailureEvent& event : trace_) {
+    if (event.at < sim_.now()) {
+      throw std::invalid_argument("FailureInjector: event in the past");
+    }
+    sim_.schedule_at(event.at, [this, event, on_failure, on_repair] {
+      for (infra::MachineId id : event.machines) {
+        infra::Machine& m = dc_.machine(id);
+        if (m.state() == infra::MachineState::kFailed) continue;  // already down
+        m.fail();
+        ++injected_;
+        if (on_failure) on_failure(id);
+        sim_.schedule_after(event.downtime, [this, id, on_repair] {
+          infra::Machine& mm = dc_.machine(id);
+          if (mm.state() == infra::MachineState::kFailed) {
+            mm.repair();
+            if (on_repair) on_repair(id);
+          }
+        });
+      }
+    });
+  }
+}
+
+}  // namespace mcs::failures

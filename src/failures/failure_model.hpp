@@ -1,0 +1,94 @@
+// Failure models for large-scale systems.
+//
+// §2.2 problem 2 and the paper's lineage [25][26][27]: failures in grids
+// and clouds are *correlated* — in space (one event takes down a group of
+// machines, e.g. a rack: Gallet et al. [26] model burst sizes as
+// heavy-tailed) and in time (failures cluster; inter-arrivals autocorrelate:
+// Yigitbasi et al. [27]). Treating failures as iid per-machine events
+// underestimates the damage badly; exp_failures reproduces that shape.
+#pragma once
+
+#include <vector>
+
+#include "infra/topology.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs::failures {
+
+/// One failure event: at `at`, the listed machines fail; each is repaired
+/// after `downtime`.
+struct FailureEvent {
+  sim::SimTime at = 0;
+  std::vector<infra::MachineId> machines;
+  sim::SimTime downtime = 0;
+};
+
+enum class CorrelationMode {
+  kIid,              ///< independent single-machine failures
+  kSpaceCorrelated,  ///< bursts hit rack-sized groups [26]
+  kTimeCorrelated,   ///< failure inter-arrivals cluster in time [27]
+  kSpaceAndTime,     ///< both effects combined
+};
+
+struct FailureModelConfig {
+  CorrelationMode mode = CorrelationMode::kIid;
+  /// Long-run machine-failure rate: expected individual machine failures
+  /// per machine per day (the trace keeps this constant across modes, so
+  /// modes are comparable at equal total failure volume).
+  double failures_per_machine_day = 0.05;
+  /// Mean repair time.
+  double mean_repair_seconds = 1800.0;
+  /// Repair time spread (lognormal CV).
+  double cv_repair = 1.0;
+  /// Space correlation: lognormal burst size (number of machines per event),
+  /// parameterized by its mean; sampled sizes are clamped to the rack size.
+  double mean_burst_size = 8.0;
+  /// Time correlation: Weibull shape < 1 gives clustered (bursty)
+  /// inter-event gaps with autocorrelated hazard.
+  double weibull_shape = 0.45;
+};
+
+/// Generates a failure trace for the datacenter over [0, horizon).
+/// Machines for space-correlated events are drawn rack-wise, so correlated
+/// events respect the physical topology.
+[[nodiscard]] std::vector<FailureEvent> generate_failure_trace(
+    const infra::Datacenter& dc, const FailureModelConfig& config,
+    sim::SimTime horizon, sim::Rng& rng);
+
+/// Summary statistics for a trace (used by tests and exp_failures).
+struct FailureTraceStats {
+  std::size_t events = 0;
+  std::size_t machine_failures = 0;      ///< sum of event sizes
+  double mean_event_size = 0.0;
+  double max_event_size = 0.0;
+  double gap_cv = 0.0;                   ///< CV of inter-event gaps
+};
+
+[[nodiscard]] FailureTraceStats summarize(const std::vector<FailureEvent>& trace);
+
+/// Drives a failure trace into a live simulation: schedules fail() and
+/// repair() calls on the datacenter machines, invoking `on_failure` for
+/// every machine failure so the scheduler can kill/resubmit affected work.
+class FailureInjector {
+ public:
+  using FailureCallback = std::function<void(infra::MachineId)>;
+
+  FailureInjector(sim::Simulator& sim, infra::Datacenter& dc,
+                  std::vector<FailureEvent> trace);
+
+  /// Installs all events into the simulator. `on_failure` fires per machine
+  /// failure; `on_repair` fires when a machine comes back (schedulers use
+  /// it to re-evaluate). Either may be empty.
+  void arm(FailureCallback on_failure, FailureCallback on_repair = {});
+
+  [[nodiscard]] std::size_t injected_failures() const { return injected_; }
+
+ private:
+  sim::Simulator& sim_;
+  infra::Datacenter& dc_;
+  std::vector<FailureEvent> trace_;
+  std::size_t injected_ = 0;
+};
+
+}  // namespace mcs::failures

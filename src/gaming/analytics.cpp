@@ -1,0 +1,70 @@
+#include "gaming/analytics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mcs::gaming {
+
+void AnalyticsPipeline::ingest(GameEvent event) {
+  if (!buffer_.empty() && event.at < buffer_.back().at) {
+    throw std::invalid_argument("AnalyticsPipeline: out-of-order event");
+  }
+  buffer_.push_back(std::move(event));
+}
+
+WindowReport AnalyticsPipeline::aggregate(
+    sim::SimTime start, sim::SimTime end,
+    const std::vector<GameEvent>& events) const {
+  WindowReport report;
+  report.window_start = start;
+  report.window_end = end;
+  report.events = events.size();
+
+  std::set<std::uint32_t> players;
+  std::vector<bigdata::Record> records;
+  records.reserve(events.size());
+  for (const GameEvent& e : events) {
+    players.insert(e.player);
+    records.push_back(bigdata::Record{e.action, 1.0});
+  }
+  report.distinct_players = players.size();
+
+  // The analytics job itself: a dataflow plan on the big-data stack.
+  report.action_counts =
+      bigdata::Dataflow::from(std::move(records)).group_sum().collect();
+  double best = 0.0;
+  for (const bigdata::Record& r : report.action_counts) {
+    if (r.value > best) {
+      best = r.value;
+      report.top_action = r.key;
+    }
+  }
+  const double seconds = sim::to_seconds(end - start);
+  report.events_per_second =
+      seconds <= 0.0 ? 0.0 : static_cast<double>(events.size()) / seconds;
+  return report;
+}
+
+std::vector<WindowReport> AnalyticsPipeline::flush(sim::SimTime now) {
+  std::vector<WindowReport> reports;
+  while (next_window_start_ + window_ <= now) {
+    const sim::SimTime start = next_window_start_;
+    const sim::SimTime end = start + window_;
+    // Collect events in [start, end).
+    std::vector<GameEvent> in_window;
+    auto it = buffer_.begin();
+    while (it != buffer_.end() && it->at < end) {
+      if (it->at >= start) in_window.push_back(*it);
+      ++it;
+    }
+    buffer_.erase(buffer_.begin(), it);
+    reports.push_back(aggregate(start, end, in_window));
+    processed_ += in_window.size();
+    ++windows_;
+    next_window_start_ = end;
+  }
+  return reports;
+}
+
+}  // namespace mcs::gaming

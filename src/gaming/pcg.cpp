@@ -1,0 +1,121 @@
+#include "gaming/pcg.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace mcs::gaming {
+
+namespace {
+
+std::uint32_t encode(const Board& b) {
+  // 9 cells x 4 bits fits in 36 bits; values 0..8 fit in 4 bits but we can
+  // pack base-9 into 32 bits: 9^9 = 387e6 < 2^32.
+  std::uint32_t code = 0;
+  for (std::uint8_t cell : b) code = code * 9 + cell;
+  return code;
+}
+
+std::size_t blank_index(const Board& b) {
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (b[i] == 0) return i;
+  }
+  throw std::logic_error("Board without blank");
+}
+
+}  // namespace
+
+Board solved_board() { return Board{1, 2, 3, 4, 5, 6, 7, 8, 0}; }
+
+std::vector<Board> successors(const Board& b) {
+  const std::size_t blank = blank_index(b);
+  const std::size_t r = blank / 3, c = blank % 3;
+  std::vector<Board> out;
+  auto push = [&](std::size_t nr, std::size_t nc) {
+    Board next = b;
+    std::swap(next[blank], next[nr * 3 + nc]);
+    out.push_back(next);
+  };
+  if (r > 0) push(r - 1, c);
+  if (r < 2) push(r + 1, c);
+  if (c > 0) push(r, c - 1);
+  if (c < 2) push(r, c + 1);
+  return out;
+}
+
+std::optional<std::size_t> optimal_moves(const Board& b) {
+  // Parity check: the 8-puzzle is solvable iff the permutation (ignoring
+  // the blank) has even inversion count.
+  std::size_t inversions = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j < 9; ++j) {
+      if (b[i] != 0 && b[j] != 0 && b[i] > b[j]) ++inversions;
+    }
+  }
+  if (inversions % 2 != 0) return std::nullopt;
+
+  const Board goal = solved_board();
+  if (b == goal) return 0;
+  std::unordered_map<std::uint32_t, std::size_t> depth;
+  depth.reserve(4096);
+  std::queue<Board> frontier;
+  depth[encode(b)] = 0;
+  frontier.push(b);
+  while (!frontier.empty()) {
+    const Board current = frontier.front();
+    frontier.pop();
+    const std::size_t d = depth[encode(current)];
+    for (const Board& next : successors(current)) {
+      const std::uint32_t code = encode(next);
+      if (depth.count(code) != 0) continue;
+      if (next == goal) return d + 1;
+      depth[code] = d + 1;
+      frontier.push(next);
+    }
+  }
+  return std::nullopt;  // unreachable for solvable boards
+}
+
+Board scramble(std::size_t moves, sim::Rng& rng) {
+  Board b = solved_board();
+  std::uint32_t previous = encode(b);
+  for (std::size_t i = 0; i < moves; ++i) {
+    auto options = successors(b);
+    // Avoid immediately undoing the previous move.
+    options.erase(std::remove_if(options.begin(), options.end(),
+                                 [&](const Board& o) {
+                                   return encode(o) == previous;
+                                 }),
+                  options.end());
+    previous = encode(b);
+    b = options[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(options.size()) - 1))];
+  }
+  return b;
+}
+
+PcgResult generate_puzzles(std::size_t count, std::size_t min_moves,
+                           std::size_t max_moves, sim::Rng& rng,
+                           std::size_t max_attempts) {
+  if (min_moves > max_moves) {
+    throw std::invalid_argument("generate_puzzles: empty difficulty band");
+  }
+  PcgResult result;
+  // Scramble length ~ target difficulty (random walks backtrack, so the
+  // optimal solution is usually shorter than the scramble).
+  const std::size_t scramble_len = max_moves + max_moves / 2 + 2;
+  while (result.instances.size() < count &&
+         result.stats.generated < max_attempts) {
+    ++result.stats.generated;
+    const Board candidate = scramble(scramble_len, rng);
+    const auto difficulty = optimal_moves(candidate);
+    if (!difficulty) continue;  // cannot happen for scrambles; guard anyway
+    if (*difficulty < min_moves || *difficulty > max_moves) continue;
+    ++result.stats.accepted;
+    result.instances.push_back(PuzzleInstance{candidate, *difficulty});
+  }
+  return result;
+}
+
+}  // namespace mcs::gaming

@@ -1,0 +1,62 @@
+// Procedural Content Generation function of Fig. 4, POGGI-style [166]:
+// generate-and-test puzzle instances with a guaranteed difficulty band.
+//
+// The concrete content is the 3x3 sliding puzzle (8-puzzle). Instances are
+// produced by scrambling the solved board with random moves, then *solved
+// optimally* with BFS to measure true difficulty (optimal move count);
+// only instances inside the requested difficulty band are kept — the same
+// generate-and-test-with-guarantees loop POGGI runs on grids.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace mcs::gaming {
+
+/// A 3x3 sliding-puzzle board; value 0 is the blank. Index = row*3+col.
+using Board = std::array<std::uint8_t, 9>;
+
+[[nodiscard]] Board solved_board();
+
+/// Legal successor boards (blank swapped with an orthogonal neighbour).
+[[nodiscard]] std::vector<Board> successors(const Board& b);
+
+/// Optimal solution length via BFS; nullopt when unsolvable (wrong parity).
+[[nodiscard]] std::optional<std::size_t> optimal_moves(const Board& b);
+
+/// Scrambles the solved board with `moves` random legal moves (avoiding
+/// immediate backtracking) — always solvable by construction.
+[[nodiscard]] Board scramble(std::size_t moves, sim::Rng& rng);
+
+struct PuzzleInstance {
+  Board board;
+  std::size_t difficulty = 0;  ///< optimal move count (BFS-verified)
+};
+
+struct PcgStats {
+  std::size_t generated = 0;  ///< candidates produced
+  std::size_t accepted = 0;   ///< inside the difficulty band
+  [[nodiscard]] double yield() const {
+    return generated == 0
+               ? 0.0
+               : static_cast<double>(accepted) / static_cast<double>(generated);
+  }
+};
+
+/// Generates `count` instances with difficulty in [min_moves, max_moves].
+/// Every returned instance carries its verified optimal difficulty.
+struct PcgResult {
+  std::vector<PuzzleInstance> instances;
+  PcgStats stats;
+};
+
+[[nodiscard]] PcgResult generate_puzzles(std::size_t count,
+                                         std::size_t min_moves,
+                                         std::size_t max_moves, sim::Rng& rng,
+                                         std::size_t max_attempts = 10000);
+
+}  // namespace mcs::gaming

@@ -1,0 +1,212 @@
+#include "gaming/social.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace mcs::gaming {
+
+graph::Graph interaction_graph(const std::vector<PlaySession>& sessions,
+                               std::uint32_t player_count) {
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> weights;
+  for (const PlaySession& s : sessions) {
+    for (std::size_t i = 0; i < s.players.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.players.size(); ++j) {
+        auto a = s.players[i];
+        auto b = s.players[j];
+        if (a == b) continue;
+        if (a >= player_count || b >= player_count) {
+          throw std::invalid_argument("interaction_graph: player id range");
+        }
+        if (a > b) std::swap(a, b);
+        weights[{a, b}] += 1.0;
+      }
+    }
+  }
+  std::vector<graph::Edge> edges;
+  edges.reserve(weights.size());
+  for (const auto& [pair, w] : weights) {
+    edges.push_back(graph::Edge{pair.first, pair.second, w});
+  }
+  return graph::Graph(player_count, edges, /*undirected=*/true);
+}
+
+SocialStats analyze_social_structure(const graph::Graph& g,
+                                     const std::vector<PlaySession>& sessions) {
+  SocialStats stats;
+
+  // Tie strength: mean weight over stored arcs.
+  double weight_sum = 0.0;
+  std::size_t arcs = 0;
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    for (double w : g.weights(v)) {
+      weight_sum += w;
+      ++arcs;
+    }
+  }
+  stats.mean_tie_strength = arcs == 0 ? 0.0 : weight_sum / static_cast<double>(arcs);
+
+  // Communities via label propagation.
+  const auto labels = graph::cdlp(g, 20);
+  std::map<graph::VertexId, std::size_t> sizes;
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.out_degree(v) == 0) continue;  // isolated players are not a community
+    ++sizes[labels[v]];
+  }
+  stats.communities = sizes.size();
+  for (const auto& [label, size] : sizes) {
+    stats.largest_community = std::max(stats.largest_community, size);
+  }
+
+  // Assortativity of sessions: fraction of in-session player pairs that
+  // share a community.
+  std::size_t pairs = 0, intra = 0;
+  for (const PlaySession& s : sessions) {
+    for (std::size_t i = 0; i < s.players.size(); ++i) {
+      for (std::size_t j = i + 1; j < s.players.size(); ++j) {
+        ++pairs;
+        if (labels[s.players[i]] == labels[s.players[j]]) ++intra;
+      }
+    }
+  }
+  stats.intra_community_fraction =
+      pairs == 0 ? 0.0 : static_cast<double>(intra) / static_cast<double>(pairs);
+  return stats;
+}
+
+std::vector<PlaySession> synthetic_sessions(std::uint32_t player_count,
+                                            std::size_t groups,
+                                            std::size_t sessions,
+                                            std::size_t players_per_session,
+                                            double mixing, sim::Rng& rng) {
+  if (groups == 0 || player_count < groups || players_per_session < 2) {
+    throw std::invalid_argument("synthetic_sessions: bad parameters");
+  }
+  std::vector<PlaySession> out;
+  out.reserve(sessions);
+  const std::uint32_t per_group = player_count / static_cast<std::uint32_t>(groups);
+  for (std::size_t s = 0; s < sessions; ++s) {
+    PlaySession session;
+    const bool mixed = rng.chance(mixing);
+    const auto group = static_cast<std::uint32_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(groups) - 1));
+    std::set<std::uint32_t> chosen;
+    while (chosen.size() < players_per_session) {
+      std::uint32_t p;
+      if (mixed) {
+        p = static_cast<std::uint32_t>(rng.uniform_int(0, player_count - 1));
+      } else {
+        const std::uint32_t lo = group * per_group;
+        const std::uint32_t hi =
+            group + 1 == groups ? player_count - 1 : lo + per_group - 1;
+        p = static_cast<std::uint32_t>(rng.uniform_int(lo, hi));
+      }
+      chosen.insert(p);
+    }
+    session.players.assign(chosen.begin(), chosen.end());
+    out.push_back(std::move(session));
+  }
+  return out;
+}
+
+MatchQuality evaluate_matches(const graph::Graph& g,
+                              const std::vector<PlaySession>& matches) {
+  MatchQuality q;
+  const auto labels = graph::cdlp(g, 20);
+  // Tie-strength lookup via adjacency scan (graphs here are small).
+  auto tie = [&](std::uint32_t a, std::uint32_t b) {
+    const auto nbrs = g.neighbors(a);
+    const auto ws = g.weights(a);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] == b) return ws[i];
+    }
+    return 0.0;
+  };
+  std::size_t pairs = 0, cohesive = 0;
+  double tie_sum = 0.0;
+  for (const PlaySession& m : matches) {
+    for (std::size_t i = 0; i < m.players.size(); ++i) {
+      for (std::size_t j = i + 1; j < m.players.size(); ++j) {
+        ++pairs;
+        if (labels[m.players[i]] == labels[m.players[j]]) ++cohesive;
+        tie_sum += tie(m.players[i], m.players[j]);
+      }
+    }
+  }
+  if (pairs > 0) {
+    q.community_cohesion =
+        static_cast<double>(cohesive) / static_cast<double>(pairs);
+    q.mean_pair_tie = tie_sum / static_cast<double>(pairs);
+  }
+  return q;
+}
+
+std::vector<PlaySession> matchmake_random(std::uint32_t player_count,
+                                          std::size_t match_size,
+                                          std::size_t matches, sim::Rng& rng) {
+  if (match_size < 2 || player_count < match_size) {
+    throw std::invalid_argument("matchmake_random: bad parameters");
+  }
+  std::vector<PlaySession> out;
+  out.reserve(matches);
+  for (std::size_t m = 0; m < matches; ++m) {
+    std::set<std::uint32_t> chosen;
+    while (chosen.size() < match_size) {
+      chosen.insert(
+          static_cast<std::uint32_t>(rng.uniform_int(0, player_count - 1)));
+    }
+    PlaySession s;
+    s.players.assign(chosen.begin(), chosen.end());
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<PlaySession> matchmake_social(const graph::Graph& g,
+                                          std::size_t match_size,
+                                          std::size_t matches, sim::Rng& rng) {
+  if (match_size < 2 || g.vertex_count() < match_size) {
+    throw std::invalid_argument("matchmake_social: bad parameters");
+  }
+  const auto labels = graph::cdlp(g, 20);
+  std::map<graph::VertexId, std::vector<std::uint32_t>> communities;
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    communities[labels[v]].push_back(v);
+  }
+  // Communities large enough to host a whole match, weighted by size.
+  std::vector<const std::vector<std::uint32_t>*> pools;
+  std::vector<double> weights;
+  for (const auto& [label, members] : communities) {
+    if (members.size() >= match_size) {
+      pools.push_back(&members);
+      weights.push_back(static_cast<double>(members.size()));
+    }
+  }
+  std::vector<PlaySession> out;
+  out.reserve(matches);
+  for (std::size_t m = 0; m < matches; ++m) {
+    PlaySession s;
+    if (!pools.empty()) {
+      const auto& pool = *pools[rng.weighted_index(weights)];
+      std::set<std::uint32_t> chosen;
+      while (chosen.size() < match_size) {
+        chosen.insert(pool[static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(pool.size()) - 1))]);
+      }
+      s.players.assign(chosen.begin(), chosen.end());
+    } else {
+      // No community can host a full match: global fallback.
+      std::set<std::uint32_t> chosen;
+      while (chosen.size() < match_size) {
+        chosen.insert(static_cast<std::uint32_t>(
+            rng.uniform_int(0, g.vertex_count() - 1)));
+      }
+      s.players.assign(chosen.begin(), chosen.end());
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace mcs::gaming

@@ -1,0 +1,78 @@
+// Social Meta-Gaming function of Fig. 4 (and challenge C5): implicit
+// social relationships mined from co-play.
+//
+// The paper's lineage ([48], [82]): players who repeatedly appear in the
+// same match form strong ties; the resulting interaction graph carries
+// exploitable structure (communities) that improves matchmaking and
+// predicts engagement. Sessions -> weighted co-play graph -> CDLP
+// communities -> matchmaking/assortativity metrics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "graph/algorithms.hpp"
+#include "graph/graph.hpp"
+#include "sim/random.hpp"
+
+namespace mcs::gaming {
+
+/// One match/session: the players who played together.
+struct PlaySession {
+  std::vector<std::uint32_t> players;
+};
+
+/// Builds the undirected co-play graph: one edge per pair per session,
+/// weight = number of shared sessions (ties [48]).
+[[nodiscard]] graph::Graph interaction_graph(
+    const std::vector<PlaySession>& sessions, std::uint32_t player_count);
+
+struct SocialStats {
+  std::size_t communities = 0;
+  std::size_t largest_community = 0;
+  double mean_tie_strength = 0.0;   ///< mean edge weight (repeat co-play)
+  /// Fraction of session pairs that fall within one community (social
+  /// assortativity of matches).
+  double intra_community_fraction = 0.0;
+};
+
+[[nodiscard]] SocialStats analyze_social_structure(
+    const graph::Graph& g, const std::vector<PlaySession>& sessions);
+
+/// Generates synthetic sessions with planted social groups: players
+/// belong to `groups` cliques; with probability `mixing` a session draws
+/// players uniformly instead of from one group. Ground truth for tests.
+[[nodiscard]] std::vector<PlaySession> synthetic_sessions(
+    std::uint32_t player_count, std::size_t groups, std::size_t sessions,
+    std::size_t players_per_session, double mixing, sim::Rng& rng);
+
+// ---- matchmaking (C5: "leveraging the models and predictors to improve
+// ---- performance and service-experience") -----------------------------------
+
+/// Quality of a proposed set of matches against an existing interaction
+/// graph: how socially coherent the matches are.
+struct MatchQuality {
+  /// Fraction of in-match player pairs that already share a community.
+  double community_cohesion = 0.0;
+  /// Mean existing tie strength over in-match pairs (0 = strangers).
+  double mean_pair_tie = 0.0;
+};
+
+[[nodiscard]] MatchQuality evaluate_matches(
+    const graph::Graph& g, const std::vector<PlaySession>& matches);
+
+/// Baseline matchmaker: uniformly random groups of `match_size`.
+[[nodiscard]] std::vector<PlaySession> matchmake_random(
+    std::uint32_t player_count, std::size_t match_size, std::size_t matches,
+    sim::Rng& rng);
+
+/// Socially-aware matchmaker: mines communities from the co-play graph
+/// (CDLP) and fills each match from a single community, spilling to the
+/// global pool only when a community is exhausted — the 2fast/[48]-style
+/// exploitation of implicit social ties.
+[[nodiscard]] std::vector<PlaySession> matchmake_social(
+    const graph::Graph& g, std::size_t match_size, std::size_t matches,
+    sim::Rng& rng);
+
+}  // namespace mcs::gaming

@@ -1,0 +1,174 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <string>
+
+namespace mcs::graph {
+
+std::vector<std::uint32_t> bfs(const Graph& g, VertexId source) {
+  std::vector<std::uint32_t> depth(g.vertex_count(), kUnreachable);
+  if (source >= g.vertex_count()) return depth;
+  std::queue<VertexId> frontier;
+  depth[source] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const VertexId v = frontier.front();
+    frontier.pop();
+    for (VertexId w : g.neighbors(v)) {
+      if (depth[w] == kUnreachable) {
+        depth[w] = depth[v] + 1;
+        frontier.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+std::vector<double> pagerank(const Graph& g, std::size_t iterations,
+                             double damping) {
+  const auto n = static_cast<double>(g.vertex_count());
+  if (g.vertex_count() == 0) return {};
+  std::vector<double> rank(g.vertex_count(), 1.0 / n);
+  std::vector<double> next(g.vertex_count(), 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto deg = g.out_degree(v);
+      if (deg == 0) {
+        dangling += rank[v];
+        continue;
+      }
+      const double share = rank[v] / static_cast<double>(deg);
+      for (VertexId w : g.neighbors(v)) next[w] += share;
+    }
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      next[v] = base + damping * next[v];
+    }
+    // Note the dangling redistribution is folded into base (damped).
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<VertexId> wcc(const Graph& g) {
+  // Union-find with path halving; directed arcs treated symmetrically.
+  std::vector<VertexId> parent(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) parent[v] = v;
+  auto find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    for (VertexId w : g.neighbors(v)) {
+      VertexId a = find(v), b = find(w);
+      if (a == b) continue;
+      if (a > b) std::swap(a, b);
+      parent[b] = a;  // smaller id wins -> canonical labels
+    }
+  }
+  std::vector<VertexId> label(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) label[v] = find(v);
+  return label;
+}
+
+std::vector<VertexId> cdlp(const Graph& g, std::size_t iterations) {
+  std::vector<VertexId> label(g.vertex_count());
+  for (VertexId v = 0; v < g.vertex_count(); ++v) label[v] = v;
+  std::vector<VertexId> next(g.vertex_count());
+  std::map<VertexId, std::size_t> freq;
+  for (std::size_t it = 0; it < iterations; ++it) {
+    bool changed = false;
+    for (VertexId v = 0; v < g.vertex_count(); ++v) {
+      const auto nbrs = g.neighbors(v);
+      if (nbrs.empty()) {
+        next[v] = label[v];
+        continue;
+      }
+      freq.clear();
+      for (VertexId w : nbrs) ++freq[label[w]];
+      // Most frequent label; ties -> smallest label (Graphalytics rule).
+      VertexId best = label[v];
+      std::size_t best_count = 0;
+      for (const auto& [lab, count] : freq) {
+        if (count > best_count) {  // map iterates ascending: first max wins
+          best = lab;
+          best_count = count;
+        }
+      }
+      next[v] = best;
+      changed = changed || next[v] != label[v];
+    }
+    label.swap(next);
+    if (!changed) break;
+  }
+  return label;
+}
+
+std::vector<double> lcc(const Graph& g) {
+  std::vector<double> coeff(g.vertex_count(), 0.0);
+  // Simple-graph semantics even on multigraphs (R-MAT/BA generators emit
+  // duplicate edges): every neighbourhood is deduplicated and self loops
+  // are dropped before counting.
+  auto unique_neighbors = [&](VertexId u) {
+    const auto nbrs = g.neighbors(u);
+    std::vector<VertexId> set(nbrs.begin(), nbrs.end());
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+    set.erase(std::remove(set.begin(), set.end(), u), set.end());
+    return set;
+  };
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    const std::vector<VertexId> set = unique_neighbors(v);
+    const std::size_t d = set.size();
+    if (d < 2) continue;
+    std::size_t links = 0;
+    for (VertexId w : set) {
+      for (VertexId x : unique_neighbors(w)) {
+        if (x == v) continue;
+        if (std::binary_search(set.begin(), set.end(), x)) ++links;
+      }
+    }
+    // For undirected storage each triangle edge is seen twice (w->x and
+    // x->w); normalize by the full ordered-pair count d*(d-1).
+    coeff[v] = static_cast<double>(links) /
+               (static_cast<double>(d) * static_cast<double>(d - 1));
+  }
+  return coeff;
+}
+
+std::vector<double> sssp(const Graph& g, VertexId source) {
+  std::vector<double> dist(g.vertex_count(), kInfDistance);
+  if (source >= g.vertex_count()) return dist;
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    const auto nbrs = g.neighbors(v);
+    const auto ws = g.weights(v);
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + ws[i];
+      if (nd < dist[nbrs[i]]) {
+        dist[nbrs[i]] = nd;
+        heap.emplace(nd, nbrs[i]);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::string> graphalytics_kernels() {
+  return {"BFS", "PR", "WCC", "CDLP", "LCC", "SSSP"};
+}
+
+}  // namespace mcs::graph

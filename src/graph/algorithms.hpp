@@ -1,0 +1,52 @@
+// The six LDBC Graphalytics kernels [42] — sequential reference
+// implementations. bigdata/pregel.hpp runs four of them as BSP programs on
+// the simulated cluster; tests cross-check the two against each other.
+//
+//   BFS  — breadth-first search depth per vertex
+//   PR   — PageRank
+//   WCC  — weakly connected components
+//   CDLP — community detection by label propagation
+//   LCC  — local clustering coefficient
+//   SSSP — single-source shortest paths (weighted, Dijkstra)
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mcs::graph {
+
+constexpr std::uint32_t kUnreachable = std::numeric_limits<std::uint32_t>::max();
+constexpr double kInfDistance = std::numeric_limits<double>::infinity();
+
+/// BFS depth from `source` (kUnreachable when not reached).
+[[nodiscard]] std::vector<std::uint32_t> bfs(const Graph& g, VertexId source);
+
+/// PageRank with uniform teleport; dangling mass is redistributed
+/// uniformly (Graphalytics semantics). Returns per-vertex rank summing ~1.
+[[nodiscard]] std::vector<double> pagerank(const Graph& g,
+                                           std::size_t iterations = 20,
+                                           double damping = 0.85);
+
+/// Weakly connected components: smallest reachable vertex id as label.
+/// Directed graphs are treated as undirected (hence "weakly").
+[[nodiscard]] std::vector<VertexId> wcc(const Graph& g);
+
+/// Community detection by label propagation (synchronous, Graphalytics
+/// rules: adopt the smallest label among the most frequent).
+[[nodiscard]] std::vector<VertexId> cdlp(const Graph& g,
+                                         std::size_t iterations = 10);
+
+/// Local clustering coefficient per vertex.
+[[nodiscard]] std::vector<double> lcc(const Graph& g);
+
+/// Dijkstra single-source shortest paths over edge weights.
+[[nodiscard]] std::vector<double> sssp(const Graph& g, VertexId source);
+
+/// Names of the six kernels in canonical order.
+[[nodiscard]] std::vector<std::string> graphalytics_kernels();
+
+}  // namespace mcs::graph

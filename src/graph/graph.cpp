@@ -1,0 +1,64 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::graph {
+
+Graph::Graph(VertexId vertex_count, const std::vector<Edge>& edges,
+             bool undirected)
+    : n_(vertex_count), undirected_(undirected) {
+  std::vector<std::size_t> degree(n_ + 1, 0);
+  for (const Edge& e : edges) {
+    if (e.src >= n_ || e.dst >= n_) {
+      throw std::invalid_argument("Graph: edge endpoint out of range");
+    }
+    ++degree[e.src + 1];
+    if (undirected_) ++degree[e.dst + 1];
+  }
+  offsets_.resize(n_ + 1, 0);
+  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + degree[v + 1];
+
+  adjacency_.resize(offsets_[n_]);
+  edge_weights_.resize(offsets_[n_]);
+  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const Edge& e : edges) {
+    adjacency_[cursor[e.src]] = e.dst;
+    edge_weights_[cursor[e.src]] = e.weight;
+    ++cursor[e.src];
+    if (undirected_) {
+      adjacency_[cursor[e.dst]] = e.src;
+      edge_weights_[cursor[e.dst]] = e.weight;
+      ++cursor[e.dst];
+    }
+  }
+}
+
+std::span<const VertexId> Graph::neighbors(VertexId v) const {
+  if (v >= n_) throw std::out_of_range("Graph::neighbors");
+  return {adjacency_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::span<const double> Graph::weights(VertexId v) const {
+  if (v >= n_) throw std::out_of_range("Graph::weights");
+  return {edge_weights_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+}
+
+std::size_t Graph::out_degree(VertexId v) const {
+  if (v >= n_) throw std::out_of_range("Graph::out_degree");
+  return offsets_[v + 1] - offsets_[v];
+}
+
+double Graph::mean_degree() const {
+  return n_ == 0 ? 0.0
+                 : static_cast<double>(adjacency_.size()) /
+                       static_cast<double>(n_);
+}
+
+std::size_t Graph::max_degree() const {
+  std::size_t best = 0;
+  for (VertexId v = 0; v < n_; ++v) best = std::max(best, out_degree(v));
+  return best;
+}
+
+}  // namespace mcs::graph

@@ -1,0 +1,86 @@
+#include "infra/machine.hpp"
+
+#include <algorithm>
+
+namespace mcs::infra {
+
+std::string to_string(MachineState s) {
+  switch (s) {
+    case MachineState::kOperational: return "operational";
+    case MachineState::kFailed: return "failed";
+    case MachineState::kOff: return "off";
+  }
+  return "unknown";
+}
+
+Machine::Machine(MachineId id, std::string name, ResourceVector capacity,
+                 double speed_factor, PowerModel power)
+    : id_(id),
+      name_(std::move(name)),
+      capacity_(capacity),
+      speed_factor_(speed_factor),
+      power_(power) {
+  if (!capacity.nonnegative() || capacity.cores <= 0.0) {
+    throw std::invalid_argument("Machine: capacity must have positive cores");
+  }
+  if (speed_factor <= 0.0) {
+    throw std::invalid_argument("Machine: speed factor must be positive");
+  }
+}
+
+bool Machine::can_fit(const ResourceVector& r) const {
+  return usable() && (used_ + r).fits_within(capacity_);
+}
+
+void Machine::allocate(const ResourceVector& r) {
+  if (!r.nonnegative()) throw std::logic_error("Machine::allocate: negative");
+  if (!can_fit(r)) {
+    throw std::logic_error("Machine::allocate: does not fit on " + name_);
+  }
+  used_ += r;
+}
+
+void Machine::release(const ResourceVector& r) {
+  ResourceVector next = used_ - r;
+  // Allow tiny negative residue from floating point accumulation.
+  constexpr double kEps = 1e-9;
+  if (next.cores < -kEps || next.memory_gib < -kEps ||
+      next.accelerators < -kEps) {
+    throw std::logic_error("Machine::release: over-release on " + name_);
+  }
+  next.cores = std::max(next.cores, 0.0);
+  next.memory_gib = std::max(next.memory_gib, 0.0);
+  next.accelerators = std::max(next.accelerators, 0.0);
+  used_ = next;
+}
+
+double Machine::utilization() const {
+  return capacity_.cores == 0.0 ? 0.0 : used_.cores / capacity_.cores;
+}
+
+double Machine::power_watts() const {
+  switch (state_) {
+    case MachineState::kOff:
+      return 0.0;
+    case MachineState::kFailed:
+      return power_.idle_watts;
+    case MachineState::kOperational:
+      return power_.idle_watts +
+             (power_.max_watts - power_.idle_watts) * utilization();
+  }
+  return 0.0;
+}
+
+void Machine::set_state(MachineState s) { state_ = s; }
+
+void Machine::fail() {
+  state_ = MachineState::kFailed;
+  used_ = ResourceVector{};
+}
+
+void Machine::repair() {
+  state_ = MachineState::kOperational;
+  used_ = ResourceVector{};
+}
+
+}  // namespace mcs::infra

@@ -1,0 +1,113 @@
+// Physical machine model: heterogeneous capacity, speed, power, state.
+//
+// Challenge C4 ("extreme heterogeneity"): infrastructure mixes CPU
+// generations, accelerators (GPU/FPGA/TPU-class), and memory sizes. Machines
+// here carry a resource vector plus a speed factor and optional accelerator
+// capability, which the scheduler and the heterogeneity experiments use.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace mcs::infra {
+
+using MachineId = std::uint32_t;
+
+/// Multi-dimensional capacity. Units: cores (count), memory (GiB),
+/// accelerators (count).
+struct ResourceVector {
+  double cores = 0.0;
+  double memory_gib = 0.0;
+  double accelerators = 0.0;
+
+  [[nodiscard]] bool fits_within(const ResourceVector& cap) const {
+    return cores <= cap.cores && memory_gib <= cap.memory_gib &&
+           accelerators <= cap.accelerators;
+  }
+  [[nodiscard]] bool nonnegative() const {
+    return cores >= 0.0 && memory_gib >= 0.0 && accelerators >= 0.0;
+  }
+
+  ResourceVector& operator+=(const ResourceVector& o) {
+    cores += o.cores;
+    memory_gib += o.memory_gib;
+    accelerators += o.accelerators;
+    return *this;
+  }
+  ResourceVector& operator-=(const ResourceVector& o) {
+    cores -= o.cores;
+    memory_gib -= o.memory_gib;
+    accelerators -= o.accelerators;
+    return *this;
+  }
+  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
+    return a += b;
+  }
+  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
+    return a -= b;
+  }
+};
+
+/// Linear power model: idle draw plus utilization-proportional dynamic part
+/// (the standard datacenter-simulation model, e.g. CloudSim/OpenDC).
+struct PowerModel {
+  double idle_watts = 100.0;
+  double max_watts = 250.0;
+};
+
+enum class MachineState { kOperational, kFailed, kOff };
+
+[[nodiscard]] std::string to_string(MachineState s);
+
+/// One physical machine. Allocation is capacity bookkeeping; execution
+/// timing is the scheduler's job (runtime = work / speed_factor).
+class Machine {
+ public:
+  Machine(MachineId id, std::string name, ResourceVector capacity,
+          double speed_factor, PowerModel power = {});
+
+  [[nodiscard]] MachineId id() const { return id_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const ResourceVector& capacity() const { return capacity_; }
+  [[nodiscard]] const ResourceVector& used() const { return used_; }
+  [[nodiscard]] ResourceVector available() const { return capacity_ - used_; }
+  [[nodiscard]] double speed_factor() const { return speed_factor_; }
+  [[nodiscard]] MachineState state() const { return state_; }
+  [[nodiscard]] bool usable() const { return state_ == MachineState::kOperational; }
+
+  /// True when `r` fits in the remaining capacity of an operational machine.
+  [[nodiscard]] bool can_fit(const ResourceVector& r) const;
+
+  /// Claims resources; throws std::logic_error when they do not fit.
+  void allocate(const ResourceVector& r);
+
+  /// Returns resources; throws std::logic_error on over-release.
+  void release(const ResourceVector& r);
+
+  /// Core utilization in [0, 1].
+  [[nodiscard]] double utilization() const;
+
+  /// Instantaneous power draw under the linear model; 0 when off, idle
+  /// draw when failed (a failed machine typically still draws power until
+  /// powered down).
+  [[nodiscard]] double power_watts() const;
+
+  void set_state(MachineState s);
+
+  /// Fails the machine and forgets all allocations (tasks die with it).
+  void fail();
+  /// Repairs a failed machine back to operational, empty.
+  void repair();
+
+ private:
+  MachineId id_;
+  std::string name_;
+  ResourceVector capacity_;
+  ResourceVector used_;
+  double speed_factor_;
+  PowerModel power_;
+  MachineState state_ = MachineState::kOperational;
+};
+
+}  // namespace mcs::infra

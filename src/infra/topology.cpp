@@ -1,0 +1,155 @@
+#include "infra/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::infra {
+
+Datacenter::Datacenter(std::string name, std::string region,
+                       NetworkModel network)
+    : name_(std::move(name)), region_(std::move(region)), network_(network) {}
+
+Machine& Datacenter::add_machine(std::string name, ResourceVector capacity,
+                                 double speed_factor, std::size_t rack,
+                                 PowerModel power) {
+  const auto id = static_cast<MachineId>(machines_.size());
+  machines_.push_back(std::make_unique<Machine>(id, std::move(name), capacity,
+                                                speed_factor, power));
+  rack_of_.push_back(rack);
+  return *machines_.back();
+}
+
+void Datacenter::add_uniform_racks(std::size_t racks, std::size_t per_rack,
+                                   ResourceVector capacity,
+                                   double speed_factor, PowerModel power) {
+  for (std::size_t r = 0; r < racks; ++r) {
+    for (std::size_t m = 0; m < per_rack; ++m) {
+      add_machine(name_ + "-r" + std::to_string(r) + "-m" + std::to_string(m),
+                  capacity, speed_factor, r, power);
+    }
+  }
+}
+
+std::size_t Datacenter::rack_count() const {
+  if (rack_of_.empty()) return 0;
+  return *std::max_element(rack_of_.begin(), rack_of_.end()) + 1;
+}
+
+Machine& Datacenter::machine(MachineId id) {
+  if (id >= machines_.size()) throw std::out_of_range("Datacenter::machine");
+  return *machines_[id];
+}
+
+const Machine& Datacenter::machine(MachineId id) const {
+  if (id >= machines_.size()) throw std::out_of_range("Datacenter::machine");
+  return *machines_[id];
+}
+
+std::vector<Machine*> Datacenter::machines() {
+  std::vector<Machine*> out;
+  out.reserve(machines_.size());
+  for (auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<const Machine*> Datacenter::machines() const {
+  std::vector<const Machine*> out;
+  out.reserve(machines_.size());
+  for (const auto& m : machines_) out.push_back(m.get());
+  return out;
+}
+
+std::vector<MachineId> Datacenter::rack_members(std::size_t rack) const {
+  std::vector<MachineId> out;
+  for (MachineId id = 0; id < machines_.size(); ++id) {
+    if (rack_of_[id] == rack) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t Datacenter::rack_of(MachineId id) const {
+  if (id >= rack_of_.size()) throw std::out_of_range("Datacenter::rack_of");
+  return rack_of_[id];
+}
+
+ResourceVector Datacenter::total_capacity() const {
+  ResourceVector total;
+  for (const auto& m : machines_) {
+    if (m->usable()) total += m->capacity();
+  }
+  return total;
+}
+
+ResourceVector Datacenter::total_used() const {
+  ResourceVector total;
+  for (const auto& m : machines_) {
+    if (m->usable()) total += m->used();
+  }
+  return total;
+}
+
+double Datacenter::availability() const {
+  if (machines_.empty()) return 1.0;
+  std::size_t up = 0;
+  for (const auto& m : machines_) {
+    if (m->usable()) ++up;
+  }
+  return static_cast<double>(up) / static_cast<double>(machines_.size());
+}
+
+double Datacenter::power_watts() const {
+  double total = 0.0;
+  for (const auto& m : machines_) total += m->power_watts();
+  return total;
+}
+
+sim::SimTime Datacenter::latency_between(MachineId a, MachineId b) const {
+  if (a == b) return 0;
+  return rack_of(a) == rack_of(b) ? network_.intra_rack_latency
+                                  : network_.intra_dc_latency;
+}
+
+Datacenter& Federation::add_datacenter(std::string name, std::string region,
+                                       NetworkModel network) {
+  datacenters_.push_back(
+      std::make_unique<Datacenter>(std::move(name), std::move(region), network));
+  return *datacenters_.back();
+}
+
+void Federation::set_latency(const std::string& dc_a, const std::string& dc_b,
+                             sim::SimTime rtt) {
+  latencies_[{std::min(dc_a, dc_b), std::max(dc_a, dc_b)}] = rtt;
+}
+
+sim::SimTime Federation::latency(const std::string& dc_a,
+                                 const std::string& dc_b) const {
+  if (dc_a == dc_b) return 0;
+  auto it = latencies_.find({std::min(dc_a, dc_b), std::max(dc_a, dc_b)});
+  if (it == latencies_.end()) {
+    throw std::out_of_range("Federation::latency: unknown pair " + dc_a + "/" +
+                            dc_b);
+  }
+  return it->second;
+}
+
+std::vector<Datacenter*> Federation::datacenters() {
+  std::vector<Datacenter*> out;
+  out.reserve(datacenters_.size());
+  for (auto& d : datacenters_) out.push_back(d.get());
+  return out;
+}
+
+Datacenter& Federation::datacenter(const std::string& name) {
+  for (auto& d : datacenters_) {
+    if (d->name() == name) return *d;
+  }
+  throw std::out_of_range("Federation::datacenter: unknown " + name);
+}
+
+std::size_t Federation::machine_count() const {
+  std::size_t n = 0;
+  for (const auto& d : datacenters_) n += d->machine_count();
+  return n;
+}
+
+}  // namespace mcs::infra

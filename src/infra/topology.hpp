@@ -1,0 +1,109 @@
+// Datacenter topology: racks, datacenters, geo-distributed federations.
+//
+// The rack grouping is load-bearing: space-correlated failures [26] strike
+// rack-sized machine groups, and locality-aware placement (bigdata) prefers
+// rack-local block replicas. Federation (C10) is a set of datacenters with
+// an inter-site latency matrix, used by the geo-distributed experiments.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infra/machine.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs::infra {
+
+/// Flow-level network model inside one datacenter.
+struct NetworkModel {
+  sim::SimTime intra_rack_latency = 50;         // 50 us
+  sim::SimTime intra_dc_latency = 250;          // 250 us across racks
+  double intra_rack_gbps = 40.0;
+  double intra_dc_gbps = 10.0;  ///< oversubscribed core
+};
+
+/// A datacenter: machines organized into racks.
+class Datacenter {
+ public:
+  Datacenter(std::string name, std::string region,
+             NetworkModel network = {});
+
+  const std::string& name() const { return name_; }
+  const std::string& region() const { return region_; }
+  const NetworkModel& network() const { return network_; }
+
+  /// Adds a machine to the given rack (racks are created on demand).
+  Machine& add_machine(std::string name, ResourceVector capacity,
+                       double speed_factor, std::size_t rack,
+                       PowerModel power = {});
+
+  /// Convenience: builds `racks x per_rack` homogeneous machines.
+  void add_uniform_racks(std::size_t racks, std::size_t per_rack,
+                         ResourceVector capacity, double speed_factor,
+                         PowerModel power = {});
+
+  [[nodiscard]] std::size_t machine_count() const { return machines_.size(); }
+  [[nodiscard]] std::size_t rack_count() const;
+
+  [[nodiscard]] Machine& machine(MachineId id);
+  [[nodiscard]] const Machine& machine(MachineId id) const;
+  [[nodiscard]] std::vector<Machine*> machines();
+  [[nodiscard]] std::vector<const Machine*> machines() const;
+
+  /// Machines in one rack (for correlated-failure injection).
+  [[nodiscard]] std::vector<MachineId> rack_members(std::size_t rack) const;
+  [[nodiscard]] std::size_t rack_of(MachineId id) const;
+
+  /// Aggregate capacity over operational machines.
+  [[nodiscard]] ResourceVector total_capacity() const;
+  /// Aggregate currently-used resources.
+  [[nodiscard]] ResourceVector total_used() const;
+  /// Fraction of operational machines, in [0, 1].
+  [[nodiscard]] double availability() const;
+  /// Instantaneous power draw across the floor (watts).
+  [[nodiscard]] double power_watts() const;
+
+  /// Network latency between two machines under the flow model.
+  [[nodiscard]] sim::SimTime latency_between(MachineId a, MachineId b) const;
+
+ private:
+  std::string name_;
+  std::string region_;
+  NetworkModel network_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::vector<std::size_t> rack_of_;  // indexed by MachineId
+};
+
+/// A federation of datacenters with inter-site latencies (C10:
+/// "geo-distributed, federated, multi-DC operation").
+class Federation {
+ public:
+  explicit Federation(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  Datacenter& add_datacenter(std::string name, std::string region,
+                             NetworkModel network = {});
+
+  void set_latency(const std::string& dc_a, const std::string& dc_b,
+                   sim::SimTime rtt);
+
+  [[nodiscard]] sim::SimTime latency(const std::string& dc_a,
+                                     const std::string& dc_b) const;
+
+  [[nodiscard]] std::vector<Datacenter*> datacenters();
+  [[nodiscard]] Datacenter& datacenter(const std::string& name);
+  [[nodiscard]] std::size_t size() const { return datacenters_.size(); }
+
+  /// Total machines across all sites.
+  [[nodiscard]] std::size_t machine_count() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Datacenter>> datacenters_;
+  std::map<std::pair<std::string, std::string>, sim::SimTime> latencies_;
+};
+
+}  // namespace mcs::infra

@@ -1,0 +1,165 @@
+#include "metrics/elasticity.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::metrics {
+
+StepSeries::StepSeries(std::vector<Sample> samples)
+    : samples_(std::move(samples)) {
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    if (samples_[i].at < samples_[i - 1].at) {
+      throw std::invalid_argument("StepSeries: samples not sorted");
+    }
+  }
+}
+
+void StepSeries::append(sim::SimTime at, double value) {
+  if (!samples_.empty() && at < samples_.back().at) {
+    throw std::invalid_argument("StepSeries::append: time going backwards");
+  }
+  if (!samples_.empty() && at == samples_.back().at) {
+    samples_.back().value = value;  // same-instant update wins
+    return;
+  }
+  samples_.push_back(Sample{at, value});
+}
+
+double StepSeries::at(sim::SimTime t) const {
+  if (samples_.empty() || t < samples_.front().at) return 0.0;
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](sim::SimTime lhs, const Sample& s) { return lhs < s.at; });
+  return std::prev(it)->value;
+}
+
+double StepSeries::time_average(sim::SimTime from, sim::SimTime to) const {
+  if (to <= from) return 0.0;
+  double area = 0.0;
+  sim::SimTime cursor = from;
+  double value = at(from);
+  for (const Sample& s : samples_) {
+    if (s.at <= cursor) continue;
+    const sim::SimTime stop = std::min(s.at, to);
+    area += value * static_cast<double>(stop - cursor);
+    cursor = stop;
+    value = s.value;
+    if (cursor >= to) break;
+  }
+  if (cursor < to) area += value * static_cast<double>(to - cursor);
+  return area / static_cast<double>(to - from);
+}
+
+namespace {
+
+/// Merges the breakpoints of both series inside [from, to).
+std::vector<sim::SimTime> breakpoints(const StepSeries& a, const StepSeries& b,
+                                      sim::SimTime from, sim::SimTime to) {
+  std::vector<sim::SimTime> ts;
+  ts.push_back(from);
+  for (const Sample& s : a.samples()) {
+    if (s.at > from && s.at < to) ts.push_back(s.at);
+  }
+  for (const Sample& s : b.samples()) {
+    if (s.at > from && s.at < to) ts.push_back(s.at);
+  }
+  ts.push_back(to);
+  std::sort(ts.begin(), ts.end());
+  ts.erase(std::unique(ts.begin(), ts.end()), ts.end());
+  return ts;
+}
+
+}  // namespace
+
+ElasticityReport elasticity_report(const StepSeries& demand,
+                                   const StepSeries& supply, sim::SimTime from,
+                                   sim::SimTime to) {
+  ElasticityReport r;
+  if (to <= from) return r;
+  const double horizon = static_cast<double>(to - from);
+
+  const auto ts = breakpoints(demand, supply, from, to);
+  double under_area = 0.0, over_area = 0.0;
+  double under_time = 0.0, over_time = 0.0;
+  double demand_area = 0.0, supply_area = 0.0;
+
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double dt = static_cast<double>(ts[i + 1] - ts[i]);
+    const double d = demand.at(ts[i]);
+    const double s = supply.at(ts[i]);
+    demand_area += d * dt;
+    supply_area += s * dt;
+    if (d > s) {
+      under_area += (d - s) * dt;
+      under_time += dt;
+    } else if (s > d) {
+      over_area += (s - d) * dt;
+      over_time += dt;
+    }
+  }
+
+  r.accuracy_under = under_area / horizon;
+  r.accuracy_over = over_area / horizon;
+  r.timeshare_under = under_time / horizon;
+  r.timeshare_over = over_time / horizon;
+  r.avg_demand = demand_area / horizon;
+  r.avg_supply = supply_area / horizon;
+  if (r.avg_demand > 0.0) {
+    r.accuracy_under_norm = r.accuracy_under / r.avg_demand;
+    r.accuracy_over_norm = r.accuracy_over / r.avg_demand;
+  }
+
+  // Adaptations & jitter: count supply changes within the horizon.
+  std::size_t changes = 0;
+  double prev = supply.at(from);
+  for (const Sample& s : supply.samples()) {
+    if (s.at <= from || s.at >= to) continue;
+    if (s.value != prev) {
+      ++changes;
+      prev = s.value;
+    }
+  }
+  r.adaptations = changes;
+  r.jitter_per_hour = static_cast<double>(changes) /
+                      (horizon / static_cast<double>(sim::kHour));
+
+  // Instability: fraction of intervals where the two curves move in opposite
+  // directions (sign of slope disagrees) — measured across breakpoints.
+  std::size_t opposing = 0;
+  std::size_t moves = 0;
+  for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+    const double dd = demand.at(ts[i + 1]) - demand.at(ts[i]);
+    const double ds = supply.at(ts[i + 1]) - supply.at(ts[i]);
+    if (dd == 0.0 && ds == 0.0) continue;
+    ++moves;
+    if ((dd > 0.0 && ds < 0.0) || (dd < 0.0 && ds > 0.0)) ++opposing;
+  }
+  r.instability =
+      moves == 0 ? 0.0 : static_cast<double>(opposing) / static_cast<double>(moves);
+
+  return r;
+}
+
+double elasticity_score(const ElasticityReport& r) {
+  // Each term in [0, 1]; perfect tracking scores 1.0. An arithmetic mean is
+  // used (rather than a product) so that saturating one axis — e.g. being
+  // under-provisioned for the whole horizon — still leaves the remaining
+  // axes able to rank policies, mirroring the per-metric aggregation of [43].
+  const double acc_u = 1.0 / (1.0 + r.accuracy_under_norm);
+  const double acc_o = 1.0 / (1.0 + r.accuracy_over_norm);
+  const double ts_u = 1.0 - r.timeshare_under;
+  const double ts_o = 1.0 - r.timeshare_over;
+  return 0.25 * (acc_u + acc_o + ts_u + ts_o);
+}
+
+double operational_risk(const ElasticityReport& r) {
+  // Frequency x severity: the fraction of time under-provisioned, weighted
+  // by the (saturating) depth of the shortfall relative to demand.
+  const double severity =
+      r.accuracy_under_norm / (1.0 + r.accuracy_under_norm);  // in [0,1)
+  const double risk = r.timeshare_under * (0.5 + 0.5 * severity);
+  return std::clamp(risk, 0.0, 1.0);
+}
+
+}  // namespace mcs::metrics

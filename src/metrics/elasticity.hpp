@@ -1,0 +1,83 @@
+// SPEC Research Group elasticity metrics (Herbst et al. [32]; C3).
+//
+// The paper repeatedly invokes "the over ten available metrics" of
+// elasticity; these are the accuracy/timeshare/instability family used by
+// the autoscaler comparison the paper cites [43]. All metrics operate on a
+// pair of step functions: demand(t) and supply(t), each given as
+// time-stamped samples (value holds until the next timestamp).
+#pragma once
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mcs::metrics {
+
+struct Sample {
+  sim::SimTime at = 0;
+  double value = 0.0;
+};
+
+/// A right-continuous step function described by samples sorted by time.
+class StepSeries {
+ public:
+  StepSeries() = default;
+  explicit StepSeries(std::vector<Sample> samples);
+
+  /// Appends a sample; timestamps must be non-decreasing.
+  void append(sim::SimTime at, double value);
+
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  /// Value at time t (value of the last sample with at <= t; 0 before the
+  /// first sample).
+  [[nodiscard]] double at(sim::SimTime t) const;
+
+  /// Time-weighted average over [from, to).
+  [[nodiscard]] double time_average(sim::SimTime from, sim::SimTime to) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// The SPEC elasticity report for one (demand, supply) pair over a horizon.
+struct ElasticityReport {
+  // Accuracy: time-averaged magnitude of the provisioning gap, in resource
+  // units (paper [32]: theta_U underprovisioning, theta_O overprovisioning).
+  double accuracy_under = 0.0;  ///< avg (demand - supply)+ : unmet demand
+  double accuracy_over = 0.0;   ///< avg (supply - demand)+ : wasted supply
+  // Normalized variants (divided by average demand), dimensionless.
+  double accuracy_under_norm = 0.0;
+  double accuracy_over_norm = 0.0;
+  // Timeshare: fraction of the horizon spent under/over-provisioned.
+  double timeshare_under = 0.0;
+  double timeshare_over = 0.0;
+  // Instability: fraction of time supply and demand move in opposite
+  // directions (captures oscillation); jitter: net adaptations per hour.
+  double instability = 0.0;
+  double jitter_per_hour = 0.0;
+  // Context.
+  double avg_demand = 0.0;
+  double avg_supply = 0.0;
+  std::size_t adaptations = 0;  ///< count of supply changes
+};
+
+/// Computes the full SPEC report over [from, to).
+[[nodiscard]] ElasticityReport elasticity_report(const StepSeries& demand,
+                                                 const StepSeries& supply,
+                                                 sim::SimTime from,
+                                                 sim::SimTime to);
+
+/// Scalar "elastic speedup" summary used for ranking autoscalers: the
+/// geometric-mean-style aggregate of normalized accuracy and timeshare
+/// (higher is better); 1.0 means perfect tracking.
+[[nodiscard]] double elasticity_score(const ElasticityReport& r);
+
+/// Operational risk in [0, 1] (SPEC [32] / C13: a stakeholder-facing
+/// number for "the possibility of not meeting demand"). Combines how
+/// often the system is under-provisioned with how deeply: 0 = demand
+/// always met, 1 = starved for the whole horizon.
+[[nodiscard]] double operational_risk(const ElasticityReport& r);
+
+}  // namespace mcs::metrics

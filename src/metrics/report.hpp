@@ -1,0 +1,45 @@
+// ASCII table/series reporting used by every bench binary.
+//
+// Challenge C13 ("showing and explaining the operation of the ecosystem to
+// all stakeholders, continuously"): every experiment in this repository
+// reports through the same table formatter, so outputs are uniform and
+// diff-able across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcs::metrics {
+
+/// Fixed-width ASCII table. Columns size to their widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Formats a ratio as a percentage string.
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a titled section banner (uniform bench output framing).
+void print_banner(std::ostream& os, const std::string& title);
+
+/// Prints a `key: value` context line (seeds, parameters) — reproducibility
+/// principle P8: every run states its configuration.
+void print_kv(std::ostream& os, const std::string& key, const std::string& value);
+
+}  // namespace mcs::metrics

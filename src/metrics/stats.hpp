@@ -1,0 +1,67 @@
+// Summary statistics used across all experiments.
+//
+// The paper's methodology (§3.3) demands statistically sound observation:
+// experiments report distributions (percentiles, CV, IQR), not just means —
+// performance variability [145] is itself one of the reproduced experiments.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcs::metrics {
+
+/// Streaming accumulator: O(1) memory for mean/variance (Welford),
+/// plus optional sample retention for quantiles.
+class Accumulator {
+ public:
+  explicit Accumulator(bool keep_samples = true) : keep_samples_(keep_samples) {}
+
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< sample variance (n-1)
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Coefficient of variation (stddev/mean); 0 when mean == 0.
+  [[nodiscard]] double cv() const;
+
+  /// Linear-interpolated quantile, q in [0,1]. Requires keep_samples.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  /// Interquartile range. Requires keep_samples.
+  [[nodiscard]] double iqr() const { return quantile(0.75) - quantile(0.25); }
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  bool keep_samples_;
+  std::size_t n_ = 0;
+  double sum_ = 0.0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+[[nodiscard]] double pearson(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+/// Lag-k autocorrelation of a series; 0 if degenerate.
+[[nodiscard]] double autocorrelation(const std::vector<double>& xs,
+                                     std::size_t lag);
+
+/// Ordinary least squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit least_squares(const std::vector<double>& x,
+                                      const std::vector<double>& y);
+
+}  // namespace mcs::metrics

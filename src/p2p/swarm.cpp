@@ -1,0 +1,79 @@
+#include "p2p/swarm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::p2p {
+
+namespace {
+
+double mb_to_mbit(double mb) { return mb * 8.0; }
+
+void check(const SwarmConfig& c) {
+  if (c.file_mb <= 0.0 || c.seed_up_mbps <= 0.0 || c.peer.down_mbps <= 0.0 ||
+      c.peer.up_mbps <= 0.0) {
+    throw std::invalid_argument("SwarmConfig: non-positive parameter");
+  }
+}
+
+}  // namespace
+
+double granted_rate_mbps(const SwarmConfig& config) {
+  check(config);
+  return std::min(config.peer.down_mbps,
+                  config.reciprocity * config.peer.up_mbps +
+                      config.altruism_mbps);
+}
+
+double solo_download_seconds(const SwarmConfig& config) {
+  check(config);
+  return mb_to_mbit(config.file_mb) / granted_rate_mbps(config);
+}
+
+double collaborative_download_seconds(const SwarmConfig& config,
+                                      std::size_t helpers) {
+  check(config);
+  const double granted = granted_rate_mbps(config);
+  // Collector's own tit-for-tat grant plus each helper's relayed pieces
+  // (a helper can relay no faster than its uplink allows).
+  double inflow = granted;
+  for (std::size_t h = 0; h < helpers; ++h) {
+    inflow += std::min(granted, config.peer.up_mbps);
+  }
+  inflow = std::min(inflow, config.peer.down_mbps);
+  return mb_to_mbit(config.file_mb) / inflow;
+}
+
+SwarmRun swarm_download(const SwarmConfig& config, std::size_t leechers,
+                        double step_seconds) {
+  check(config);
+  if (leechers == 0 || step_seconds <= 0.0) {
+    throw std::invalid_argument("swarm_download: bad parameters");
+  }
+  // Symmetric fluid model: all leechers progress at the same rate; the
+  // aggregate upload is the seed plus what leechers can re-serve (a
+  // leecher can only upload data it already has, approximated by scaling
+  // its upload by its completion fraction).
+  SwarmRun run;
+  const double file_mbit = mb_to_mbit(config.file_mb);
+  double progress_mbit = 0.0;
+  double t = 0.0;
+  const auto n = static_cast<double>(leechers);
+  while (progress_mbit < file_mbit) {
+    const double fraction = progress_mbit / file_mbit;
+    const double aggregate_up =
+        config.seed_up_mbps + n * config.peer.up_mbps * fraction;
+    run.aggregate_upload_peak_mbps =
+        std::max(run.aggregate_upload_peak_mbps, aggregate_up);
+    const double per_leecher =
+        std::min(config.peer.down_mbps, aggregate_up / n);
+    progress_mbit += per_leecher * step_seconds;
+    t += step_seconds;
+    if (t > 1e7) break;  // safety net
+  }
+  run.mean_seconds = t;
+  run.last_seconds = t;
+  return run;
+}
+
+}  // namespace mcs::p2p

@@ -1,0 +1,67 @@
+// Peer-to-peer download substrate for challenge C5 (socially-aware
+// systems), reproducing the 2fast collaborative-download result [106].
+//
+// Flow-level (fluid) bandwidth models:
+//  - solo: one leecher against the seeds.
+//  - swarm: N concurrent leechers sharing seed capacity and exchanging
+//    pieces tit-for-tat style (aggregate-upload fluid model).
+//  - 2fast: a collector plus k *helpers* from its social group; helpers
+//    spend their own download slots on distinct pieces and relay them,
+//    adding their upload capacity to the collector's inflow. Published
+//    shape: download time falls ~linearly with helpers until the
+//    collector's downlink saturates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcs::p2p {
+
+struct PeerBandwidth {
+  double down_mbps = 8.0;
+  double up_mbps = 1.0;
+};
+
+struct SwarmConfig {
+  double file_mb = 500.0;
+  double seed_up_mbps = 4.0;
+  PeerBandwidth peer;  ///< leechers / collector / helpers alike
+  /// Tit-for-tat: the swarm grants a peer download bandwidth roughly
+  /// proportional to what the peer uploads (BitTorrent reciprocity), plus
+  /// a small altruistic share from optimistic unchokes/seeds.
+  double reciprocity = 1.0;
+  double altruism_mbps = 0.2;
+};
+
+/// Bandwidth the swarm grants one peer under tit-for-tat:
+/// min(peer.down, reciprocity * peer.up + altruism). This is the
+/// asymmetric-link (ADSL) regime where 2fast shines: a solo peer's low
+/// uplink throttles its download.
+[[nodiscard]] double granted_rate_mbps(const SwarmConfig& config);
+
+/// Solo leecher: file / granted rate.
+[[nodiscard]] double solo_download_seconds(const SwarmConfig& config);
+
+/// 2fast: collector + `helpers` group members. Every member earns its own
+/// tit-for-tat grant on *distinct* pieces; helpers relay what they fetch
+/// to the collector, bounded by their uplink; the collector's inflow is
+/// capped by its downlink. Published shape: ~linear speedup in helpers
+/// until the collector's downlink saturates.
+[[nodiscard]] double collaborative_download_seconds(const SwarmConfig& config,
+                                                    std::size_t helpers);
+
+/// Fluid simulation of a flash crowd of `leechers` starting together:
+/// aggregate upload = seed + finished-so-far stay for `linger_seconds`.
+/// Returns per-leecher completion times (all equal in the symmetric fluid
+/// model, reported per wave as peers leave).
+struct SwarmRun {
+  double mean_seconds = 0.0;
+  double last_seconds = 0.0;
+  double aggregate_upload_peak_mbps = 0.0;
+};
+
+[[nodiscard]] SwarmRun swarm_download(const SwarmConfig& config,
+                                      std::size_t leechers,
+                                      double step_seconds = 1.0);
+
+}  // namespace mcs::p2p

@@ -1,0 +1,550 @@
+#include "sched/allocation.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/random.hpp"
+
+namespace mcs::sched {
+
+namespace {
+
+/// Tracks capacity planned within one decide() round so batches stay
+/// feasible.
+class PlannedCapacity {
+ public:
+  explicit PlannedCapacity(const std::vector<const infra::Machine*>& machines) {
+    for (const infra::Machine* m : machines) {
+      free_[m->id()] = m->available();
+      speed_[m->id()] = m->speed_factor();
+    }
+  }
+
+  [[nodiscard]] bool fits(infra::MachineId id,
+                          const infra::ResourceVector& r) const {
+    auto it = free_.find(id);
+    return it != free_.end() && r.fits_within(it->second);
+  }
+
+  void take(infra::MachineId id, const infra::ResourceVector& r) {
+    free_[id] -= r;
+  }
+
+  [[nodiscard]] double speed(infra::MachineId id) const {
+    return speed_.at(id);
+  }
+
+  [[nodiscard]] const std::map<infra::MachineId, infra::ResourceVector>& free()
+      const {
+    return free_;
+  }
+
+ private:
+  std::map<infra::MachineId, infra::ResourceVector> free_;
+  std::map<infra::MachineId, double> speed_;
+};
+
+/// Picks a machine for `demand` under the fit heuristic; returns nullopt
+/// when nothing fits.
+std::optional<infra::MachineId> pick_machine(
+    const std::vector<const infra::Machine*>& machines,
+    const PlannedCapacity& planned, const infra::ResourceVector& demand,
+    Fit fit) {
+  std::optional<infra::MachineId> best;
+  double best_score = 0.0;
+  for (const infra::Machine* m : machines) {
+    if (!planned.fits(m->id(), demand)) continue;
+    double score = 0.0;
+    switch (fit) {
+      case Fit::kFirst:
+        return m->id();
+      case Fit::kBest:
+        score = -(planned.free().at(m->id()).cores - demand.cores);
+        break;
+      case Fit::kWorst:
+        score = planned.free().at(m->id()).cores - demand.cores;
+        break;
+      case Fit::kFastest:
+        score = m->speed_factor();
+        break;
+    }
+    if (!best || score > best_score) {
+      best = m->id();
+      best_score = score;
+    }
+  }
+  return best;
+}
+
+/// Shared skeleton: order the ready queue by a comparator, then greedily
+/// place under a fit heuristic.
+template <typename Compare>
+class OrderedPolicy final : public AllocationPolicy {
+ public:
+  OrderedPolicy(std::string name, Compare cmp, Fit fit)
+      : name_(std::move(name)), cmp_(std::move(cmp)), fit_(fit) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    std::vector<std::size_t> order(view.ready->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return cmp_((*view.ready)[a], (*view.ready)[b], view);
+                     });
+    PlannedCapacity planned(view.machines);
+    std::vector<Assignment> out;
+    for (std::size_t idx : order) {
+      const ReadyTask& t = (*view.ready)[idx];
+      if (auto m = pick_machine(view.machines, planned, t.demand, fit_)) {
+        planned.take(*m, t.demand);
+        out.push_back(Assignment{idx, *m});
+      }
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  Compare cmp_;
+  Fit fit_;
+};
+
+template <typename Compare>
+std::unique_ptr<AllocationPolicy> ordered(std::string name, Compare cmp,
+                                          Fit fit) {
+  return std::make_unique<OrderedPolicy<Compare>>(std::move(name),
+                                                  std::move(cmp), fit);
+}
+
+std::string fit_suffix(Fit fit) {
+  switch (fit) {
+    case Fit::kFirst: return "";
+    case Fit::kBest: return "-bestfit";
+    case Fit::kWorst: return "-worstfit";
+    case Fit::kFastest: return "-fastest";
+  }
+  return "";
+}
+
+// ---- EASY backfilling --------------------------------------------------------
+
+class EasyBackfilling final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "easy-backfill"; }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    if (view.ready->empty()) return {};
+    // FCFS order.
+    std::vector<std::size_t> order(view.ready->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const ReadyTask& ta = (*view.ready)[a];
+                       const ReadyTask& tb = (*view.ready)[b];
+                       if (ta.job_submit != tb.job_submit)
+                         return ta.job_submit < tb.job_submit;
+                       if (ta.job != tb.job) return ta.job < tb.job;
+                       return ta.task_index < tb.task_index;
+                     });
+
+    PlannedCapacity planned(view.machines);
+    std::vector<Assignment> out;
+    std::size_t head_pos = 0;
+
+    // Greedily start the FCFS prefix.
+    while (head_pos < order.size()) {
+      const ReadyTask& t = (*view.ready)[order[head_pos]];
+      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      if (!m) break;
+      planned.take(*m, t.demand);
+      out.push_back(Assignment{order[head_pos], *m});
+      ++head_pos;
+    }
+    if (head_pos >= order.size()) return out;
+
+    // The head task cannot start: compute its reservation (shadow time) —
+    // the earliest expected_end at which some machine could fit it,
+    // assuming running tasks release their resources then.
+    const ReadyTask& head = (*view.ready)[order[head_pos]];
+    const auto [shadow, reserved_machine] = reservation_for(head, view);
+
+    // Backfill: later tasks may start now iff they fit AND
+    // (a) their estimated completion is before the shadow time, or
+    // (b) they avoid the reserved machine.
+    for (std::size_t p = head_pos + 1; p < order.size(); ++p) {
+      const ReadyTask& t = (*view.ready)[order[p]];
+      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      if (!m) continue;
+      const double speed = planned.speed(*m);
+      const sim::SimTime est_end =
+          view.now + sim::from_seconds(t.work_seconds / speed);
+      const bool harmless = est_end <= shadow || *m != reserved_machine;
+      if (harmless) {
+        planned.take(*m, t.demand);
+        out.push_back(Assignment{order[p], *m});
+      }
+    }
+    return out;
+  }
+
+ private:
+  /// Earliest time at which `t` is expected to fit on some machine, and
+  /// that machine's id, under the current running set.
+  static std::pair<sim::SimTime, infra::MachineId> reservation_for(
+      const ReadyTask& t, const SchedulerView& view) {
+    sim::SimTime best_time = sim::kTimeInfinity;
+    infra::MachineId best_machine = 0;
+    for (const infra::Machine* m : view.machines) {
+      if (!t.demand.fits_within(m->capacity())) continue;
+      // Sort this machine's running tasks by end time and release them
+      // in order until the task fits.
+      std::vector<const RunningView*> on_machine;
+      for (const RunningView& r : *view.running) {
+        if (r.machine == m->id()) on_machine.push_back(&r);
+      }
+      std::sort(on_machine.begin(), on_machine.end(),
+                [](const RunningView* a, const RunningView* b) {
+                  return a->expected_end < b->expected_end;
+                });
+      infra::ResourceVector free = m->available();
+      sim::SimTime when = view.now;
+      bool fits = t.demand.fits_within(free);
+      for (const RunningView* r : on_machine) {
+        if (fits) break;
+        free += r->demand;
+        when = r->expected_end;
+        fits = t.demand.fits_within(free);
+      }
+      if (fits && when < best_time) {
+        best_time = when;
+        best_machine = m->id();
+      }
+    }
+    return {best_time, best_machine};
+  }
+};
+
+
+// ---- conservative backfilling ---------------------------------------------------
+
+class ConservativeBackfilling final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override {
+    return "conservative-backfill";
+  }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    if (view.ready->empty()) return {};
+    std::vector<std::size_t> order(view.ready->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       const ReadyTask& ta = (*view.ready)[a];
+                       const ReadyTask& tb = (*view.ready)[b];
+                       if (ta.job_submit != tb.job_submit)
+                         return ta.job_submit < tb.job_submit;
+                       if (ta.job != tb.job) return ta.job < tb.job;
+                       return ta.task_index < tb.task_index;
+                     });
+
+    PlannedCapacity planned(view.machines);
+    // Earliest reservation start per machine among queued-but-unstarted
+    // tasks; a backfill must complete before it.
+    std::map<infra::MachineId, sim::SimTime> reservation_at;
+    std::vector<Assignment> out;
+
+    for (std::size_t idx : order) {
+      const ReadyTask& t = (*view.ready)[idx];
+      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      if (m) {
+        // Starting now must not run past an existing reservation on this
+        // machine (conservative guarantee: nobody already promised space
+        // here is delayed).
+        const sim::SimTime est_end =
+            view.now + sim::from_seconds(t.work_seconds / planned.speed(*m));
+        auto rit = reservation_at.find(*m);
+        if (rit == reservation_at.end() || est_end <= rit->second) {
+          planned.take(*m, t.demand);
+          out.push_back(Assignment{idx, *m});
+          continue;
+        }
+      }
+      // Cannot start: record this task's reservation so later (smaller)
+      // tasks cannot delay it.
+      const auto [when, machine] = reservation_for(t, view);
+      if (when == sim::kTimeInfinity) continue;  // can never fit anywhere
+      auto rit = reservation_at.find(machine);
+      if (rit == reservation_at.end() || when < rit->second) {
+        reservation_at[machine] = when;
+      }
+    }
+    return out;
+  }
+
+ private:
+  static std::pair<sim::SimTime, infra::MachineId> reservation_for(
+      const ReadyTask& t, const SchedulerView& view) {
+    sim::SimTime best_time = sim::kTimeInfinity;
+    infra::MachineId best_machine = 0;
+    for (const infra::Machine* m : view.machines) {
+      if (!t.demand.fits_within(m->capacity())) continue;
+      std::vector<const RunningView*> on_machine;
+      for (const RunningView& r : *view.running) {
+        if (r.machine == m->id()) on_machine.push_back(&r);
+      }
+      std::sort(on_machine.begin(), on_machine.end(),
+                [](const RunningView* a, const RunningView* b) {
+                  return a->expected_end < b->expected_end;
+                });
+      infra::ResourceVector free = m->available();
+      sim::SimTime when = view.now;
+      bool fits = t.demand.fits_within(free);
+      for (const RunningView* r : on_machine) {
+        if (fits) break;
+        free += r->demand;
+        when = r->expected_end;
+        fits = t.demand.fits_within(free);
+      }
+      if (fits && when < best_time) {
+        best_time = when;
+        best_machine = m->id();
+      }
+    }
+    return {best_time, best_machine};
+  }
+};
+
+// ---- HEFT ---------------------------------------------------------------------
+
+
+class Heft final : public AllocationPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "heft"; }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    std::vector<std::size_t> order(view.ready->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Highest upward rank first; FCFS tiebreak.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return (*view.ready)[a].rank > (*view.ready)[b].rank;
+                     });
+    PlannedCapacity planned(view.machines);
+    std::vector<Assignment> out;
+    for (std::size_t idx : order) {
+      const ReadyTask& t = (*view.ready)[idx];
+      // Earliest-finish-time machine among those with room now.
+      std::optional<infra::MachineId> best;
+      double best_finish = std::numeric_limits<double>::max();
+      for (const infra::Machine* m : view.machines) {
+        if (!planned.fits(m->id(), t.demand)) continue;
+        const double finish = t.work_seconds / m->speed_factor();
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = m->id();
+        }
+      }
+      if (best) {
+        planned.take(*best, t.demand);
+        out.push_back(Assignment{idx, *best});
+      }
+    }
+    return out;
+  }
+};
+
+// ---- min-min / max-min -----------------------------------------------------------
+
+class MinMin final : public AllocationPolicy {
+ public:
+  explicit MinMin(bool max_first)
+      : max_first_(max_first) {}
+
+  [[nodiscard]] std::string name() const override {
+    return max_first_ ? "max-min" : "min-min";
+  }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    PlannedCapacity planned(view.machines);
+    std::vector<bool> taken(view.ready->size(), false);
+    std::vector<Assignment> out;
+    for (;;) {
+      // For each unassigned task, its minimum completion time and argmin
+      // machine under planned capacity.
+      std::optional<std::size_t> chosen;
+      infra::MachineId chosen_machine = 0;
+      double chosen_mct = 0.0;
+      for (std::size_t i = 0; i < view.ready->size(); ++i) {
+        if (taken[i]) continue;
+        const ReadyTask& t = (*view.ready)[i];
+        double mct = std::numeric_limits<double>::max();
+        std::optional<infra::MachineId> arg;
+        for (const infra::Machine* m : view.machines) {
+          if (!planned.fits(m->id(), t.demand)) continue;
+          const double c = t.work_seconds / m->speed_factor();
+          if (c < mct) {
+            mct = c;
+            arg = m->id();
+          }
+        }
+        if (!arg) continue;
+        const bool better =
+            !chosen || (max_first_ ? mct > chosen_mct : mct < chosen_mct);
+        if (better) {
+          chosen = i;
+          chosen_machine = *arg;
+          chosen_mct = mct;
+        }
+      }
+      if (!chosen) break;
+      taken[*chosen] = true;
+      planned.take(chosen_machine, (*view.ready)[*chosen].demand);
+      out.push_back(Assignment{*chosen, chosen_machine});
+    }
+    return out;
+  }
+
+ private:
+  bool max_first_;
+};
+
+// ---- random ------------------------------------------------------------------------
+
+class RandomPolicy final : public AllocationPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed) : rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "random"; }
+
+  std::vector<Assignment> decide(const SchedulerView& view) override {
+    PlannedCapacity planned(view.machines);
+    std::vector<std::size_t> order(view.ready->size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    rng_.shuffle(order);
+    std::vector<Assignment> out;
+    for (std::size_t idx : order) {
+      const ReadyTask& t = (*view.ready)[idx];
+      // Collect fitting machines, pick one uniformly.
+      std::vector<infra::MachineId> options;
+      for (const infra::Machine* m : view.machines) {
+        if (planned.fits(m->id(), t.demand)) options.push_back(m->id());
+      }
+      if (options.empty()) continue;
+      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(options.size()) - 1));
+      planned.take(options[pick], t.demand);
+      out.push_back(Assignment{idx, options[pick]});
+    }
+    return out;
+  }
+
+ private:
+  sim::Rng rng_;
+};
+
+// Comparators for the ordered policies.
+struct FcfsCmp {
+  bool operator()(const ReadyTask& a, const ReadyTask& b,
+                  const SchedulerView&) const {
+    if (a.job_submit != b.job_submit) return a.job_submit < b.job_submit;
+    if (a.job != b.job) return a.job < b.job;
+    return a.task_index < b.task_index;
+  }
+};
+struct SjfCmp {
+  bool operator()(const ReadyTask& a, const ReadyTask& b,
+                  const SchedulerView&) const {
+    return a.work_seconds < b.work_seconds;
+  }
+};
+struct LjfCmp {
+  bool operator()(const ReadyTask& a, const ReadyTask& b,
+                  const SchedulerView&) const {
+    return a.work_seconds > b.work_seconds;
+  }
+};
+struct FairShareCmp {
+  bool operator()(const ReadyTask& a, const ReadyTask& b,
+                  const SchedulerView& view) const {
+    double ua = 0.0, ub = 0.0;
+    if (view.user_usage) {
+      if (auto it = view.user_usage->find(a.user); it != view.user_usage->end())
+        ua = it->second;
+      if (auto it = view.user_usage->find(b.user); it != view.user_usage->end())
+        ub = it->second;
+    }
+    if (ua != ub) return ua < ub;  // least-served user first
+    return FcfsCmp{}(a, b, view);
+  }
+};
+struct EdfCmp {
+  bool operator()(const ReadyTask& a, const ReadyTask& b,
+                  const SchedulerView& view) const {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    return FcfsCmp{}(a, b, view);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<AllocationPolicy> make_fcfs(Fit fit) {
+  return ordered("fcfs" + fit_suffix(fit), FcfsCmp{}, fit);
+}
+std::unique_ptr<AllocationPolicy> make_sjf(Fit fit) {
+  return ordered("sjf" + fit_suffix(fit), SjfCmp{}, fit);
+}
+std::unique_ptr<AllocationPolicy> make_ljf(Fit fit) {
+  return ordered("ljf" + fit_suffix(fit), LjfCmp{}, fit);
+}
+std::unique_ptr<AllocationPolicy> make_fair_share(Fit fit) {
+  return ordered("fair-share" + fit_suffix(fit), FairShareCmp{}, fit);
+}
+std::unique_ptr<AllocationPolicy> make_edf(Fit fit) {
+  return ordered("edf" + fit_suffix(fit), EdfCmp{}, fit);
+}
+std::unique_ptr<AllocationPolicy> make_easy_backfilling() {
+  return std::make_unique<EasyBackfilling>();
+}
+std::unique_ptr<AllocationPolicy> make_conservative_backfilling() {
+  return std::make_unique<ConservativeBackfilling>();
+}
+std::unique_ptr<AllocationPolicy> make_heft() {
+  return std::make_unique<Heft>();
+}
+std::unique_ptr<AllocationPolicy> make_min_min() {
+  return std::make_unique<MinMin>(false);
+}
+std::unique_ptr<AllocationPolicy> make_max_min() {
+  return std::make_unique<MinMin>(true);
+}
+std::unique_ptr<AllocationPolicy> make_random(std::uint64_t seed) {
+  return std::make_unique<RandomPolicy>(seed);
+}
+
+std::vector<std::string> all_policy_names() {
+  return {"fcfs",   "fcfs-bestfit", "sjf",     "ljf",    "fair-share",
+          "edf",    "easy-backfill", "conservative-backfill", "heft",
+          "min-min", "max-min", "random"};
+}
+
+std::unique_ptr<AllocationPolicy> make_policy(const std::string& name) {
+  if (name == "fcfs") return make_fcfs();
+  if (name == "fcfs-bestfit") return make_fcfs(Fit::kBest);
+  if (name == "sjf") return make_sjf();
+  if (name == "ljf") return make_ljf();
+  if (name == "fair-share") return make_fair_share();
+  if (name == "edf") return make_edf();
+  if (name == "easy-backfill") return make_easy_backfilling();
+  if (name == "conservative-backfill") return make_conservative_backfilling();
+  if (name == "heft") return make_heft();
+  if (name == "min-min") return make_min_min();
+  if (name == "max-min") return make_max_min();
+  if (name == "random") return make_random(42);
+  throw std::invalid_argument("make_policy: unknown policy " + name);
+}
+
+}  // namespace mcs::sched

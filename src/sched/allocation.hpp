@@ -1,0 +1,136 @@
+// Allocation policies: which ready task goes to which machine (C7).
+//
+// The paper frames datacenter scheduling as a *dual problem*: provisioning
+// (src/sched/provisioning.hpp) acquires resources on the user's behalf,
+// allocation (this file) places tasks on provisioned resources. The policy
+// set spans the classic families the paper's C7 cites "hundreds of
+// approaches" from: queue-ordering (FCFS/SJF), backfilling (EASY),
+// fairness (fair-share), heterogeneity-aware list scheduling (HEFT), and
+// BoT heuristics (min-min / max-min).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "infra/machine.hpp"
+#include "sim/simulator.hpp"
+#include "workload/task.hpp"
+
+namespace mcs::sched {
+
+/// A task eligible to run now (dependencies satisfied).
+struct ReadyTask {
+  workload::JobId job = 0;
+  std::size_t task_index = 0;
+  double work_seconds = 1.0;
+  infra::ResourceVector demand;
+  sim::SimTime job_submit = 0;
+  sim::SimTime became_ready = 0;
+  std::string user;
+  /// HEFT upward rank (critical-path distance to the job's exit, in
+  /// reference seconds); 0 for bag tasks.
+  double rank = 0.0;
+  /// Absolute deadline derived from the job's latency SLO (C3: NFRs reach
+  /// the scheduler); kTimeInfinity when the job has none.
+  sim::SimTime deadline = sim::kTimeInfinity;
+};
+
+/// A task currently executing (exposed so backfilling policies can reason
+/// about when capacity frees up).
+struct RunningView {
+  infra::MachineId machine = 0;
+  sim::SimTime expected_end = 0;
+  infra::ResourceVector demand;
+};
+
+/// Read-only snapshot handed to allocation policies each scheduling round.
+struct SchedulerView {
+  sim::SimTime now = 0;
+  const std::vector<ReadyTask>* ready = nullptr;
+  std::vector<const infra::Machine*> machines;  ///< usable, non-draining
+  const std::vector<RunningView>* running = nullptr;
+  /// Consumed core-seconds per user (fair-share input).
+  const std::map<std::string, double>* user_usage = nullptr;
+};
+
+/// One placement decision: ready-queue index -> machine.
+struct Assignment {
+  std::size_t ready_index = 0;
+  infra::MachineId machine = 0;
+};
+
+/// Strategy interface. `decide` proposes a batch of assignments; the engine
+/// applies the feasible prefix of each one (re-validating against live
+/// state) and calls again while progress is made, so policies may be
+/// stateless and straightforward.
+class AllocationPolicy {
+ public:
+  virtual ~AllocationPolicy() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<Assignment> decide(const SchedulerView& view) = 0;
+};
+
+/// Machine-choice heuristic shared by the ordering policies.
+enum class Fit {
+  kFirst,    ///< first machine with room
+  kBest,     ///< least leftover cores (packs tightly)
+  kWorst,    ///< most leftover cores (spreads)
+  kFastest,  ///< highest speed factor with room
+};
+
+/// FCFS: tasks in job-arrival order (then task index).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_fcfs(Fit fit = Fit::kFirst);
+
+/// SJF: shortest task first (work_seconds ascending).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_sjf(Fit fit = Fit::kFirst);
+
+/// LJF: longest task first.
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_ljf(Fit fit = Fit::kFirst);
+
+/// Fair-share: tasks of the least-served user first (by consumed
+/// core-seconds), FCFS within a user.
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_fair_share(
+    Fit fit = Fit::kFirst);
+
+/// EDF: earliest job deadline first (jobs without a latency SLO sort
+/// last); the deadline-aware policy of the paper's fine-grained-NFR vision
+/// (C3 — "expressing detailed NFRs for each unit of work").
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_edf(Fit fit = Fit::kFirst);
+
+/// EASY backfilling: FCFS head gets a reservation at the earliest time
+/// enough capacity frees up; later tasks may jump the queue iff their
+/// estimated completion does not push past the reservation (or they avoid
+/// the reserved machine).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_easy_backfilling();
+
+/// Conservative backfilling: *every* queued task that cannot start gets a
+/// reservation (not just the head); a later task backfills only when its
+/// estimated completion precedes every reservation on its machine — no
+/// queued task is ever delayed. Trades throughput for predictability
+/// (the classic EASY/conservative pair of the backfilling literature).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_conservative_backfilling();
+
+/// HEFT-style list scheduling: highest upward-rank first, placed on the
+/// machine with the earliest estimated finish time (speed-aware — the
+/// heterogeneity-honouring policy).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_heft();
+
+/// Min-min: repeatedly assign the task with the smallest minimum estimated
+/// completion time (favours short tasks; classic BoT heuristic).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_min_min();
+
+/// Max-min: like min-min but schedules the task with the *largest* minimum
+/// completion time first (gets big rocks in early).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_max_min();
+
+/// Random placement (the baseline of last resort).
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_random(std::uint64_t seed);
+
+/// All policy factory names (for sweeps); `make_policy` builds by name.
+[[nodiscard]] std::vector<std::string> all_policy_names();
+[[nodiscard]] std::unique_ptr<AllocationPolicy> make_policy(
+    const std::string& name);
+
+}  // namespace mcs::sched

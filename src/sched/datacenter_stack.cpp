@@ -1,0 +1,89 @@
+#include "sched/datacenter_stack.hpp"
+
+namespace mcs::sched {
+
+void OperationsService::monitor(const std::string& gauge,
+                                std::function<double()> probe,
+                                sim::SimTime interval, sim::SimTime until) {
+  if (interval <= 0) throw std::invalid_argument("monitor: interval <= 0");
+  series_[gauge];  // create the series up front
+  // Self-rescheduling sampling loop via a shared recursive closure.
+  auto holder = std::make_shared<std::function<void()>>();
+  *holder = [this, gauge, probe, interval, until, holder] {
+    auto it = series_.find(gauge);
+    if (it == series_.end()) return;
+    it->second.append(sim_.now(), probe());
+    ++samples_;
+    if (sim_.now() + interval <= until) {
+      sim_.schedule_after(interval, *holder);
+    }
+  };
+  sim_.schedule_after(0, *holder);
+}
+
+void OperationsService::log(const std::string& line) {
+  (void)line;  // content is not retained; volume is what the bench reports
+  ++log_count_;
+}
+
+const metrics::StepSeries* OperationsService::series(
+    const std::string& gauge) const {
+  auto it = series_.find(gauge);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+DatacenterStack::DatacenterStack(sim::Simulator& sim, infra::Datacenter& dc,
+                                 std::unique_ptr<AllocationPolicy> policy,
+                                 Config config)
+    : sim_(sim), dc_(dc) {
+  ops_ = std::make_unique<OperationsService>(sim_);
+  engine_ = std::make_unique<ExecutionEngine>(sim_, dc_, std::move(policy),
+                                              config.engine);
+  pool_ = std::make_unique<ProvisionedPool>(sim_, dc_, *engine_,
+                                            config.provisioning);
+  pool_->start_with(config.initial_machines);
+  monitor_interval_ = config.monitor_interval;
+}
+
+void DatacenterStack::submit(workload::Job job) {
+  ++frontend_ops_;
+  ops_->log("frontend: accepted job " + std::to_string(job.id));
+  engine_->submit(std::move(job));
+}
+
+void DatacenterStack::resize_pool(std::size_t machines) {
+  ++resources_ops_;
+  ops_->log("resources: target set to " + std::to_string(machines));
+  pool_->set_target(machines);
+}
+
+void DatacenterStack::start_monitoring(sim::SimTime until) {
+  ++devops_ops_;
+  ops_->monitor("utilization",
+                [this] {
+                  const double supply = engine_->supply_cores();
+                  return supply <= 0.0 ? 0.0
+                                       : engine_->demand_cores() / supply;
+                },
+                monitor_interval_, until);
+  ops_->monitor("power_watts", [this] { return dc_.power_watts(); },
+                monitor_interval_, until);
+}
+
+std::vector<LayerActivity> DatacenterStack::activity() const {
+  return {
+      {"Front-end", "application-level functionality", frontend_ops_},
+      {"Back-end", "task/resource management for the application",
+       engine_->jobs_completed()},
+      {"Resources", "task/resource management for the operator",
+       resources_ops_},
+      {"Operations Service", "distributed-OS basic services",
+       ops_->samples_taken()},
+      {"Infrastructure", "physical and virtual resources",
+       static_cast<std::uint64_t>(dc_.machine_count())},
+      {"DevOps", "monitoring, logging, benchmarking",
+       ops_->log_lines()},
+  };
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,488 @@
+#include "sched/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/stats.hpp"
+
+namespace mcs::sched {
+
+namespace {
+
+/// Upward ranks for HEFT: critical-path distance from each task to the
+/// job's exit, in reference seconds.
+std::vector<double> upward_ranks(const workload::Job& job) {
+  std::vector<double> rank(job.tasks.size(), 0.0);
+  // Build successor lists.
+  std::vector<std::vector<std::size_t>> succ(job.tasks.size());
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    for (std::size_t d : job.tasks[i].deps) succ[d].push_back(i);
+  }
+  // Tasks are topologically ordered; sweep backwards.
+  for (std::size_t i = job.tasks.size(); i-- > 0;) {
+    double best = 0.0;
+    for (std::size_t s : succ[i]) best = std::max(best, rank[s]);
+    rank[i] = job.tasks[i].work_seconds + best;
+  }
+  return rank;
+}
+
+}  // namespace
+
+ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
+                                 std::unique_ptr<AllocationPolicy> policy,
+                                 EngineConfig config)
+    : sim_(sim), dc_(dc), policy_(std::move(policy)), config_(config) {
+  if (!policy_) throw std::invalid_argument("ExecutionEngine: null policy");
+}
+
+void ExecutionEngine::submit(workload::Job job) {
+  if (!job.valid()) throw std::invalid_argument("ExecutionEngine: invalid job");
+  if (job.tasks.empty()) return;
+  if (job.submit_time < sim_.now()) job.submit_time = sim_.now();
+  const workload::JobId id = job.id;
+  if (jobs_.count(id) != 0) {
+    throw std::invalid_argument("ExecutionEngine: duplicate job id");
+  }
+
+  JobRuntime jr;
+  jr.missing_deps.resize(job.tasks.size());
+  jr.retries.assign(job.tasks.size(), 0);
+  jr.done.assign(job.tasks.size(), false);
+  jr.remaining = job.tasks.size();
+  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
+    jr.missing_deps[i] = job.tasks[i].deps.size();
+  }
+  const sim::SimTime at = job.submit_time;
+  jr.job = std::move(job);
+  jobs_.emplace(id, std::move(jr));
+  ++submitted_;
+  sim_.schedule_at(at, [this, id] { arrive(id); });
+}
+
+void ExecutionEngine::submit_all(std::vector<workload::Job> jobs) {
+  for (auto& j : jobs) submit(std::move(j));
+}
+
+void ExecutionEngine::set_policy(std::unique_ptr<AllocationPolicy> policy) {
+  if (!policy) throw std::invalid_argument("set_policy: null");
+  policy_ = std::move(policy);
+  kick();
+}
+
+void ExecutionEngine::arrive(workload::JobId id) {
+  JobRuntime& jr = jobs_.at(id);
+  const auto ranks = upward_ranks(jr.job);
+  for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
+    if (jr.missing_deps[i] == 0) enqueue_ready(jr, i);
+  }
+  // Stash ranks into the enqueued entries (and reuse later re-queues).
+  for (ReadyTask& rt : ready_) {
+    if (rt.job == id) rt.rank = ranks[rt.task_index];
+  }
+  record_series_point();
+  kick();
+}
+
+void ExecutionEngine::enqueue_ready(JobRuntime& jr, std::size_t task_index) {
+  ReadyTask rt;
+  rt.job = jr.job.id;
+  rt.task_index = task_index;
+  rt.work_seconds = jr.job.tasks[task_index].work_seconds;
+  rt.demand = jr.job.tasks[task_index].demand;
+  rt.job_submit = jr.job.submit_time;
+  rt.became_ready = sim_.now();
+  rt.user = jr.job.user;
+  // C3: the job's latency SLO becomes an absolute deadline the EDF policy
+  // can schedule against.
+  if (const auto slo = jr.job.sla.objective(core::NfrDimension::kLatency)) {
+    rt.deadline = jr.job.submit_time + sim::from_seconds(slo->target);
+  }
+  ready_.push_back(std::move(rt));
+}
+
+void ExecutionEngine::drain(infra::MachineId id) { draining_.insert(id); }
+void ExecutionEngine::undrain(infra::MachineId id) {
+  draining_.erase(id);
+  kick();
+}
+bool ExecutionEngine::is_draining(infra::MachineId id) const {
+  return draining_.count(id) != 0;
+}
+
+bool ExecutionEngine::idle(infra::MachineId id) const {
+  return std::none_of(running_.begin(), running_.end(), [&](const auto& kv) {
+    return kv.second.machine == id;
+  });
+}
+
+void ExecutionEngine::kick() {
+  if (schedule_pending_) return;
+  schedule_pending_ = true;
+  sim_.schedule_after(0, [this] {
+    schedule_pending_ = false;
+    try_schedule();
+  });
+}
+
+void ExecutionEngine::try_schedule() {
+  if (ready_.empty()) return;
+  bool progress = true;
+  while (progress && !ready_.empty()) {
+    progress = false;
+
+    SchedulerView view;
+    view.now = sim_.now();
+    view.ready = &ready_;
+    for (infra::Machine* m : dc_.machines()) {
+      if (m->usable() && draining_.count(m->id()) == 0) {
+        view.machines.push_back(m);
+      }
+    }
+    if (view.machines.empty()) return;
+    std::vector<RunningView> running_view;
+    running_view.reserve(running_.size());
+    for (const auto& [key, rt] : running_) {
+      running_view.push_back(RunningView{rt.machine, rt.expected_end, rt.held});
+    }
+    view.running = &running_view;
+    view.user_usage = &user_usage_;
+
+    const auto assignments = policy_->decide(view);
+    // Apply in descending ready-index order so indices stay valid while
+    // erasing; re-validate each against live machine state.
+    std::vector<Assignment> sorted = assignments;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Assignment& a, const Assignment& b) {
+                return a.ready_index > b.ready_index;
+              });
+    std::size_t last = ready_.size();  // guard against duplicate indices
+    for (const Assignment& a : sorted) {
+      if (a.ready_index >= last) continue;
+      last = a.ready_index;
+      if (start_task(a.ready_index, a.machine)) progress = true;
+    }
+
+    // Scavenging fallback (C7, [118]): policies only propose placements
+    // that fit whole; when nothing fits and scavenging is on, try each
+    // ready task directly — start_task itself knows how to borrow memory.
+    if (!progress && config_.scavenging.enabled) {
+      for (std::size_t i = ready_.size(); i-- > 0 && !progress;) {
+        for (const infra::Machine* m : view.machines) {
+          if (start_task(i, m->id())) {
+            progress = true;
+            break;
+          }
+        }
+      }
+    }
+  }
+  record_series_point();
+}
+
+bool ExecutionEngine::start_task(std::size_t ready_index,
+                                 infra::MachineId machine_id) {
+  if (ready_index >= ready_.size()) return false;
+  const ReadyTask rt = ready_[ready_index];
+  infra::Machine& m = dc_.machine(machine_id);
+  if (!m.usable() || draining_.count(machine_id) != 0) return false;
+
+  infra::ResourceVector held = rt.demand;
+  double runtime_multiplier = 1.0;
+
+  if (!m.can_fit(held)) {
+    // Memory scavenging (C7, [118]): run with partial local memory when
+    // enabled and only memory is short.
+    const auto avail = m.available();
+    const bool cores_ok = held.cores <= avail.cores &&
+                          held.accelerators <= avail.accelerators;
+    if (config_.scavenging.enabled && cores_ok &&
+        held.memory_gib > avail.memory_gib) {
+      const double local = std::max(avail.memory_gib, 0.0);
+      const double borrowed_fraction =
+          held.memory_gib <= 0.0
+              ? 0.0
+              : (held.memory_gib - local) / held.memory_gib;
+      if (borrowed_fraction <= config_.scavenging.max_borrow_fraction) {
+        held.memory_gib = local;
+        runtime_multiplier = 1.0 + config_.scavenging.penalty * borrowed_fraction;
+        ++tasks_scavenged_;
+      } else {
+        return false;
+      }
+    } else {
+      return false;
+    }
+  }
+
+  m.allocate(held);
+  ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(ready_index));
+
+  JobRuntime& jr = jobs_.at(rt.job);
+  if (!jr.first_start) jr.first_start = sim_.now();
+
+  const double runtime_s =
+      rt.work_seconds * runtime_multiplier / m.speed_factor();
+  const sim::SimTime end =
+      sim_.now() + std::max<sim::SimTime>(sim::from_seconds(runtime_s), 1);
+
+  const std::size_t key = next_running_key_++;
+  RunningTask task;
+  task.job = rt.job;
+  task.task_index = rt.task_index;
+  task.machine = machine_id;
+  task.start = sim_.now();
+  task.expected_end = end;
+  task.held = held;
+  task.work_seconds = rt.work_seconds;
+  task.completion = sim_.schedule_at(end, [this, key] { finish_task(key); });
+  running_.emplace(key, std::move(task));
+  return true;
+}
+
+void ExecutionEngine::finish_task(std::size_t running_key) {
+  auto it = running_.find(running_key);
+  if (it == running_.end()) return;
+  RunningTask rt = it->second;
+  running_.erase(it);
+
+  infra::Machine& m = dc_.machine(rt.machine);
+  if (m.usable()) m.release(rt.held);
+
+  const double core_seconds =
+      rt.held.cores * sim::to_seconds(sim_.now() - rt.start);
+  busy_core_seconds_ += core_seconds;
+
+  JobRuntime& jr = jobs_.at(rt.job);
+  user_usage_[jr.job.user] += core_seconds;
+  jr.done[rt.task_index] = true;
+  --jr.remaining;
+
+  // Unlock successors.
+  for (std::size_t i = rt.task_index + 1; i < jr.job.tasks.size(); ++i) {
+    if (jr.done[i]) continue;
+    const auto& deps = jr.job.tasks[i].deps;
+    if (std::find(deps.begin(), deps.end(), rt.task_index) != deps.end()) {
+      if (--jr.missing_deps[i] == 0) {
+        enqueue_ready(jr, i);
+        // Keep the HEFT rank usable after requeue.
+        ready_.back().rank = 0.0;
+      }
+    }
+  }
+  if (jr.remaining == 0) {
+    complete_job(jr, /*abandoned=*/false);
+  }
+  record_series_point();
+  kick();
+}
+
+void ExecutionEngine::on_machine_failed(infra::MachineId id) {
+  // Collect tasks running there (the machine has already dropped its
+  // allocations via Machine::fail()).
+  std::vector<std::size_t> keys;
+  for (const auto& [key, rt] : running_) {
+    if (rt.machine == id) keys.push_back(key);
+  }
+  for (std::size_t key : keys) {
+    auto rit = running_.find(key);
+    if (rit == running_.end()) continue;  // removed by a job abandonment
+    RunningTask rt = rit->second;
+    running_.erase(rit);
+    sim_.cancel(rt.completion);
+    ++tasks_killed_;
+
+    auto jit = jobs_.find(rt.job);
+    if (jit == jobs_.end()) continue;  // job already completed/abandoned
+    JobRuntime& jr = jit->second;
+    ++jr.failures;
+    if (config_.retry_failed_tasks &&
+        jr.retries[rt.task_index] < config_.max_retries) {
+      ++jr.retries[rt.task_index];
+      enqueue_ready(jr, rt.task_index);
+    } else {
+      // Abandon the whole job: it can never finish.
+      complete_job(jr, /*abandoned=*/true);
+    }
+  }
+  record_series_point();
+  kick();
+}
+
+void ExecutionEngine::complete_job(JobRuntime& jr, bool abandoned) {
+  JobStats stats;
+  stats.id = jr.job.id;
+  stats.user = jr.job.user;
+  stats.submit = jr.job.submit_time;
+  stats.first_start = jr.first_start.value_or(sim_.now());
+  stats.finish = sim_.now();
+  stats.wait_seconds = sim::to_seconds(stats.first_start - stats.submit);
+  stats.response_seconds = sim::to_seconds(stats.finish - stats.submit);
+  stats.critical_path_seconds = jr.job.critical_path_seconds();
+  stats.slowdown = stats.response_seconds /
+                   std::max(stats.critical_path_seconds, 1e-6);
+  stats.tasks = jr.job.tasks.size();
+  stats.task_failures = jr.failures;
+  stats.abandoned = abandoned;
+  completed_.push_back(std::move(stats));
+
+  if (abandoned) {
+    // Drop any still-queued/running work of this job.
+    const workload::JobId id = jr.job.id;
+    ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
+                                [&](const ReadyTask& t) { return t.job == id; }),
+                 ready_.end());
+    std::vector<std::size_t> keys;
+    for (const auto& [key, rt] : running_) {
+      if (rt.job == id) keys.push_back(key);
+    }
+    for (std::size_t key : keys) {
+      RunningTask rt = running_.at(key);
+      sim_.cancel(rt.completion);
+      infra::Machine& m = dc_.machine(rt.machine);
+      if (m.usable()) m.release(rt.held);
+      running_.erase(key);
+    }
+    jr.remaining = 0;
+  }
+  jobs_.erase(jr.job.id);
+}
+
+bool ExecutionEngine::all_done() const {
+  return jobs_.empty() && ready_.empty() && running_.empty();
+}
+
+double ExecutionEngine::demand_cores() const {
+  double cores = 0.0;
+  for (const ReadyTask& t : ready_) cores += t.demand.cores;
+  for (const auto& [key, rt] : running_) cores += rt.held.cores;
+  return cores;
+}
+
+double ExecutionEngine::supply_cores() const {
+  double cores = 0.0;
+  const infra::Datacenter& dc = dc_;
+  for (const infra::Machine* m : dc.machines()) {
+    if (m->usable() && draining_.count(m->id()) == 0) {
+      cores += m->capacity().cores;
+    }
+  }
+  return cores;
+}
+
+double ExecutionEngine::pending_work_core_seconds() const {
+  double work = 0.0;
+  for (const auto& [id, jr] : jobs_) {
+    for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
+      if (!jr.done[i]) {
+        work += jr.job.tasks[i].work_seconds * jr.job.tasks[i].demand.cores;
+      }
+    }
+  }
+  // Running tasks are already counted as not-done above; subtract the part
+  // already executed (approximate by elapsed fraction).
+  for (const auto& [key, rt] : running_) {
+    const double elapsed = sim::to_seconds(sim_.now() - rt.start);
+    work -= std::min(elapsed, rt.work_seconds) * rt.held.cores;
+  }
+  return std::max(work, 0.0);
+}
+
+std::size_t ExecutionEngine::eligible_within(sim::SimTime window) const {
+  std::size_t eligible = ready_.size();
+  const sim::SimTime horizon = sim_.now() + window;
+  // Successors of tasks that finish within the window, whose remaining
+  // dependency count would drop to zero.
+  for (const auto& [id, jr] : jobs_) {
+    // Count, per task, how many of its missing deps finish inside the window.
+    for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
+      if (jr.done[i] || jr.missing_deps[i] == 0) continue;
+      std::size_t resolving = 0;
+      for (std::size_t d : jr.job.tasks[i].deps) {
+        if (jr.done[d]) continue;
+        for (const auto& [key, rt] : running_) {
+          if (rt.job == id && rt.task_index == d &&
+              rt.expected_end <= horizon) {
+            ++resolving;
+            break;
+          }
+        }
+      }
+      if (resolving >= jr.missing_deps[i]) ++eligible;
+    }
+  }
+  return eligible;
+}
+
+SchedulerView ExecutionEngine::snapshot_view(
+    std::vector<RunningView>& running_storage) const {
+  SchedulerView view;
+  view.now = sim_.now();
+  view.ready = &ready_;
+  const infra::Datacenter& dc = dc_;
+  for (const infra::Machine* m : dc.machines()) {
+    if (m->usable() && draining_.count(m->id()) == 0) {
+      view.machines.push_back(m);
+    }
+  }
+  running_storage.clear();
+  running_storage.reserve(running_.size());
+  for (const auto& [key, rt] : running_) {
+    running_storage.push_back(RunningView{rt.machine, rt.expected_end, rt.held});
+  }
+  view.running = &running_storage;
+  view.user_usage = &user_usage_;
+  return view;
+}
+
+void ExecutionEngine::record_series_point() {
+  if (!config_.record_series) return;
+  demand_.append(sim_.now(), demand_cores());
+  supply_.append(sim_.now(), supply_cores());
+}
+
+RunResult summarize_run(const ExecutionEngine& engine,
+                        const infra::Datacenter& dc) {
+  RunResult result;
+  result.jobs = engine.completed();
+  if (result.jobs.empty()) return result;
+
+  metrics::Accumulator slowdown, wait;
+  sim::SimTime first_submit = sim::kTimeInfinity;
+  sim::SimTime last_finish = 0;
+  for (const JobStats& j : result.jobs) {
+    if (j.abandoned) {
+      ++result.abandoned;
+      continue;
+    }
+    slowdown.add(j.slowdown);
+    wait.add(j.wait_seconds);
+    first_submit = std::min(first_submit, j.submit);
+    last_finish = std::max(last_finish, j.finish);
+  }
+  result.mean_slowdown = slowdown.mean();
+  result.p95_slowdown = slowdown.count() > 0 ? slowdown.quantile(0.95) : 0.0;
+  result.mean_wait_seconds = wait.mean();
+  if (last_finish > first_submit) {
+    result.makespan_seconds = sim::to_seconds(last_finish - first_submit);
+    const double capacity_cores = dc.total_capacity().cores;
+    if (capacity_cores > 0.0 && result.makespan_seconds > 0.0) {
+      result.utilization = engine.busy_core_seconds() /
+                           (capacity_cores * result.makespan_seconds);
+    }
+  }
+  return result;
+}
+
+RunResult run_workload(infra::Datacenter& dc, std::vector<workload::Job> jobs,
+                       std::unique_ptr<AllocationPolicy> policy,
+                       EngineConfig config) {
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, std::move(policy), config);
+  engine.submit_all(std::move(jobs));
+  sim.run_until();
+  return summarize_run(engine, dc);
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,205 @@
+// The execution engine: event-driven job/task lifecycle on a datacenter.
+//
+// This is the Back-end layer of the Fig. 3 reference architecture (task and
+// resource management on behalf of the application). It owns the ready
+// queue, invokes the pluggable AllocationPolicy, runs tasks on machines
+// (runtime = work / machine speed), tracks dependencies, survives machine
+// failures by re-queueing killed tasks, supports draining for elastic
+// provisioning, and records the demand/supply series the SPEC elasticity
+// metrics and autoscalers consume.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "infra/topology.hpp"
+#include "metrics/elasticity.hpp"
+#include "sched/allocation.hpp"
+#include "sim/simulator.hpp"
+#include "workload/task.hpp"
+
+namespace mcs::sched {
+
+/// Memory-scavenging option (Uta et al. [118], challenge C7): a task whose
+/// memory does not fit locally may borrow remote memory for a runtime
+/// penalty proportional to the borrowed fraction.
+struct ScavengingConfig {
+  bool enabled = false;
+  /// At most this fraction of a task's memory may be remote.
+  double max_borrow_fraction = 0.5;
+  /// Runtime multiplier is 1 + penalty * borrowed_fraction.
+  double penalty = 0.6;
+};
+
+struct EngineConfig {
+  bool record_series = true;      ///< keep demand/supply StepSeries
+  bool retry_failed_tasks = true; ///< resubmit tasks killed by failures
+  std::size_t max_retries = 16;   ///< per task, before the job is abandoned
+  ScavengingConfig scavenging;
+};
+
+/// Final accounting for one completed (or abandoned) job.
+struct JobStats {
+  workload::JobId id = 0;
+  std::string user;
+  sim::SimTime submit = 0;
+  sim::SimTime first_start = 0;
+  sim::SimTime finish = 0;
+  double wait_seconds = 0.0;       ///< first task start - submit
+  double response_seconds = 0.0;   ///< finish - submit
+  double slowdown = 1.0;           ///< response / critical path (>= 1 ideal)
+  double critical_path_seconds = 0.0;
+  std::size_t tasks = 0;
+  std::size_t task_failures = 0;   ///< tasks killed by machine failures
+  bool abandoned = false;          ///< exceeded retry budget
+};
+
+class ExecutionEngine {
+ public:
+  ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
+                  std::unique_ptr<AllocationPolicy> policy,
+                  EngineConfig config = {});
+
+  /// Submits a job; its arrival event fires at job.submit_time (which must
+  /// be >= now).
+  void submit(workload::Job job);
+  void submit_all(std::vector<workload::Job> jobs);
+
+  /// Swaps the allocation policy (portfolio scheduling, C9/C7).
+  void set_policy(std::unique_ptr<AllocationPolicy> policy);
+  [[nodiscard]] std::string policy_name() const { return policy_->name(); }
+
+  // --- elasticity / provisioning hooks -------------------------------------
+
+  /// Marks a machine as draining: no new placements; running work finishes.
+  void drain(infra::MachineId id);
+  void undrain(infra::MachineId id);
+  [[nodiscard]] bool is_draining(infra::MachineId id) const;
+  /// True when the machine executes no task of this engine.
+  [[nodiscard]] bool idle(infra::MachineId id) const;
+
+  /// Failure hook (wire to FailureInjector): kills tasks running on the
+  /// machine; they are re-queued when retries remain.
+  void on_machine_failed(infra::MachineId id);
+
+  /// Re-evaluates the schedule (call after repairing/booting machines).
+  void kick();
+
+  // --- state & metrics -------------------------------------------------------
+
+  [[nodiscard]] bool all_done() const;
+  [[nodiscard]] std::size_t jobs_submitted() const { return submitted_; }
+  [[nodiscard]] std::size_t jobs_completed() const { return completed_.size(); }
+  [[nodiscard]] const std::vector<JobStats>& completed() const { return completed_; }
+  [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
+  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] std::size_t tasks_killed() const { return tasks_killed_; }
+  [[nodiscard]] std::size_t tasks_scavenged() const { return tasks_scavenged_; }
+
+  /// Demand (cores wanted by ready+running tasks) and supply (cores of
+  /// usable, non-draining machines) step series for elasticity metrics.
+  [[nodiscard]] const metrics::StepSeries& demand_series() const { return demand_; }
+  [[nodiscard]] const metrics::StepSeries& supply_series() const { return supply_; }
+
+  /// Instantaneous demand in cores.
+  [[nodiscard]] double demand_cores() const;
+  /// Instantaneous supply in cores.
+  [[nodiscard]] double supply_cores() const;
+  /// Pending work (ready + unstarted dependents + remaining running), in
+  /// reference core-seconds — the Plan autoscaler's input.
+  [[nodiscard]] double pending_work_core_seconds() const;
+  /// Tasks that are ready now plus tasks expected to become ready within
+  /// `window` (successors of tasks finishing in the window whose other
+  /// deps are done) — the Token autoscaler's level-of-parallelism input.
+  [[nodiscard]] std::size_t eligible_within(sim::SimTime window) const;
+
+  /// Consumed core-seconds per user.
+  [[nodiscard]] const std::map<std::string, double>& user_usage() const {
+    return user_usage_;
+  }
+
+  /// Builds the same view a policy would receive (for surrogate evaluation
+  /// by the portfolio scheduler). `running_storage` must outlive the view.
+  [[nodiscard]] SchedulerView snapshot_view(
+      std::vector<RunningView>& running_storage) const;
+
+  /// Integrated busy core-seconds (for utilization reporting).
+  [[nodiscard]] double busy_core_seconds() const { return busy_core_seconds_; }
+
+ private:
+  struct JobRuntime {
+    workload::Job job;
+    std::vector<std::size_t> missing_deps;  ///< per task
+    std::vector<std::size_t> retries;       ///< per task
+    std::vector<bool> done;
+    std::size_t remaining = 0;
+    std::optional<sim::SimTime> first_start;
+    std::size_t failures = 0;
+  };
+
+  struct RunningTask {
+    workload::JobId job;
+    std::size_t task_index;
+    infra::MachineId machine;
+    sim::SimTime start;
+    sim::SimTime expected_end;
+    infra::ResourceVector held;   ///< resources actually held on machine
+    double work_seconds;          ///< for usage accounting
+    sim::EventHandle completion;
+  };
+
+  void arrive(workload::JobId id);
+  void enqueue_ready(JobRuntime& jr, std::size_t task_index);
+  void try_schedule();
+  bool start_task(std::size_t ready_index, infra::MachineId machine);
+  void finish_task(std::size_t running_key);
+  void complete_job(JobRuntime& jr, bool abandoned);
+  void record_series_point();
+
+  sim::Simulator& sim_;
+  infra::Datacenter& dc_;
+  std::unique_ptr<AllocationPolicy> policy_;
+  EngineConfig config_;
+
+  std::map<workload::JobId, JobRuntime> jobs_;
+  std::vector<ReadyTask> ready_;
+  std::map<std::size_t, RunningTask> running_;  ///< key -> task
+  std::size_t next_running_key_ = 0;
+  std::set<infra::MachineId> draining_;
+
+  std::vector<JobStats> completed_;
+  std::size_t submitted_ = 0;
+  std::size_t tasks_killed_ = 0;
+  std::size_t tasks_scavenged_ = 0;
+  double busy_core_seconds_ = 0.0;
+  std::map<std::string, double> user_usage_;
+  metrics::StepSeries demand_;
+  metrics::StepSeries supply_;
+  bool schedule_pending_ = false;
+};
+
+/// Convenience driver: builds an engine, submits the trace, runs to
+/// completion (with an optional horizon), and returns per-job stats.
+struct RunResult {
+  std::vector<JobStats> jobs;
+  double mean_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+  double mean_wait_seconds = 0.0;
+  double makespan_seconds = 0.0;  ///< last finish - first submit
+  double utilization = 0.0;       ///< busy core-seconds / (supply * makespan)
+  std::size_t abandoned = 0;
+};
+
+[[nodiscard]] RunResult run_workload(infra::Datacenter& dc,
+                                     std::vector<workload::Job> jobs,
+                                     std::unique_ptr<AllocationPolicy> policy,
+                                     EngineConfig config = {});
+
+/// Aggregates stats from a finished engine.
+[[nodiscard]] RunResult summarize_run(const ExecutionEngine& engine,
+                                      const infra::Datacenter& dc);
+
+}  // namespace mcs::sched

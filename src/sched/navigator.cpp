@@ -1,0 +1,149 @@
+#include "sched/navigator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mcs::sched {
+
+namespace {
+
+/// Flattens jobs into (work, cores) units, with the workflow critical path
+/// kept as a lower bound on any schedule.
+struct FlatWorkload {
+  std::vector<std::pair<double, double>> tasks;  ///< (work_s, cores)
+  double max_critical_path_seconds = 0.0;
+  double max_task_cores = 0.0;
+  double max_task_memory = 0.0;
+};
+
+FlatWorkload flatten(const std::vector<workload::Job>& jobs) {
+  FlatWorkload flat;
+  for (const workload::Job& j : jobs) {
+    flat.max_critical_path_seconds =
+        std::max(flat.max_critical_path_seconds, j.critical_path_seconds());
+    for (const workload::Task& t : j.tasks) {
+      flat.tasks.emplace_back(t.work_seconds, t.demand.cores);
+      flat.max_task_cores = std::max(flat.max_task_cores, t.demand.cores);
+      flat.max_task_memory = std::max(flat.max_task_memory, t.demand.memory_gib);
+    }
+  }
+  return flat;
+}
+
+}  // namespace
+
+double predict_makespan(const std::vector<workload::Job>& jobs,
+                        const infra::InstanceType& type, std::size_t machines,
+                        const std::string& policy) {
+  if (machines == 0) return std::numeric_limits<double>::infinity();
+  FlatWorkload flat = flatten(jobs);
+  if (flat.max_task_cores > type.resources.cores ||
+      flat.max_task_memory > type.resources.memory_gib) {
+    return std::numeric_limits<double>::infinity();  // tasks cannot fit
+  }
+
+  // Policy ordering over the flattened tasks.
+  if (policy == "sjf") {
+    std::sort(flat.tasks.begin(), flat.tasks.end());
+  } else if (policy == "ljf") {
+    std::sort(flat.tasks.rbegin(), flat.tasks.rend());
+  }  // fcfs: submission order
+
+  // Greedy core-level list scheduling: each machine is a pool of cores
+  // approximated by a free-at clock per machine plus packing by cores.
+  std::vector<double> free_at(machines, 0.0);
+  double makespan = 0.0;
+  for (const auto& [work, cores] : flat.tasks) {
+    auto it = std::min_element(free_at.begin(), free_at.end());
+    // Fractional-core approximation: a task occupies its share of the
+    // machine for its runtime.
+    const double runtime = work / type.speed_factor;
+    const double occupancy = runtime * cores / type.resources.cores;
+    *it += occupancy;
+    makespan = std::max(makespan, *it + runtime * (1.0 - cores /
+                                                   type.resources.cores));
+  }
+  return std::max(makespan,
+                  flat.max_critical_path_seconds / type.speed_factor);
+}
+
+NavigationPlan navigate(const NavigationRequest& request,
+                        const infra::InstanceCatalog& catalog) {
+  NavigationPlan plan;
+  const FlatWorkload flat = flatten(request.workload);
+  const infra::ResourceVector per_task{flat.max_task_cores,
+                                       flat.max_task_memory, 0.0};
+
+  // Candidate machine counts: powers of two up to the cap, plus the cap.
+  std::vector<std::size_t> counts;
+  for (std::size_t n = 1; n <= request.max_machines; n *= 2) {
+    counts.push_back(n);
+  }
+  if (counts.empty() || counts.back() != request.max_machines) {
+    counts.push_back(request.max_machines);
+  }
+  const std::vector<std::string> policies = {"fcfs", "sjf"};
+
+  const NavigationAlternative* best = nullptr;
+  const NavigationAlternative* best_effort = nullptr;
+
+  for (const infra::InstanceType& type : catalog.feasible(per_task)) {
+    for (std::size_t machines : counts) {
+      for (const std::string& policy : policies) {
+        NavigationAlternative alt;
+        alt.instance_type = type.name;
+        alt.machines = machines;
+        alt.policy = policy;
+        alt.predicted_makespan_seconds =
+            predict_makespan(request.workload, type, machines, policy);
+        if (std::isinf(alt.predicted_makespan_seconds)) continue;
+        alt.predicted_cost = static_cast<double>(machines) *
+                             type.price_per_hour *
+                             alt.predicted_makespan_seconds / 3600.0;
+        alt.meets_deadline =
+            request.deadline_seconds <= 0.0 ||
+            alt.predicted_makespan_seconds <= request.deadline_seconds;
+        alt.meets_budget = request.budget <= 0.0 ||
+                           alt.predicted_cost <= request.budget;
+        plan.alternatives.push_back(std::move(alt));
+      }
+    }
+  }
+
+  for (const NavigationAlternative& alt : plan.alternatives) {
+    // Best-effort fallback: fastest overall.
+    if (best_effort == nullptr ||
+        alt.predicted_makespan_seconds <
+            best_effort->predicted_makespan_seconds) {
+      best_effort = &alt;
+    }
+    if (!alt.meets_deadline || !alt.meets_budget) continue;
+    if (best == nullptr || alt.predicted_cost < best->predicted_cost ||
+        (alt.predicted_cost == best->predicted_cost &&
+         alt.predicted_makespan_seconds <
+             best->predicted_makespan_seconds)) {
+      best = &alt;
+    }
+  }
+
+  if (best != nullptr) {
+    plan.feasible = true;
+    plan.chosen = *best;
+    plan.rationale =
+        "cheapest alternative meeting all objectives (" +
+        std::to_string(plan.alternatives.size()) + " evaluated)";
+  } else if (best_effort != nullptr) {
+    plan.feasible = false;
+    plan.chosen = *best_effort;
+    plan.rationale =
+        "no alternative meets the objectives; returning the fastest "
+        "best-effort configuration";
+  } else {
+    plan.feasible = false;
+    plan.rationale = "no catalog instance can host the workload's tasks";
+  }
+  return plan;
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,70 @@
+// The Ecosystem Navigation challenge (C9): "solving problems of
+// comparison, selection, composition, replacement, and adaptation of
+// components (and assemblies) on behalf of the user."
+//
+// The Navigator answers the paper's §5.1 motivating question — "which of
+// the tens of machine instances provided by Amazon EC2 should a researcher
+// start to use?" — for the restricted, well-specified-API case the paper
+// marks as tractable (C9 challenge (i)):
+//   input:  a workload (jobs), an instance catalog, and the user's
+//           objectives (deadline and/or budget);
+//   output: an instance type, a machine count, and an allocation policy,
+//           each chosen by explicit comparison, with the alternatives and
+//           their predicted outcomes reported (C13: explainability).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "infra/instance_catalog.hpp"
+#include "sched/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mcs::sched {
+
+struct NavigationRequest {
+  std::vector<workload::Job> workload;
+  /// Finish the whole workload within this many seconds (0 = no deadline).
+  double deadline_seconds = 0.0;
+  /// Spend at most this much (0 = no budget cap).
+  double budget = 0.0;
+  /// Hard cap on machines the user may rent.
+  std::size_t max_machines = 64;
+};
+
+/// One evaluated alternative (reported so the user can audit the choice).
+struct NavigationAlternative {
+  std::string instance_type;
+  std::size_t machines = 0;
+  std::string policy;
+  double predicted_makespan_seconds = 0.0;
+  double predicted_cost = 0.0;
+  bool meets_deadline = true;
+  bool meets_budget = true;
+};
+
+struct NavigationPlan {
+  bool feasible = false;
+  NavigationAlternative chosen;
+  std::vector<NavigationAlternative> alternatives;  ///< everything evaluated
+  std::string rationale;
+};
+
+/// Compares catalog instance types x machine counts x allocation policies
+/// with the greedy list-scheduling surrogate (no events), and picks the
+/// cheapest alternative satisfying the objectives; ties break toward the
+/// lower makespan. Infeasible requests return feasible=false with the
+/// best-effort alternative in `chosen`.
+[[nodiscard]] NavigationPlan navigate(const NavigationRequest& request,
+                                      const infra::InstanceCatalog& catalog);
+
+/// Surrogate used by navigate(): predicted makespan (seconds) of `jobs` on
+/// `machines` instances of the given type under a policy ordering,
+/// ignoring arrival gaps (batch assumption — conservative for deadlines).
+[[nodiscard]] double predict_makespan(const std::vector<workload::Job>& jobs,
+                                      const infra::InstanceType& type,
+                                      std::size_t machines,
+                                      const std::string& policy);
+
+}  // namespace mcs::sched

@@ -1,0 +1,133 @@
+#include "sched/portfolio.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mcs::sched {
+
+double estimate_queue_makespan(
+    const SchedulerView& view,
+    const std::function<bool(const ReadyTask&, const ReadyTask&)>& order) {
+  if (view.ready->empty()) return 0.0;
+  // Machine model: per machine, the time (seconds from now) when each of
+  // its cores frees up, approximated at whole-machine granularity by a
+  // "free-at" clock plus a free-core count. Greedy: tasks in policy order,
+  // each placed on the machine with the earliest feasible start.
+  struct M {
+    double free_at = 0.0;  ///< earliest time the queued-ahead work drains
+    double cores = 0.0;
+    double speed = 1.0;
+  };
+  std::vector<M> machines;
+  for (const infra::Machine* m : view.machines) {
+    M mm;
+    mm.cores = m->capacity().cores;
+    mm.speed = m->speed_factor();
+    // Current running tasks delay availability: approximate with the
+    // latest expected end among tasks on this machine.
+    for (const RunningView& r : *view.running) {
+      if (r.machine == m->id()) {
+        mm.free_at = std::max(
+            mm.free_at, sim::to_seconds(r.expected_end - view.now));
+      }
+    }
+    machines.push_back(mm);
+  }
+  if (machines.empty()) return std::numeric_limits<double>::max();
+
+  std::vector<const ReadyTask*> tasks;
+  tasks.reserve(view.ready->size());
+  for (const ReadyTask& t : *view.ready) tasks.push_back(&t);
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [&](const ReadyTask* a, const ReadyTask* b) {
+                     return order(*a, *b);
+                   });
+
+  double makespan = 0.0;
+  for (const ReadyTask* t : tasks) {
+    // Earliest-finish machine.
+    std::size_t best = machines.size();
+    double best_finish = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      if (t->demand.cores > machines[i].cores) continue;
+      const double finish =
+          machines[i].free_at + t->work_seconds / machines[i].speed;
+      if (finish < best_finish) {
+        best_finish = finish;
+        best = i;
+      }
+    }
+    if (best == machines.size()) continue;  // task cannot run anywhere
+    machines[best].free_at = best_finish;
+    makespan = std::max(makespan, best_finish);
+  }
+  return makespan;
+}
+
+std::vector<PortfolioCandidate> default_portfolio() {
+  std::vector<PortfolioCandidate> out;
+  out.push_back({"fcfs", [](const ReadyTask& a, const ReadyTask& b) {
+                   if (a.job_submit != b.job_submit)
+                     return a.job_submit < b.job_submit;
+                   if (a.job != b.job) return a.job < b.job;
+                   return a.task_index < b.task_index;
+                 }});
+  out.push_back({"sjf", [](const ReadyTask& a, const ReadyTask& b) {
+                   return a.work_seconds < b.work_seconds;
+                 }});
+  out.push_back({"ljf", [](const ReadyTask& a, const ReadyTask& b) {
+                   return a.work_seconds > b.work_seconds;
+                 }});
+  return out;
+}
+
+PortfolioScheduler::PortfolioScheduler(sim::Simulator& sim,
+                                       infra::Datacenter& dc,
+                                       ExecutionEngine& engine,
+                                       std::vector<PortfolioCandidate> candidates,
+                                       sim::SimTime interval)
+    : sim_(sim),
+      dc_(dc),
+      engine_(engine),
+      candidates_(std::move(candidates)),
+      interval_(interval),
+      selections_(candidates_.size(), 0) {
+  if (candidates_.empty()) {
+    throw std::invalid_argument("PortfolioScheduler: no candidates");
+  }
+  current_ = engine_.policy_name();
+}
+
+void PortfolioScheduler::start() {
+  sim_.schedule_after(interval_, [this] { tick(); });
+}
+
+void PortfolioScheduler::tick() {
+  if (engine_.all_done()) return;
+
+  // Score every candidate against the engine's live queue snapshot with the
+  // greedy surrogate, and switch to the winner.
+  std::vector<RunningView> running_storage;
+  const SchedulerView snapshot = engine_.snapshot_view(running_storage);
+  if (snapshot.ready != nullptr && !snapshot.ready->empty() &&
+      !snapshot.machines.empty()) {
+    double best_makespan = std::numeric_limits<double>::max();
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const double est = estimate_queue_makespan(snapshot, candidates_[i].order);
+      if (est < best_makespan) {
+        best_makespan = est;
+        best = i;
+      }
+    }
+    ++selections_[best];
+    if (candidates_[best].policy_name != current_) {
+      current_ = candidates_[best].policy_name;
+      engine_.set_policy(make_policy(current_));
+      ++switches_;
+    }
+  }
+  sim_.schedule_after(interval_, [this] { tick(); });
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,132 @@
+#include "sched/provisioning.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::sched {
+
+ProvisionedPool::ProvisionedPool(sim::Simulator& sim, infra::Datacenter& dc,
+                                 ExecutionEngine& engine,
+                                 ProvisioningConfig config)
+    : sim_(sim), dc_(dc), engine_(engine), config_(config) {
+  if (config_.min_machines == 0) config_.min_machines = 1;
+  // All machines start powered off; start_with() turns the first ones on.
+  for (infra::Machine* m : dc_.machines()) {
+    m->set_state(infra::MachineState::kOff);
+  }
+}
+
+void ProvisionedPool::start_with(std::size_t n) {
+  n = std::min(n, dc_.machine_count());
+  n = std::max(n, config_.min_machines);
+  for (infra::MachineId id = 0; id < n; ++id) {
+    dc_.machine(id).set_state(infra::MachineState::kOperational);
+    on_.insert(id);
+  }
+  target_ = n;
+  record_supply();
+}
+
+void ProvisionedPool::set_target(std::size_t target) {
+  target = std::clamp(target, config_.min_machines, dc_.machine_count());
+  target_ = target;
+
+  const std::size_t current = on_.size() + booting_.size();
+  if (target > current) {
+    // Grow: boot powered-off machines (reusing draining ones first — they
+    // are already warm).
+    std::size_t need = target - current;
+    // Cancel drains first.
+    while (need > 0 && !draining_.empty()) {
+      const infra::MachineId id = *draining_.begin();
+      draining_.erase(draining_.begin());
+      engine_.undrain(id);
+      on_.insert(id);
+      --need;
+    }
+    for (infra::Machine* m : dc_.machines()) {
+      if (need == 0) break;
+      const infra::MachineId id = m->id();
+      if (m->state() == infra::MachineState::kOff &&
+          booting_.count(id) == 0) {
+        booting_.insert(id);
+        sim_.schedule_after(config_.boot_delay, [this, id] { power_on(id); });
+        --need;
+      }
+    }
+  } else if (target < current) {
+    // Shrink: drain the highest-id active machines (booting ones cannot be
+    // recalled; they will be reconciled at the next set_target call).
+    std::size_t excess = current - target;
+    std::vector<infra::MachineId> candidates(on_.begin(), on_.end());
+    std::sort(candidates.rbegin(), candidates.rend());
+    for (infra::MachineId id : candidates) {
+      if (excess == 0) break;
+      begin_drain(id);
+      --excess;
+    }
+  }
+  reap_drained();
+  record_supply();
+}
+
+void ProvisionedPool::power_on(infra::MachineId id) {
+  booting_.erase(id);
+  infra::Machine& m = dc_.machine(id);
+  if (m.state() == infra::MachineState::kOff) {
+    m.set_state(infra::MachineState::kOperational);
+  }
+  on_.insert(id);
+  record_supply();
+  engine_.kick();
+}
+
+void ProvisionedPool::begin_drain(infra::MachineId id) {
+  if (on_.count(id) == 0) return;
+  on_.erase(id);
+  draining_.insert(id);
+  engine_.drain(id);
+}
+
+void ProvisionedPool::finish_drain(infra::MachineId id) {
+  draining_.erase(id);
+  engine_.undrain(id);  // clear the engine-side mark before power-off
+  dc_.machine(id).set_state(infra::MachineState::kOff);
+  record_supply();
+}
+
+void ProvisionedPool::reap_drained() {
+  bill_until_now();
+  std::vector<infra::MachineId> done;
+  for (infra::MachineId id : draining_) {
+    if (engine_.idle(id)) done.push_back(id);
+  }
+  for (infra::MachineId id : done) finish_drain(id);
+}
+
+std::size_t ProvisionedPool::active() const { return on_.size(); }
+
+std::size_t ProvisionedPool::powered() const {
+  return on_.size() + draining_.size();
+}
+
+void ProvisionedPool::bill_until_now() const {
+  const sim::SimTime now = sim_.now();
+  if (now <= billed_until_) return;
+  const double hours = sim::to_seconds(now - billed_until_) / 3600.0;
+  billed_cost_ += hours * static_cast<double>(powered()) *
+                  config_.price_per_machine_hour;
+  billed_until_ = now;
+}
+
+double ProvisionedPool::cost() const {
+  bill_until_now();
+  return billed_cost_;
+}
+
+void ProvisionedPool::record_supply() {
+  bill_until_now();
+  supply_.append(sim_.now(), static_cast<double>(on_.size()));
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,49 @@
+#include "sched/scavenging.hpp"
+
+namespace mcs::sched {
+
+namespace {
+
+ScavengingOutcome run_once(const std::vector<workload::Job>& jobs,
+                           std::size_t machines, double cores_each,
+                           double memory_each, const ScavengingConfig& scav) {
+  infra::Datacenter dc("scavenge-dc", "local");
+  dc.add_uniform_racks(1, machines,
+                       infra::ResourceVector{cores_each, memory_each, 0.0},
+                       1.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.scavenging = scav;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  engine.submit_all(jobs);
+  sim.run_until();
+
+  const RunResult result = summarize_run(engine, dc);
+  ScavengingOutcome out;
+  out.scavenging = scav.enabled;
+  out.mean_slowdown = result.mean_slowdown;
+  out.makespan_seconds = result.makespan_seconds;
+  out.tasks_scavenged = engine.tasks_scavenged();
+  out.jobs_completed = engine.jobs_completed();
+  out.jobs_abandoned = engine.jobs_submitted() - engine.jobs_completed();
+  out.utilization = result.utilization;
+  return out;
+}
+
+}  // namespace
+
+ScavengingComparison compare_scavenging(std::vector<workload::Job> jobs,
+                                        std::size_t machines,
+                                        double cores_each, double memory_each,
+                                        const ScavengingConfig& config) {
+  ScavengingComparison cmp;
+  ScavengingConfig off = config;
+  off.enabled = false;
+  ScavengingConfig on = config;
+  on.enabled = true;
+  cmp.off = run_once(jobs, machines, cores_each, memory_each, off);
+  cmp.on = run_once(std::move(jobs), machines, cores_each, memory_each, on);
+  return cmp;
+}
+
+}  // namespace mcs::sched

@@ -1,0 +1,36 @@
+// Memory-scavenging experiment harness (C7; Uta et al. [118]).
+//
+// The engine implements the mechanism (ScavengingConfig); this helper runs
+// the canonical comparison: a memory-hungry workload on a machine pool that
+// is memory-constrained, with scavenging off vs on, reporting the published
+// trade-off shape — "a relatively small performance overhead can be traded
+// for significant gains in resource consumption".
+#pragma once
+
+#include "sched/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace mcs::sched {
+
+struct ScavengingOutcome {
+  bool scavenging = false;
+  double mean_slowdown = 0.0;
+  double makespan_seconds = 0.0;
+  std::size_t tasks_scavenged = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_abandoned = 0;  ///< could not place (insufficient memory)
+  double utilization = 0.0;
+};
+
+/// Runs the given jobs on `machines` machines of `cores_each` cores and
+/// `memory_each` GiB, with/without scavenging, and returns both outcomes.
+struct ScavengingComparison {
+  ScavengingOutcome off;
+  ScavengingOutcome on;
+};
+
+[[nodiscard]] ScavengingComparison compare_scavenging(
+    std::vector<workload::Job> jobs, std::size_t machines, double cores_each,
+    double memory_each, const ScavengingConfig& config);
+
+}  // namespace mcs::sched

@@ -1,0 +1,79 @@
+#include "sim/arrival.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcs::sim {
+
+PoissonProcess::PoissonProcess(double rate_per_second) {
+  if (rate_per_second <= 0.0) {
+    throw std::invalid_argument("PoissonProcess: rate <= 0");
+  }
+  mean_gap_seconds_ = 1.0 / rate_per_second;
+}
+
+SimTime PoissonProcess::next_gap(Rng& rng) {
+  return from_seconds(rng.exponential(mean_gap_seconds_));
+}
+
+MmppProcess::MmppProcess(double calm_rate, double burst_rate,
+                         double mean_calm_seconds, double mean_burst_seconds)
+    : calm_rate_(calm_rate),
+      burst_rate_(burst_rate),
+      mean_calm_s_(mean_calm_seconds),
+      mean_burst_s_(mean_burst_seconds) {
+  if (calm_rate <= 0.0 || burst_rate <= 0.0 || mean_calm_seconds <= 0.0 ||
+      mean_burst_seconds <= 0.0) {
+    throw std::invalid_argument("MmppProcess: non-positive parameter");
+  }
+}
+
+SimTime MmppProcess::next_gap(Rng& rng) {
+  double gap_s = 0.0;
+  for (;;) {
+    if (state_left_s_ <= 0.0) {
+      // Enter a fresh state.
+      state_left_s_ = rng.exponential(in_burst_ ? mean_burst_s_ : mean_calm_s_);
+    }
+    const double rate = in_burst_ ? burst_rate_ : calm_rate_;
+    const double candidate = rng.exponential(1.0 / rate);
+    if (candidate <= state_left_s_) {
+      state_left_s_ -= candidate;
+      gap_s += candidate;
+      return from_seconds(gap_s);
+    }
+    // No arrival before the state expires: advance to the switch and retry.
+    gap_s += state_left_s_;
+    state_left_s_ = 0.0;
+    in_burst_ = !in_burst_;
+  }
+}
+
+DiurnalProcess::DiurnalProcess(double base_rate, double amplitude,
+                               SimTime period)
+    : base_rate_(base_rate), amplitude_(amplitude), period_(period) {
+  if (base_rate <= 0.0 || period <= 0) {
+    throw std::invalid_argument("DiurnalProcess: bad parameters");
+  }
+  if (amplitude < 0.0 || amplitude > 1.0) {
+    throw std::invalid_argument("DiurnalProcess: amplitude outside [0,1]");
+  }
+}
+
+SimTime DiurnalProcess::next_gap(Rng& rng) {
+  // Thinning against the max rate base*(1+amplitude).
+  const double max_rate = base_rate_ * (1.0 + amplitude_);
+  const SimTime start = virtual_now_;
+  for (;;) {
+    virtual_now_ += from_seconds(rng.exponential(1.0 / max_rate));
+    const double phase = 2.0 * M_PI *
+                         static_cast<double>(virtual_now_ % period_) /
+                         static_cast<double>(period_);
+    const double rate = base_rate_ * (1.0 + amplitude_ * std::sin(phase));
+    if (rng.uniform() * max_rate <= rate) {
+      return virtual_now_ - start;
+    }
+  }
+}
+
+}  // namespace mcs::sim

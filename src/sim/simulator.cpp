@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace mcs::sim {
+
+SimTime from_seconds(double seconds) {
+  if (seconds <= 0.0) return 0;
+  const double us = seconds * static_cast<double>(kSecond);
+  if (us >= static_cast<double>(kTimeInfinity)) return kTimeInfinity;
+  return static_cast<SimTime>(std::llround(us));
+}
+
+double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("Simulator::schedule_at: time in the past");
+  }
+  const std::uint64_t id = next_id_++;
+  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid() || h.id_ >= next_id_) return false;
+  return cancelled_.insert(h.id_).second;
+}
+
+void Simulator::purge_cancelled_top() {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+bool Simulator::step() {
+  purge_cancelled_top();
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.at;
+  ++executed_;
+  e.fn();
+  return true;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t ran = 0;
+  for (;;) {
+    purge_cancelled_top();
+    if (queue_.empty() || queue_.top().at > until) break;
+    if (!step()) break;
+    ++ran;
+  }
+  if (now_ < until && until != kTimeInfinity) now_ = until;
+  return ran;
+}
+
+}  // namespace mcs::sim

@@ -1,0 +1,116 @@
+// Deterministic discrete-event simulation kernel.
+//
+// The paper (C15, §3.3 "Experimentation and simulation") argues that
+// simulation is the primary community instrument for studying computer
+// ecosystems; every subsystem in this repository runs on this kernel.
+//
+// Design choices:
+//  - Virtual time is an integer count of microseconds (SimTime). Integer time
+//    keeps event ordering exact and runs reproducible across platforms.
+//  - Ties are broken by (priority, insertion sequence), so a simulation is a
+//    pure function of its inputs and RNG seed.
+//  - Single-threaded by design: determinism and debuggability outrank kernel
+//    speed for this scale of model (see bench/micro_sim for throughput).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace mcs::sim {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1'000;
+constexpr SimTime kSecond = 1'000'000;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+constexpr SimTime kTimeInfinity = std::numeric_limits<SimTime>::max();
+
+/// Converts a duration in (floating point) seconds to SimTime, rounding to
+/// the nearest microsecond. Negative durations clamp to zero.
+SimTime from_seconds(double seconds);
+
+/// Converts SimTime to floating point seconds (for reporting only).
+double to_seconds(SimTime t);
+
+/// Opaque handle used to cancel a scheduled event.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  [[nodiscard]] bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+/// The discrete-event engine. Owns the virtual clock and the event queue.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at absolute virtual time `at` (>= now()).
+  /// Events at equal times run in scheduling order.
+  EventHandle schedule_at(SimTime at, Callback fn);
+
+  /// Schedules `fn` to run `delay` after now().
+  EventHandle schedule_after(SimTime delay, Callback fn);
+
+  /// Cancels a pending event; returns false if it already ran or was
+  /// cancelled. Cancelling is O(1): the event is tombstoned in place.
+  bool cancel(EventHandle h);
+
+  /// Runs events until the queue drains or `until` is passed. Returns the
+  /// number of events executed. The clock never exceeds `until`.
+  std::size_t run_until(SimTime until = kTimeInfinity);
+
+  /// Runs exactly one event if available; returns whether one ran.
+  bool step();
+
+  /// Number of events waiting (including tombstoned ones).
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+ private:
+  void purge_cancelled_top();
+
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;  // insertion order; breaks ties deterministically
+    std::uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<std::uint64_t> cancelled_;  // tombstoned event ids
+};
+
+}  // namespace mcs::sim

@@ -1,0 +1,37 @@
+// Workload archive I/O — the Grid Workload Archive gesture ([139], C16:
+// "tools and instruments to gather valuable ... operational traces, and to
+// provide them alongside software artifacts").
+//
+// A minimal line-oriented text format (MWF, "mcs workload format"),
+// versioned and self-describing, so generated traces can be saved, shared,
+// and replayed bit-identically across runs and machines:
+//
+//   # comments / header
+//   job <id> <submit_us> <user>
+//   task <work_seconds> <cores> <memory_gib> <accelerators> <ndeps> [deps...]
+//
+// Tasks belong to the most recent job line; deps are in-job task indices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/task.hpp"
+
+namespace mcs::workload {
+
+/// Serializes jobs to the MWF text format.
+void write_archive(std::ostream& os, const std::vector<Job>& jobs);
+
+/// Parses an MWF stream; throws std::runtime_error with a line number on
+/// malformed input. SLAs are not serialized (archives carry workload
+/// structure, not agreements).
+[[nodiscard]] std::vector<Job> read_archive(std::istream& is);
+
+/// Convenience: full round trip through a string (used by tests and by
+/// callers that embed archives).
+[[nodiscard]] std::string to_archive_string(const std::vector<Job>& jobs);
+[[nodiscard]] std::vector<Job> from_archive_string(const std::string& text);
+
+}  // namespace mcs::workload

@@ -1,0 +1,127 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace mcs::workload {
+
+namespace {
+
+std::unique_ptr<sim::ArrivalProcess> make_arrivals(const TraceConfig& c) {
+  const double per_second = c.arrival_rate_per_hour / 3600.0;
+  switch (c.arrivals) {
+    case ArrivalKind::kPoisson:
+      return std::make_unique<sim::PoissonProcess>(per_second);
+    case ArrivalKind::kBursty:
+      // Bursts at 20x the calm rate; calm 10x longer than bursts, so the
+      // long-run rate stays near the configured one.
+      return std::make_unique<sim::MmppProcess>(
+          per_second * 0.5, per_second * 6.0, 2000.0, 400.0);
+    case ArrivalKind::kDiurnal:
+      return std::make_unique<sim::DiurnalProcess>(per_second, 0.8, sim::kDay);
+  }
+  throw std::logic_error("make_arrivals: unknown kind");
+}
+
+}  // namespace
+
+std::vector<Job> generate_trace(const TraceConfig& config, sim::Rng& rng,
+                                JobId first_id) {
+  if (config.job_count == 0) return {};
+  if (config.workflow_fraction < 0.0 || config.workflow_fraction > 1.0) {
+    throw std::invalid_argument("generate_trace: workflow_fraction");
+  }
+  if (config.fragmentation_factor < 1.0) {
+    throw std::invalid_argument("generate_trace: fragmentation_factor < 1");
+  }
+
+  auto arrivals = make_arrivals(config);
+  std::vector<Job> jobs;
+  jobs.reserve(config.job_count);
+  sim::SimTime clock = 0;
+
+  for (std::size_t i = 0; i < config.job_count; ++i) {
+    clock += arrivals->next_gap(rng);
+    const double progress = config.job_count <= 1
+                                ? 0.0
+                                : static_cast<double>(i) /
+                                      static_cast<double>(config.job_count - 1);
+    // Fragmentation trend: more, smaller tasks as the trace ages.
+    const double frag = 1.0 + (config.fragmentation_factor - 1.0) * progress;
+
+    Job job;
+    const JobId id = first_id + i;
+    if (rng.chance(config.workflow_fraction)) {
+      WorkflowSizing sizing;
+      sizing.mean_task_seconds = config.mean_task_seconds / frag;
+      sizing.cv_task_seconds = config.cv_task_seconds;
+      sizing.demand = infra::ResourceVector{
+          config.mean_cores_per_task,
+          config.mean_cores_per_task * config.memory_per_core_gib, 0.0};
+      // Rotate among the three scientific shapes.
+      switch (i % 3) {
+        case 0:
+          job = make_montage_like(id, config.workflow_width, sizing, rng);
+          break;
+        case 1:
+          job = make_epigenomics_like(
+              id, std::max<std::size_t>(1, config.workflow_width / 4), sizing,
+              rng);
+          break;
+        default:
+          job = make_ligo_like(id, 2, config.workflow_width / 2 + 1, sizing,
+                               rng);
+          break;
+      }
+    } else {
+      const double mean_tasks = config.mean_tasks_per_job * frag;
+      const auto n = static_cast<std::size_t>(
+          std::max(1.0, std::round(rng.lognormal_mean_cv(mean_tasks, 0.6))));
+      job.id = id;
+      job.tasks.reserve(n);
+      for (std::size_t t = 0; t < n; ++t) {
+        Task task;
+        task.work_seconds = rng.lognormal_mean_cv(
+            config.mean_task_seconds / frag, config.cv_task_seconds);
+        const double cores = std::max(
+            1.0, std::round(rng.lognormal_mean_cv(
+                     std::max(1.0, config.mean_cores_per_task), 0.5)));
+        task.demand = infra::ResourceVector{
+            cores, cores * config.memory_per_core_gib,
+            rng.chance(config.accelerated_fraction) ? 1.0 : 0.0};
+        job.tasks.push_back(std::move(task));
+      }
+    }
+    job.submit_time = clock;
+    job.user = "user-" + std::to_string(rng.zipf(config.user_count, 1.1));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TraceSummary summarize(const std::vector<Job>& jobs) {
+  TraceSummary s;
+  s.jobs = jobs.size();
+  if (jobs.empty()) return s;
+  double task_seconds_sum = 0.0;
+  for (const Job& j : jobs) {
+    s.tasks += j.tasks.size();
+    s.total_work_seconds += j.total_work_seconds();
+    for (const Task& t : j.tasks) task_seconds_sum += t.work_seconds;
+    if (j.is_workflow()) ++s.workflow_jobs;
+  }
+  s.mean_tasks_per_job =
+      static_cast<double>(s.tasks) / static_cast<double>(s.jobs);
+  s.mean_task_seconds =
+      s.tasks == 0 ? 0.0 : task_seconds_sum / static_cast<double>(s.tasks);
+  auto [lo, hi] = std::minmax_element(
+      jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+        return a.submit_time < b.submit_time;
+      });
+  s.span = hi->submit_time - lo->submit_time;
+  return s;
+}
+
+}  // namespace mcs::workload

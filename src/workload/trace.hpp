@@ -1,0 +1,69 @@
+// Workload trace generation (the Grid Workloads Archive substitute).
+//
+// The paper relies on its workload-characterization lineage ([39], [107],
+// [113]): lognormal task sizes, bursty MMPP arrivals, multiple users with
+// Zipf activity, a tunable workflow fraction, and the long-term
+// *fragmentation* trend (jobs splitting into ever more, ever smaller
+// tasks — §6.5: "since 2011, starting with grid computing workloads, ...
+// splitting projects into ever-smaller ... components"). DESIGN.md §5
+// documents this generator as the substitution for production traces.
+#pragma once
+
+#include <vector>
+
+#include "sim/arrival.hpp"
+#include "sim/random.hpp"
+#include "workload/workflow.hpp"
+
+namespace mcs::workload {
+
+enum class ArrivalKind { kPoisson, kBursty, kDiurnal };
+
+struct TraceConfig {
+  std::size_t job_count = 100;
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double arrival_rate_per_hour = 60.0;
+
+  // Job shape mix: fraction of jobs that are workflows (rest are bags).
+  double workflow_fraction = 0.0;
+
+  // Bag-of-tasks sizing.
+  double mean_tasks_per_job = 8.0;       ///< geometric-ish via lognormal
+  double mean_task_seconds = 60.0;
+  double cv_task_seconds = 1.0;
+  double mean_cores_per_task = 1.0;      ///< 1 => all single-core
+  double memory_per_core_gib = 2.0;
+  double accelerated_fraction = 0.0;     ///< tasks needing an accelerator
+
+  // Workflow sizing (when workflow_fraction > 0).
+  std::size_t workflow_width = 8;
+
+  // User population: activity is Zipf(1.1)-distributed over users.
+  std::size_t user_count = 5;
+
+  // Long-term fragmentation [39]: by the end of the trace, jobs have
+  // `fragmentation_factor` times more tasks, each proportionally smaller
+  // (total work per job preserved). 1.0 disables the trend.
+  double fragmentation_factor = 1.0;
+};
+
+/// Generates a full trace: jobs sorted by submit time, ids consecutive
+/// starting at `first_id`.
+[[nodiscard]] std::vector<Job> generate_trace(const TraceConfig& config,
+                                              sim::Rng& rng,
+                                              JobId first_id = 0);
+
+/// Summary statistics of a trace, used by tests and reporting.
+struct TraceSummary {
+  std::size_t jobs = 0;
+  std::size_t tasks = 0;
+  double total_work_seconds = 0.0;
+  double mean_tasks_per_job = 0.0;
+  double mean_task_seconds = 0.0;
+  sim::SimTime span = 0;  ///< last submit - first submit
+  std::size_t workflow_jobs = 0;
+};
+
+[[nodiscard]] TraceSummary summarize(const std::vector<Job>& jobs);
+
+}  // namespace mcs::workload

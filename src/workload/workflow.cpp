@@ -1,0 +1,198 @@
+#include "workload/workflow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcs::workload {
+
+namespace {
+
+Task sized_task(const WorkflowSizing& sizing, sim::Rng& rng) {
+  Task t;
+  t.work_seconds =
+      rng.lognormal_mean_cv(sizing.mean_task_seconds, sizing.cv_task_seconds);
+  t.demand = sizing.demand;
+  return t;
+}
+
+}  // namespace
+
+Job make_chain(JobId id, std::size_t stages, double work_each) {
+  if (stages == 0) throw std::invalid_argument("make_chain: zero stages");
+  Job job;
+  job.id = id;
+  for (std::size_t i = 0; i < stages; ++i) {
+    Task t;
+    t.work_seconds = work_each;
+    if (i > 0) t.deps.push_back(i - 1);
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+Job make_fork_join(JobId id, std::size_t width, std::size_t stages,
+                   double work_each) {
+  if (width == 0 || stages == 0) {
+    throw std::invalid_argument("make_fork_join: zero width/stages");
+  }
+  Job job;
+  job.id = id;
+  std::size_t prev_sink = 0;
+  for (std::size_t s = 0; s < stages; ++s) {
+    // Source.
+    Task src;
+    src.work_seconds = work_each;
+    if (s > 0) src.deps.push_back(prev_sink);
+    job.tasks.push_back(std::move(src));
+    const std::size_t src_idx = job.tasks.size() - 1;
+    // Parallel body.
+    std::vector<std::size_t> body;
+    for (std::size_t w = 0; w < width; ++w) {
+      Task t;
+      t.work_seconds = work_each;
+      t.deps.push_back(src_idx);
+      job.tasks.push_back(std::move(t));
+      body.push_back(job.tasks.size() - 1);
+    }
+    // Sink.
+    Task sink;
+    sink.work_seconds = work_each;
+    sink.deps = body;
+    job.tasks.push_back(std::move(sink));
+    prev_sink = job.tasks.size() - 1;
+  }
+  return job;
+}
+
+Job make_montage_like(JobId id, std::size_t width,
+                      const WorkflowSizing& sizing, sim::Rng& rng) {
+  if (width < 2) throw std::invalid_argument("make_montage_like: width < 2");
+  Job job;
+  job.id = id;
+  // Stage 1: mProject fan-out.
+  std::vector<std::size_t> project;
+  for (std::size_t i = 0; i < width; ++i) {
+    job.tasks.push_back(sized_task(sizing, rng));
+    project.push_back(job.tasks.size() - 1);
+  }
+  // Stage 2: mDiff on neighbouring pairs (width-1 overlap tasks).
+  std::vector<std::size_t> diffs;
+  for (std::size_t i = 0; i + 1 < width; ++i) {
+    Task t = sized_task(sizing, rng);
+    t.work_seconds *= 0.5;  // overlaps are lighter than projections
+    t.deps = {project[i], project[i + 1]};
+    job.tasks.push_back(std::move(t));
+    diffs.push_back(job.tasks.size() - 1);
+  }
+  // Stage 3: mConcatFit fan-in (single aggregation).
+  Task fit = sized_task(sizing, rng);
+  fit.deps = diffs;
+  job.tasks.push_back(std::move(fit));
+  const std::size_t fit_idx = job.tasks.size() - 1;
+  // Stage 4: mBackground fan-out, one per projection.
+  std::vector<std::size_t> backgrounds;
+  for (std::size_t i = 0; i < width; ++i) {
+    Task t = sized_task(sizing, rng);
+    t.deps = {fit_idx, project[i]};
+    job.tasks.push_back(std::move(t));
+    backgrounds.push_back(job.tasks.size() - 1);
+  }
+  // Stage 5: mAdd final mosaic.
+  Task add = sized_task(sizing, rng);
+  add.work_seconds *= 2.0;  // the heavy reduction
+  add.deps = backgrounds;
+  job.tasks.push_back(std::move(add));
+  return job;
+}
+
+Job make_epigenomics_like(JobId id, std::size_t lanes,
+                          const WorkflowSizing& sizing, sim::Rng& rng) {
+  if (lanes == 0) throw std::invalid_argument("make_epigenomics_like: lanes=0");
+  Job job;
+  job.id = id;
+  std::vector<std::size_t> lane_tails;
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::size_t prev = 0;
+    for (int stage = 0; stage < 4; ++stage) {  // filter, align, sort, count
+      Task t = sized_task(sizing, rng);
+      if (stage > 0) t.deps.push_back(prev);
+      job.tasks.push_back(std::move(t));
+      prev = job.tasks.size() - 1;
+    }
+    lane_tails.push_back(prev);
+  }
+  // Merge and global analysis tail.
+  Task merge = sized_task(sizing, rng);
+  merge.deps = lane_tails;
+  job.tasks.push_back(std::move(merge));
+  Task analyze = sized_task(sizing, rng);
+  analyze.deps = {job.tasks.size() - 1};
+  job.tasks.push_back(std::move(analyze));
+  return job;
+}
+
+Job make_ligo_like(JobId id, std::size_t banks, std::size_t width,
+                   const WorkflowSizing& sizing, sim::Rng& rng) {
+  if (banks == 0 || width == 0) {
+    throw std::invalid_argument("make_ligo_like: zero banks/width");
+  }
+  Job job;
+  job.id = id;
+  bool have_prev = false;
+  std::size_t prev_sink = 0;
+  for (std::size_t b = 0; b < banks; ++b) {
+    // TmpltBank fan-out.
+    std::vector<std::size_t> inspirals;
+    for (std::size_t w = 0; w < width; ++w) {
+      Task t = sized_task(sizing, rng);
+      if (have_prev) t.deps.push_back(prev_sink);
+      job.tasks.push_back(std::move(t));
+      inspirals.push_back(job.tasks.size() - 1);
+    }
+    // Thinca fan-in.
+    Task thinca = sized_task(sizing, rng);
+    thinca.deps = inspirals;
+    job.tasks.push_back(std::move(thinca));
+    prev_sink = job.tasks.size() - 1;
+    have_prev = true;
+  }
+  return job;
+}
+
+Job make_random_dag(JobId id, std::size_t n, std::size_t levels,
+                    const WorkflowSizing& sizing, sim::Rng& rng) {
+  if (n == 0 || levels == 0 || levels > n) {
+    throw std::invalid_argument("make_random_dag: bad n/levels");
+  }
+  Job job;
+  job.id = id;
+  // Assign each task a level; level boundaries are index ranges so deps
+  // always point backwards.
+  std::vector<std::size_t> level_start(levels + 1, 0);
+  for (std::size_t l = 1; l <= levels; ++l) {
+    level_start[l] = l * n / levels;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    // Find this task's level.
+    std::size_t level = 0;
+    while (level + 1 < levels && i >= level_start[level + 1]) ++level;
+    Task t = sized_task(sizing, rng);
+    if (level > 0) {
+      const std::size_t lo = 0;
+      const std::size_t hi = level_start[level] - 1;
+      const std::size_t ndeps =
+          static_cast<std::size_t>(rng.uniform_int(1, 3));
+      for (std::size_t d = 0; d < ndeps; ++d) {
+        t.deps.push_back(static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(lo),
+                            static_cast<std::int64_t>(hi))));
+      }
+      std::sort(t.deps.begin(), t.deps.end());
+      t.deps.erase(std::unique(t.deps.begin(), t.deps.end()), t.deps.end());
+    }
+    job.tasks.push_back(std::move(t));
+  }
+  return job;
+}
+
+}  // namespace mcs::workload

@@ -1,0 +1,126 @@
+// Tests for the Fig. 2 timeline registry and the ecosystem-evolution
+// model (src/evolve).
+#include <gtest/gtest.h>
+
+#include "evolve/evolution.hpp"
+
+namespace mcs::evolve {
+namespace {
+
+// ---- timeline registry ----------------------------------------------------------
+
+TEST(TimelineTest, RegistryValidates) {
+  const auto v = validate_timeline();
+  for (const auto& err : v.errors) ADD_FAILURE() << err;
+  EXPECT_TRUE(v.ok);
+}
+
+TEST(TimelineTest, CoversAllThreeLanesAndSixDecades) {
+  bool lanes[3] = {false, false, false};
+  std::set<int> decades;
+  for (const auto& t : fig2_timeline()) {
+    lanes[static_cast<int>(t.lane)] = true;
+    decades.insert(t.decade);
+  }
+  EXPECT_TRUE(lanes[0] && lanes[1] && lanes[2]);
+  EXPECT_GE(decades.size(), 6u);
+  EXPECT_TRUE(decades.count(1960));
+  EXPECT_TRUE(decades.count(2018));
+}
+
+TEST(TimelineTest, McsSynthesizesAllThreeLanes) {
+  // The MCS milestone must (transitively) draw on all three lanes — the
+  // paper's core claim about its synthesis.
+  const auto& tl = fig2_timeline();
+  std::set<std::string> ancestors = {"Massivizing Computer Systems"};
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (const auto& t : tl) {
+      if (ancestors.count(t.name) == 0) continue;
+      for (const auto& p : t.derived_from) {
+        if (ancestors.insert(p).second) grew = true;
+      }
+    }
+  }
+  bool lanes[3] = {false, false, false};
+  for (const auto& t : tl) {
+    if (ancestors.count(t.name) != 0) lanes[static_cast<int>(t.lane)] = true;
+  }
+  EXPECT_TRUE(lanes[0]);
+  EXPECT_TRUE(lanes[1]);
+  EXPECT_TRUE(lanes[2]);
+}
+
+TEST(TimelineTest, LaneNames) {
+  EXPECT_EQ(to_string(Lane::kDistributedSystems), "Distributed Systems");
+  EXPECT_EQ(to_string(Lane::kPerformanceEngineering),
+            "Performance Engineering");
+}
+
+// ---- evolution model --------------------------------------------------------------
+
+TEST(EvolutionTest, RunProducesBothKindsOfEvents) {
+  EvolutionConfig config;
+  config.steps = 500;
+  config.darwinian_probability = 0.85;
+  EvolutionModel model(config, sim::Rng(7));
+  const auto stats = model.run();
+  EXPECT_GT(stats.darwinian_events, stats.non_darwinian_events);
+  EXPECT_GT(stats.non_darwinian_events, 0u);
+  EXPECT_EQ(stats.darwinian_events + stats.non_darwinian_events, 500u);
+  EXPECT_EQ(stats.complexity_series.size(), 500u);
+}
+
+TEST(EvolutionTest, ComplexityGrowsUntilCrisis) {
+  EvolutionConfig config;
+  config.steps = 800;
+  config.crisis_threshold = 800.0;
+  EvolutionModel model(config, sim::Rng(7));
+  const auto stats = model.run();
+  // Complexity accumulated enough to trigger at least one crisis, and the
+  // series never exceeds the threshold for long (consolidation bites).
+  EXPECT_GT(stats.crises, 0u);
+  double peak = 0.0;
+  for (double c : stats.complexity_series) peak = std::max(peak, c);
+  EXPECT_GT(peak, 700.0);
+}
+
+TEST(EvolutionTest, PopulationIsBounded) {
+  EvolutionConfig config;
+  config.steps = 1000;
+  config.max_population = 50;
+  EvolutionModel model(config, sim::Rng(9));
+  (void)model.run();
+  EXPECT_LE(model.population().size(), 50u);
+  EXPECT_GE(model.population().size(), 4u);
+}
+
+TEST(EvolutionTest, SelectionRaisesMeanFitness) {
+  EvolutionConfig config;
+  config.steps = 600;
+  EvolutionModel model(config, sim::Rng(11));
+  const auto stats = model.run();
+  // Started at fitness 1.0 everywhere; selection + drift push it up.
+  EXPECT_GT(stats.final_mean_fitness, 1.2);
+}
+
+TEST(EvolutionTest, DeterministicForFixedSeed) {
+  EvolutionConfig config;
+  config.steps = 300;
+  EvolutionModel a(config, sim::Rng(21));
+  EvolutionModel b(config, sim::Rng(21));
+  const auto sa = a.run();
+  const auto sb = b.run();
+  EXPECT_EQ(sa.complexity_series, sb.complexity_series);
+  EXPECT_EQ(sa.crises, sb.crises);
+}
+
+TEST(EvolutionTest, BadConfigThrows) {
+  EvolutionConfig config;
+  config.max_population = 2;
+  EXPECT_THROW(EvolutionModel(config, sim::Rng(1)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::evolve

@@ -1,0 +1,225 @@
+// Tests for the Fig. 4 gaming functions: virtual world, analytics
+// pipeline, procedural content generation, social meta-gaming (src/gaming).
+#include <gtest/gtest.h>
+
+#include "gaming/analytics.hpp"
+#include "gaming/pcg.hpp"
+#include "gaming/social.hpp"
+#include "gaming/virtual_world.hpp"
+
+namespace mcs::gaming {
+namespace {
+
+// ---- virtual world -------------------------------------------------------------
+
+TEST(WorldTest, PopulationConservedUnderMobility) {
+  sim::Simulator sim;
+  VirtualWorld world(sim, {}, sim::Rng(3));
+  world.join(500);
+  world.start(10 * sim::kMinute);
+  sim.run_until();
+  EXPECT_EQ(world.population(), 500u);
+  EXPECT_GT(world.stats().ticks, 100u);
+}
+
+TEST(WorldTest, LoadIsSuperlinearInZonePopulation) {
+  sim::Simulator sim;
+  WorldConfig config;
+  config.zone_rows = 1;
+  config.zone_cols = 1;
+  VirtualWorld world(sim, config, sim::Rng(3));
+  world.join(10);
+  const double load10 = world.zone_load(0);
+  world.join(90);
+  const double load100 = world.zone_load(0);
+  EXPECT_GT(load100, load10 * 10.0);  // pairwise term kicks in
+}
+
+TEST(WorldTest, ServersScaleWithPopulation) {
+  sim::Simulator sim;
+  VirtualWorld world(sim, {}, sim::Rng(3));
+  world.join(100);
+  const std::size_t small = world.servers_needed();
+  world.join(2000);
+  const std::size_t large = world.servers_needed();
+  EXPECT_GT(large, small);
+}
+
+TEST(WorldTest, HotZoneOverloadsDespiteConsolidation) {
+  sim::Simulator sim;
+  WorldConfig config;
+  config.zone_rows = 1;
+  config.zone_cols = 1;
+  config.server_capacity = 100.0;
+  config.move_probability = 0.0;
+  VirtualWorld world(sim, config, sim::Rng(3));
+  world.join(200);  // load = 200 + 0.02*200*199/2 = 598 >> 100
+  world.start(sim::kMinute);
+  sim.run_until();
+  // The hot zone cannot be split: QoS collapses (the seamless-world
+  // limit of §6.3).
+  EXPECT_LT(world.stats().qos(), 0.1);
+}
+
+TEST(WorldTest, LeaveRemovesPlayers) {
+  sim::Simulator sim;
+  VirtualWorld world(sim, {}, sim::Rng(3));
+  world.join(50);
+  world.leave(20);
+  EXPECT_EQ(world.population(), 30u);
+  world.leave(100);  // more than present: clamps at zero
+  EXPECT_EQ(world.population(), 0u);
+}
+
+// ---- analytics -------------------------------------------------------------------
+
+TEST(AnalyticsTest, WindowsAggregateEvents) {
+  AnalyticsPipeline pipeline(10 * sim::kSecond);
+  for (int i = 0; i < 20; ++i) {
+    pipeline.ingest(GameEvent{static_cast<sim::SimTime>(i) * sim::kSecond,
+                              static_cast<std::uint32_t>(i % 5),
+                              i % 2 == 0 ? "kill" : "chat"});
+  }
+  const auto reports = pipeline.flush(20 * sim::kSecond);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_EQ(reports[0].events, 10u);
+  EXPECT_EQ(reports[0].distinct_players, 5u);
+  EXPECT_DOUBLE_EQ(reports[0].events_per_second, 1.0);
+  // Per-action counts via the dataflow stage.
+  ASSERT_EQ(reports[0].action_counts.size(), 2u);
+  EXPECT_EQ(reports[0].action_counts[0].key, "chat");
+  EXPECT_DOUBLE_EQ(reports[0].action_counts[0].value, 5.0);
+  EXPECT_EQ(pipeline.windows_processed(), 2u);
+  EXPECT_EQ(pipeline.events_processed(), 20u);
+}
+
+TEST(AnalyticsTest, TopActionIdentified) {
+  AnalyticsPipeline pipeline(10 * sim::kSecond);
+  for (int i = 0; i < 9; ++i) {
+    pipeline.ingest(GameEvent{static_cast<sim::SimTime>(i), 1,
+                              i < 6 ? "trade" : "kill"});
+  }
+  const auto reports = pipeline.flush(10 * sim::kSecond);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].top_action, "trade");
+}
+
+TEST(AnalyticsTest, IncompleteWindowStaysBuffered) {
+  AnalyticsPipeline pipeline(10 * sim::kSecond);
+  pipeline.ingest(GameEvent{2 * sim::kSecond, 1, "kill"});
+  EXPECT_TRUE(pipeline.flush(5 * sim::kSecond).empty());
+  EXPECT_EQ(pipeline.buffered(), 1u);
+}
+
+TEST(AnalyticsTest, OutOfOrderEventRejected) {
+  AnalyticsPipeline pipeline(10 * sim::kSecond);
+  pipeline.ingest(GameEvent{5 * sim::kSecond, 1, "kill"});
+  EXPECT_THROW(pipeline.ingest(GameEvent{1 * sim::kSecond, 1, "chat"}),
+               std::invalid_argument);
+}
+
+// ---- procedural content generation -------------------------------------------------
+
+TEST(PcgTest, SolvedBoardNeedsZeroMoves) {
+  EXPECT_EQ(optimal_moves(solved_board()), 0u);
+}
+
+TEST(PcgTest, KnownOneMovePuzzle) {
+  Board b = solved_board();
+  std::swap(b[8], b[7]);  // slide tile 8 right into the blank
+  EXPECT_EQ(optimal_moves(b), 1u);
+}
+
+TEST(PcgTest, UnsolvableParityDetected) {
+  Board b = solved_board();
+  std::swap(b[0], b[1]);  // single transposition: odd permutation
+  EXPECT_FALSE(optimal_moves(b).has_value());
+}
+
+TEST(PcgTest, ScrambleIsAlwaysSolvable) {
+  sim::Rng rng(9);
+  for (int i = 0; i < 25; ++i) {
+    const Board b = scramble(12, rng);
+    const auto moves = optimal_moves(b);
+    ASSERT_TRUE(moves.has_value());
+    EXPECT_LE(*moves, 12u);  // scramble length upper-bounds difficulty
+  }
+}
+
+TEST(PcgTest, GeneratorRespectsDifficultyBand) {
+  sim::Rng rng(9);
+  const auto result = generate_puzzles(10, 6, 12, rng);
+  EXPECT_EQ(result.instances.size(), 10u);
+  for (const PuzzleInstance& p : result.instances) {
+    EXPECT_GE(p.difficulty, 6u);
+    EXPECT_LE(p.difficulty, 12u);
+    // The board really is at its claimed difficulty.
+    EXPECT_EQ(optimal_moves(p.board), p.difficulty);
+  }
+  EXPECT_GT(result.stats.yield(), 0.0);
+  EXPECT_LE(result.stats.yield(), 1.0);
+}
+
+TEST(PcgTest, EmptyBandThrows) {
+  sim::Rng rng(1);
+  EXPECT_THROW((void)generate_puzzles(1, 10, 5, rng), std::invalid_argument);
+}
+
+// ---- social meta-gaming --------------------------------------------------------------
+
+TEST(SocialTest, InteractionGraphWeightsCountSharedSessions) {
+  std::vector<PlaySession> sessions = {{{0, 1, 2}}, {{0, 1}}, {{2, 3}}};
+  const auto g = interaction_graph(sessions, 4);
+  // Pair (0,1) played twice.
+  const auto nbrs = g.neighbors(0);
+  const auto ws = g.weights(0);
+  bool found = false;
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) {
+      EXPECT_DOUBLE_EQ(ws[i], 2.0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SocialTest, PlantedGroupsRecovered) {
+  sim::Rng rng(5);
+  // 60 players in 3 groups, low mixing: communities should emerge and
+  // most session pairs should be intra-community.
+  const auto sessions = synthetic_sessions(60, 3, 400, 4, 0.05, rng);
+  const auto g = interaction_graph(sessions, 60);
+  const auto stats = analyze_social_structure(g, sessions);
+  EXPECT_GE(stats.communities, 2u);
+  EXPECT_LE(stats.communities, 10u);
+  EXPECT_GT(stats.intra_community_fraction, 0.7);
+  EXPECT_GT(stats.mean_tie_strength, 1.0);  // repeat co-play
+}
+
+TEST(SocialTest, FullMixingCollapsesCommunityStructure) {
+  sim::Rng rng1(5), rng2(5);
+  const auto grouped = synthetic_sessions(60, 3, 300, 4, 0.05, rng1);
+  const auto mixed = synthetic_sessions(60, 3, 300, 4, 1.0, rng2);
+  const auto gs = analyze_social_structure(interaction_graph(grouped, 60),
+                                           grouped);
+  const auto ms = analyze_social_structure(interaction_graph(mixed, 60),
+                                           mixed);
+  // Planted groups survive label propagation; full mixing produces one
+  // undifferentiated blob (its intra-fraction is then trivially high, so
+  // the structure signal is the community count, not the fraction).
+  EXPECT_GE(gs.communities, 2u);
+  EXPECT_LT(ms.communities, gs.communities);
+  // Grouped sessions also build stronger ties (repeat co-play).
+  EXPECT_GT(gs.mean_tie_strength, ms.mean_tie_strength);
+}
+
+TEST(SocialTest, BadInputsThrow) {
+  std::vector<PlaySession> sessions = {{{0, 9}}};
+  EXPECT_THROW((void)interaction_graph(sessions, 5), std::invalid_argument);
+  sim::Rng rng(1);
+  EXPECT_THROW((void)synthetic_sessions(10, 0, 5, 3, 0.1, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::gaming

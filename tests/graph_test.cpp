@@ -1,0 +1,288 @@
+// Tests for the graph substrate: CSR structure, generators, and the six
+// Graphalytics kernels (src/graph).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+namespace mcs::graph {
+namespace {
+
+Graph path4() {
+  // 0 - 1 - 2 - 3 (undirected path)
+  return Graph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}, true);
+}
+
+Graph triangle_plus_tail() {
+  // Triangle 0-1-2 with a tail 2-3.
+  return Graph(4, {{0, 1, 1.0}, {1, 2, 1.0}, {0, 2, 1.0}, {2, 3, 1.0}}, true);
+}
+
+// ---- CSR structure -----------------------------------------------------------
+
+TEST(GraphTest, CsrStructure) {
+  const Graph g = path4();
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_EQ(g.arc_count(), 6u);  // 3 undirected edges
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(1), 2u);
+  EXPECT_DOUBLE_EQ(g.mean_degree(), 1.5);
+  EXPECT_EQ(g.max_degree(), 2u);
+}
+
+TEST(GraphTest, DirectedKeepsArcDirection) {
+  const Graph g(3, {{0, 1, 1.0}, {1, 2, 1.0}}, false);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_EQ(g.out_degree(2), 0u);
+  EXPECT_EQ(g.neighbors(0)[0], 1u);
+}
+
+TEST(GraphTest, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(Graph(2, {{0, 5, 1.0}}, false), std::invalid_argument);
+}
+
+TEST(GraphTest, WeightsParallelToAdjacency) {
+  const Graph g(3, {{0, 1, 2.5}, {0, 2, 7.0}}, false);
+  const auto nbrs = g.neighbors(0);
+  const auto ws = g.weights(0);
+  ASSERT_EQ(nbrs.size(), 2u);
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    if (nbrs[i] == 1) { EXPECT_DOUBLE_EQ(ws[i], 2.5); }
+    if (nbrs[i] == 2) { EXPECT_DOUBLE_EQ(ws[i], 7.0); }
+  }
+}
+
+// ---- generators ----------------------------------------------------------------
+
+TEST(GeneratorTest, ErdosRenyiHasRequestedEdges) {
+  sim::Rng rng(3);
+  const Graph g = erdos_renyi(100, 500, rng);
+  EXPECT_EQ(g.vertex_count(), 100u);
+  EXPECT_EQ(g.arc_count(), 1000u);  // undirected: 2 arcs per edge
+}
+
+TEST(GeneratorTest, BarabasiAlbertIsHeavyTailed) {
+  sim::Rng rng(3);
+  const Graph ba = barabasi_albert(2000, 2, rng);
+  sim::Rng rng2(3);
+  const Graph er = erdos_renyi(2000, ba.arc_count() / 2, rng2);
+  // Preferential attachment produces a far larger hub than uniform.
+  EXPECT_GT(ba.max_degree(), er.max_degree() * 2);
+}
+
+TEST(GeneratorTest, RmatSizesArePowersOfTwo) {
+  sim::Rng rng(3);
+  const Graph g = rmat(10, 8, rng);
+  EXPECT_EQ(g.vertex_count(), 1024u);
+  EXPECT_EQ(g.arc_count(), 2u * 8 * 1024);  // undirected
+}
+
+TEST(GeneratorTest, RmatIsSkewed) {
+  sim::Rng rng(3);
+  const Graph g = rmat(12, 8, rng);
+  // Graph500 parameters concentrate edges on low ids: hub degree far above
+  // the mean.
+  EXPECT_GT(static_cast<double>(g.max_degree()), 10.0 * g.mean_degree());
+}
+
+TEST(GeneratorTest, Grid2dDegreesBounded) {
+  const Graph g = grid2d(5, 7);
+  EXPECT_EQ(g.vertex_count(), 35u);
+  EXPECT_EQ(g.max_degree(), 4u);
+  // Corner vertex 0 has exactly 2 neighbours.
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(GeneratorTest, DegenerateParametersThrow) {
+  sim::Rng rng(1);
+  EXPECT_THROW((void)erdos_renyi(1, 5, rng), std::invalid_argument);
+  EXPECT_THROW((void)barabasi_albert(10, 0, rng), std::invalid_argument);
+  EXPECT_THROW((void)rmat(0, 8, rng), std::invalid_argument);
+  EXPECT_THROW((void)grid2d(0, 5), std::invalid_argument);
+}
+
+// ---- BFS -----------------------------------------------------------------------
+
+TEST(AlgorithmTest, BfsDepthsOnPath) {
+  const auto depth = bfs(path4(), 0);
+  EXPECT_EQ(depth, (std::vector<std::uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(AlgorithmTest, BfsUnreachable) {
+  const Graph g(3, {{0, 1, 1.0}}, true);  // vertex 2 isolated
+  const auto depth = bfs(g, 0);
+  EXPECT_EQ(depth[2], kUnreachable);
+}
+
+// ---- PageRank -------------------------------------------------------------------
+
+TEST(AlgorithmTest, PageRankSumsToOneAndRanksHubs) {
+  sim::Rng rng(5);
+  const Graph g = barabasi_albert(500, 3, rng);
+  const auto pr = pagerank(g, 30);
+  double sum = 0.0;
+  for (double r : pr) sum += r;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // The max-degree hub outranks the median vertex decisively.
+  VertexId hub = 0;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.out_degree(v) > g.out_degree(hub)) hub = v;
+  }
+  std::vector<double> sorted = pr;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_GT(pr[hub], sorted[sorted.size() / 2] * 3);
+}
+
+TEST(AlgorithmTest, PageRankUniformOnSymmetricGraph) {
+  // On a cycle every vertex is equivalent.
+  std::vector<Edge> edges;
+  for (VertexId v = 0; v < 10; ++v) edges.push_back({v, (v + 1) % 10, 1.0});
+  const Graph g(10, edges, true);
+  const auto pr = pagerank(g, 50);
+  for (double r : pr) EXPECT_NEAR(r, 0.1, 1e-9);
+}
+
+// ---- WCC -----------------------------------------------------------------------
+
+TEST(AlgorithmTest, WccFindsComponents) {
+  // Two components: {0,1,2} and {3,4}.
+  const Graph g(5, {{0, 1, 1}, {1, 2, 1}, {3, 4, 1}}, true);
+  const auto label = wcc(g);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[3], label[4]);
+  EXPECT_NE(label[0], label[3]);
+  // Canonical labels: smallest member id.
+  EXPECT_EQ(label[0], 0u);
+  EXPECT_EQ(label[3], 3u);
+}
+
+TEST(AlgorithmTest, WccOnDirectedGraphIsWeak) {
+  const Graph g(3, {{0, 1, 1}, {2, 1, 1}}, false);  // 0->1<-2
+  const auto label = wcc(g);
+  EXPECT_EQ(label[0], label[2]);  // weakly connected through 1
+}
+
+// ---- CDLP -----------------------------------------------------------------------
+
+TEST(AlgorithmTest, CdlpSeparatesCliques) {
+  // Two 4-cliques joined by a single bridge edge.
+  std::vector<Edge> edges;
+  for (VertexId a = 0; a < 4; ++a)
+    for (VertexId b = a + 1; b < 4; ++b) edges.push_back({a, b, 1});
+  for (VertexId a = 4; a < 8; ++a)
+    for (VertexId b = a + 1; b < 8; ++b) edges.push_back({a, b, 1});
+  edges.push_back({3, 4, 1});
+  const Graph g(8, edges, true);
+  const auto label = cdlp(g, 20);
+  // Each clique converges to one label; the two differ.
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[1], label[2]);
+  EXPECT_EQ(label[5], label[6]);
+  EXPECT_NE(label[0], label[5]);
+}
+
+// ---- LCC ------------------------------------------------------------------------
+
+TEST(AlgorithmTest, LccOnTriangleWithTail) {
+  const auto coeff = lcc(triangle_plus_tail());
+  // Vertices 0 and 1: both neighbours connected -> 1.0.
+  EXPECT_DOUBLE_EQ(coeff[0], 1.0);
+  EXPECT_DOUBLE_EQ(coeff[1], 1.0);
+  // Vertex 2 has neighbours {0,1,3}: one link (0-1) of 3 possible pairs.
+  EXPECT_NEAR(coeff[2], 1.0 / 3.0, 1e-12);
+  // Vertex 3 has a single neighbour: 0 by convention.
+  EXPECT_DOUBLE_EQ(coeff[3], 0.0);
+}
+
+TEST(AlgorithmTest, LccCompleteGraphIsAllOnes) {
+  std::vector<Edge> edges;
+  for (VertexId a = 0; a < 6; ++a)
+    for (VertexId b = a + 1; b < 6; ++b) edges.push_back({a, b, 1});
+  const auto coeff = lcc(Graph(6, edges, true));
+  for (double c : coeff) EXPECT_NEAR(c, 1.0, 1e-12);
+}
+
+// ---- SSSP -----------------------------------------------------------------------
+
+TEST(AlgorithmTest, SsspUsesWeights) {
+  // 0 ->(5) 1 ->(5) 2 and a shortcut 0 ->(20) 2: path through 1 wins.
+  const Graph g(3, {{0, 1, 5.0}, {1, 2, 5.0}, {0, 2, 20.0}}, false);
+  const auto dist = sssp(g, 0);
+  EXPECT_DOUBLE_EQ(dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(dist[1], 5.0);
+  EXPECT_DOUBLE_EQ(dist[2], 10.0);
+}
+
+TEST(AlgorithmTest, SsspMatchesBfsOnUnitWeights) {
+  sim::Rng rng(9);
+  const Graph g = erdos_renyi(300, 900, rng);
+  const auto dist = sssp(g, 0);
+  const auto depth = bfs(g, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (depth[v] == kUnreachable) {
+      EXPECT_TRUE(std::isinf(dist[v]));
+    } else {
+      EXPECT_DOUBLE_EQ(dist[v], static_cast<double>(depth[v]));
+    }
+  }
+}
+
+TEST(AlgorithmTest, KernelListHasSixEntries) {
+  EXPECT_EQ(graphalytics_kernels().size(), 6u);
+}
+
+// ---- property sweep over generators (parameterized) ----------------------------
+
+struct GenCase {
+  std::string name;
+  std::function<Graph(sim::Rng&)> make;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, KernelsProduceConsistentResults) {
+  sim::Rng rng(77);
+  const Graph g = GetParam().make(rng);
+
+  // WCC labels are canonical (label <= vertex id) and consistent with BFS
+  // reachability from vertex 0.
+  const auto labels = wcc(g);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    EXPECT_LE(labels[v], v);
+  }
+  const auto depth = bfs(g, 0);
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (depth[v] != kUnreachable) { EXPECT_EQ(labels[v], labels[0]); }
+  }
+  // PageRank sums to ~1 and is positive.
+  const auto pr = pagerank(g, 15);
+  double sum = 0.0;
+  for (double r : pr) {
+    EXPECT_GT(r, 0.0);
+    sum += r;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // LCC within [0,1].
+  for (double c : lcc(g)) {
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, GeneratorPropertyTest,
+    ::testing::Values(
+        GenCase{"er", [](sim::Rng& r) { return erdos_renyi(400, 1600, r); }},
+        GenCase{"ba", [](sim::Rng& r) { return barabasi_albert(400, 3, r); }},
+        GenCase{"rmat", [](sim::Rng& r) { return rmat(9, 6, r); }},
+        GenCase{"grid", [](sim::Rng&) { return grid2d(20, 20); }}),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mcs::graph

@@ -1,0 +1,234 @@
+// Tests for statistics, SPEC elasticity metrics, and reporting (src/metrics).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/elasticity.hpp"
+#include "metrics/report.hpp"
+#include "metrics/stats.hpp"
+
+namespace mcs::metrics {
+namespace {
+
+using mcs::sim::kHour;
+using mcs::sim::kSecond;
+
+// ---- Accumulator ----------------------------------------------------------------
+
+TEST(AccumulatorTest, BasicMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(AccumulatorTest, QuantilesInterpolate) {
+  Accumulator acc;
+  for (int i = 1; i <= 100; ++i) acc.add(static_cast<double>(i));
+  EXPECT_NEAR(acc.median(), 50.5, 1e-9);
+  EXPECT_NEAR(acc.quantile(0.99), 99.01, 0.01);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(1.0), 100.0);
+}
+
+TEST(AccumulatorTest, EmptyIsSafe) {
+  Accumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.quantile(0.5), 0.0);
+}
+
+TEST(AccumulatorTest, QuantileWithoutSamplesThrows) {
+  Accumulator acc(/*keep_samples=*/false);
+  acc.add(1.0);
+  EXPECT_THROW(static_cast<void>(acc.quantile(0.5)), std::logic_error);
+  EXPECT_DOUBLE_EQ(acc.mean(), 1.0);  // moments still work
+}
+
+TEST(AccumulatorTest, CvIsScaleFree) {
+  Accumulator a, b;
+  for (double x : {1.0, 2.0, 3.0}) a.add(x);
+  for (double x : {10.0, 20.0, 30.0}) b.add(x);
+  EXPECT_NEAR(a.cv(), b.cv(), 1e-12);
+}
+
+TEST(StatsTest, PearsonPerfectAndAnti) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  std::vector<double> anti = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, anti), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(x, {1, 1, 1, 1, 1}), 0.0);  // degenerate
+}
+
+TEST(StatsTest, AutocorrelationOfAlternatingSeries) {
+  const std::vector<double> xs = {1, -1, 1, -1, 1, -1, 1, -1};
+  EXPECT_LT(autocorrelation(xs, 1), -0.5);
+  EXPECT_GT(autocorrelation(xs, 2), 0.5);
+}
+
+TEST(StatsTest, LeastSquaresRecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 + 2.0 * i);
+  }
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+}
+
+// ---- StepSeries ------------------------------------------------------------------
+
+TEST(StepSeriesTest, ValueLookup) {
+  StepSeries s;
+  s.append(0, 1.0);
+  s.append(10, 3.0);
+  s.append(20, 2.0);
+  EXPECT_DOUBLE_EQ(s.at(-1), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(9), 1.0);
+  EXPECT_DOUBLE_EQ(s.at(10), 3.0);
+  EXPECT_DOUBLE_EQ(s.at(100), 2.0);
+}
+
+TEST(StepSeriesTest, TimeAverage) {
+  StepSeries s;
+  s.append(0, 2.0);
+  s.append(50, 4.0);
+  EXPECT_DOUBLE_EQ(s.time_average(0, 100), 3.0);
+  EXPECT_DOUBLE_EQ(s.time_average(0, 50), 2.0);
+  EXPECT_DOUBLE_EQ(s.time_average(50, 100), 4.0);
+}
+
+TEST(StepSeriesTest, BackwardsAppendThrows) {
+  StepSeries s;
+  s.append(10, 1.0);
+  EXPECT_THROW(s.append(5, 2.0), std::invalid_argument);
+}
+
+TEST(StepSeriesTest, SameInstantUpdateWins) {
+  StepSeries s;
+  s.append(10, 1.0);
+  s.append(10, 2.0);
+  EXPECT_DOUBLE_EQ(s.at(10), 2.0);
+  EXPECT_EQ(s.samples().size(), 1u);
+}
+
+// ---- elasticity metrics -------------------------------------------------------------
+
+TEST(ElasticityTest, PerfectTrackingScoresPerfect) {
+  StepSeries demand, supply;
+  demand.append(0, 5.0);
+  demand.append(kHour, 10.0);
+  supply.append(0, 5.0);
+  supply.append(kHour, 10.0);
+  const auto r = elasticity_report(demand, supply, 0, 2 * kHour);
+  EXPECT_DOUBLE_EQ(r.accuracy_under, 0.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_over, 0.0);
+  EXPECT_DOUBLE_EQ(r.timeshare_under, 0.0);
+  EXPECT_DOUBLE_EQ(r.timeshare_over, 0.0);
+  EXPECT_DOUBLE_EQ(elasticity_score(r), 1.0);
+}
+
+TEST(ElasticityTest, ConstantUnderprovisioningIsMeasuredExactly) {
+  StepSeries demand, supply;
+  demand.append(0, 10.0);
+  supply.append(0, 6.0);
+  const auto r = elasticity_report(demand, supply, 0, kHour);
+  EXPECT_DOUBLE_EQ(r.accuracy_under, 4.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_over, 0.0);
+  EXPECT_DOUBLE_EQ(r.timeshare_under, 1.0);
+  EXPECT_NEAR(r.accuracy_under_norm, 0.4, 1e-12);
+}
+
+TEST(ElasticityTest, HalfTimeOverprovisioned) {
+  StepSeries demand, supply;
+  demand.append(0, 4.0);
+  supply.append(0, 4.0);
+  supply.append(30 * sim::kMinute, 8.0);
+  const auto r = elasticity_report(demand, supply, 0, kHour);
+  EXPECT_DOUBLE_EQ(r.timeshare_over, 0.5);
+  EXPECT_DOUBLE_EQ(r.accuracy_over, 2.0);  // 4 extra for half the time
+  EXPECT_EQ(r.adaptations, 1u);
+}
+
+TEST(ElasticityTest, JitterCountsAdaptationsPerHour) {
+  StepSeries demand, supply;
+  demand.append(0, 1.0);
+  supply.append(0, 1.0);
+  for (int i = 1; i <= 10; ++i) {
+    supply.append(i * 6 * sim::kMinute - 1, (i % 2 == 0) ? 1.0 : 2.0);
+  }
+  const auto r = elasticity_report(demand, supply, 0, kHour);
+  EXPECT_NEAR(r.jitter_per_hour, 10.0, 0.1);
+}
+
+TEST(ElasticityTest, InstabilityDetectsOpposingMoves) {
+  StepSeries demand, supply;
+  demand.append(0, 1.0);
+  supply.append(0, 2.0);
+  // Demand rises while supply falls: an opposing move.
+  demand.append(10 * sim::kMinute, 5.0);
+  supply.append(10 * sim::kMinute, 1.0);
+  const auto r = elasticity_report(demand, supply, 0, kHour);
+  EXPECT_GT(r.instability, 0.0);
+}
+
+TEST(ElasticityTest, WorseTrackingScoresLower) {
+  StepSeries demand;
+  demand.append(0, 10.0);
+  StepSeries good, bad;
+  good.append(0, 9.0);
+  bad.append(0, 2.0);
+  const auto rg = elasticity_report(demand, good, 0, kHour);
+  const auto rb = elasticity_report(demand, bad, 0, kHour);
+  EXPECT_GT(elasticity_score(rg), elasticity_score(rb));
+}
+
+TEST(ElasticityTest, EmptyHorizonIsSafe) {
+  StepSeries demand, supply;
+  const auto r = elasticity_report(demand, supply, 100, 100);
+  EXPECT_DOUBLE_EQ(r.accuracy_under, 0.0);
+}
+
+// ---- reporting -----------------------------------------------------------------------
+
+TEST(TableTest, FormatsAlignedTable) {
+  Table t({"policy", "score"});
+  t.add_row({"fcfs", "0.71"});
+  t.add_row({"backfill", "0.92"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| policy   | score |"), std::string::npos);
+  EXPECT_NE(s.find("| backfill | 0.92  |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(0.5), "50.0%");
+}
+
+TEST(TableTest, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(ReportTest, BannerAndKv) {
+  std::ostringstream os;
+  print_banner(os, "Experiment E1");
+  print_kv(os, "seed", "42");
+  const std::string s = os.str();
+  EXPECT_NE(s.find("Experiment E1"), std::string::npos);
+  EXPECT_NE(s.find("seed: 42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcs::metrics

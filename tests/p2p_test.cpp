@@ -1,0 +1,91 @@
+// Tests for the P2P swarm models and the 2fast reproduction (src/p2p).
+#include <gtest/gtest.h>
+
+#include "p2p/swarm.hpp"
+
+namespace mcs::p2p {
+namespace {
+
+SwarmConfig config() {
+  SwarmConfig c;
+  c.file_mb = 100.0;       // 800 Mbit
+  c.seed_up_mbps = 8.0;
+  c.peer.down_mbps = 8.0;
+  c.peer.up_mbps = 1.0;
+  return c;
+}
+
+TEST(SoloTest, TitForTatThrottlesAsymmetricLinks) {
+  SwarmConfig c = config();
+  // ADSL regime: down 8, up 1 -> granted = min(8, 1*1 + 0.2) = 1.2 Mbps.
+  EXPECT_NEAR(granted_rate_mbps(c), 1.2, 1e-9);
+  EXPECT_NEAR(solo_download_seconds(c), 800.0 / 1.2, 0.01);
+  // Symmetric fat link: the downlink is the binding constraint.
+  c.peer.up_mbps = 20.0;
+  EXPECT_DOUBLE_EQ(granted_rate_mbps(c), 8.0);
+  EXPECT_DOUBLE_EQ(solo_download_seconds(c), 100.0);
+}
+
+TEST(TwoFastTest, HelpersSpeedUpDownloadRoughlyLinearly) {
+  // 2fast's published shape: time falls ~linearly with helpers.
+  const SwarmConfig c = config();  // granted 1.2, relay min(1.2,1)=1
+  const double t0 = collaborative_download_seconds(c, 0);
+  const double t1 = collaborative_download_seconds(c, 1);
+  const double t3 = collaborative_download_seconds(c, 3);
+  EXPECT_GT(t0, t1);
+  EXPECT_GT(t1, t3);
+  // t0/t3 ~ (1.2 + 3) / 1.2 = 3.5x speedup with 3 helpers.
+  EXPECT_NEAR(t0 / t3, 3.5, 0.1);
+}
+
+TEST(TwoFastTest, SaturatesAtCollectorDownlink) {
+  SwarmConfig c = config();
+  c.peer.up_mbps = 4.0;  // granted 4.2, relay 4
+  // With enough helpers, inflow caps at the collector's 8 Mbps downlink.
+  const double saturated = collaborative_download_seconds(c, 16);
+  EXPECT_NEAR(saturated, 800.0 / 8.0, 1.0);
+  // More helpers cannot improve past that.
+  EXPECT_NEAR(collaborative_download_seconds(c, 32), saturated, 1.0);
+}
+
+TEST(TwoFastTest, HelperUploadBoundsTheRelay) {
+  SwarmConfig c = config();
+  c.peer.down_mbps = 100.0;  // collector link not binding
+  c.peer.up_mbps = 1.0;      // relays capped at 1 Mbps each
+  const double t3 = collaborative_download_seconds(c, 3);
+  // inflow = granted(1.2) + 3 * min(1.2, 1) = 4.2 Mbps.
+  EXPECT_NEAR(t3, 800.0 / 4.2, 1.0);
+}
+
+TEST(SwarmTest, SelfScalingBeatsSeedOnlyForLargeCrowds) {
+  SwarmConfig c = config();
+  c.seed_up_mbps = 8.0;
+  c.peer.up_mbps = 4.0;
+  const SwarmRun crowd = swarm_download(c, 50);
+  // Seed-only service would give each of 50 leechers 8/50 Mbps
+  // -> 800 / 0.16 = 5000 s; peer exchange does far better.
+  EXPECT_LT(crowd.mean_seconds, 2500.0);
+  // Aggregate upload exceeded the seed alone (peers contributed).
+  EXPECT_GT(crowd.aggregate_upload_peak_mbps, c.seed_up_mbps * 2.0);
+}
+
+TEST(SwarmTest, MoreLeechersSlowerPerLeecherButSublinearly) {
+  SwarmConfig c = config();
+  const SwarmRun ten = swarm_download(c, 10);
+  const SwarmRun forty = swarm_download(c, 40);
+  EXPECT_GE(forty.mean_seconds, ten.mean_seconds);
+  // Self-scaling: 4x the crowd costs much less than 4x the time.
+  EXPECT_LT(forty.mean_seconds, ten.mean_seconds * 4.0);
+}
+
+TEST(SwarmTest, InvalidParametersThrow) {
+  SwarmConfig c = config();
+  c.file_mb = 0.0;
+  EXPECT_THROW((void)solo_download_seconds(c), std::invalid_argument);
+  c = config();
+  EXPECT_THROW((void)swarm_download(c, 0), std::invalid_argument);
+  EXPECT_THROW((void)swarm_download(c, 5, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::p2p

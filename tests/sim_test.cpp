@@ -1,0 +1,303 @@
+// Unit and property tests for the discrete-event kernel, RNG, and arrival
+// processes (src/sim).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/arrival.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace mcs::sim {
+namespace {
+
+// ---- time conversions -------------------------------------------------------
+
+TEST(SimTimeTest, RoundTripsSeconds) {
+  EXPECT_EQ(from_seconds(1.0), kSecond);
+  EXPECT_EQ(from_seconds(0.001), kMillisecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_EQ(from_seconds(-5.0), 0);
+}
+
+TEST(SimTimeTest, UnitsCompose) {
+  EXPECT_EQ(60 * kSecond, kMinute);
+  EXPECT_EQ(60 * kMinute, kHour);
+  EXPECT_EQ(24 * kHour, kDay);
+}
+
+// ---- event engine ------------------------------------------------------------
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run_until();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(SimulatorTest, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    sim.schedule_at(42, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_after(50, [&] { seen = sim.now(); });
+  });
+  sim.run_until();
+  EXPECT_EQ(seen, 150);
+}
+
+TEST(SimulatorTest, SchedulingInPastThrows) {
+  Simulator sim;
+  sim.schedule_at(100, [] {});
+  sim.run_until();
+  EXPECT_THROW(sim.schedule_at(50, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(1000, [&] { ++ran; });
+  const std::size_t n = sim.run_until(500);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), 500);  // clock parked at the horizon
+  sim.run_until(2000);
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int ran = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(20, [&] { ++ran; });
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));  // second cancel is a no-op
+  sim.run_until();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.executed(), 1u);
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotBlockHorizon) {
+  Simulator sim;
+  int ran = 0;
+  EventHandle h = sim.schedule_at(10, [&] { ++ran; });
+  sim.schedule_at(600, [&] { ++ran; });
+  sim.cancel(h);
+  // The cancelled event at t=10 must not cause the t=600 event to run
+  // within a run_until(500) horizon.
+  sim.run_until(500);
+  EXPECT_EQ(ran, 0);
+  sim.run_until(700);
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 100) sim.schedule_after(10, chain);
+  };
+  sim.schedule_at(0, chain);
+  sim.run_until();
+  EXPECT_EQ(count, 100);
+  EXPECT_EQ(sim.now(), 99 * 10);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    Rng rng(seed);
+    std::vector<SimTime> stamps;
+    std::function<void()> tick = [&] {
+      stamps.push_back(sim.now());
+      if (stamps.size() < 50) {
+        sim.schedule_after(from_seconds(rng.exponential(1.0)), tick);
+      }
+    };
+    sim.schedule_at(0, tick);
+    sim.run_until();
+    return stamps;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+// ---- RNG distributions --------------------------------------------------------
+
+class RngDistributionTest : public ::testing::Test {
+ protected:
+  Rng rng_{12345};
+  static constexpr int kN = 20000;
+};
+
+TEST_F(RngDistributionTest, UniformBoundsAndMean) {
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double u = rng_.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.02);
+}
+
+TEST_F(RngDistributionTest, ExponentialMean) {
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng_.exponential(4.0);
+  EXPECT_NEAR(sum / kN, 4.0, 0.15);
+}
+
+TEST_F(RngDistributionTest, LognormalMeanCv) {
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng_.lognormal_mean_cv(10.0, 0.5);
+  EXPECT_NEAR(sum / kN, 10.0, 0.3);
+}
+
+TEST_F(RngDistributionTest, WeibullMean) {
+  // Mean of Weibull(k=2, lambda) = lambda * Gamma(1.5) = lambda*0.8862.
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng_.weibull(2.0, 1.0);
+  EXPECT_NEAR(sum / kN, 0.8862, 0.03);
+}
+
+TEST_F(RngDistributionTest, ParetoRespectsMinimum) {
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_GE(rng_.pareto(3.0, 2.0), 3.0);
+  }
+}
+
+TEST_F(RngDistributionTest, BoundedParetoStaysInBounds) {
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng_.bounded_pareto(1.0, 100.0, 1.1);
+    ASSERT_GE(x, 1.0);
+    ASSERT_LE(x, 100.0);
+  }
+}
+
+TEST_F(RngDistributionTest, PoissonMean) {
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(rng_.poisson(6.0));
+  EXPECT_NEAR(sum / kN, 6.0, 0.15);
+}
+
+TEST_F(RngDistributionTest, ZipfIsSkewedAndInRange) {
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < kN; ++i) {
+    const std::size_t k = rng_.zipf(10, 1.2);
+    ASSERT_LT(k, 10u);
+    ++counts[k];
+  }
+  // Rank 0 must dominate rank 9 heavily.
+  EXPECT_GT(counts[0], counts[9] * 5);
+  // Monotone-ish decay between first and middle ranks.
+  EXPECT_GT(counts[0], counts[4]);
+}
+
+TEST_F(RngDistributionTest, WeightedIndexFollowsWeights) {
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < kN; ++i) ++counts[rng_.weighted_index(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.3);
+}
+
+TEST_F(RngDistributionTest, InvalidParametersThrow) {
+  EXPECT_THROW(rng_.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW(rng_.weibull(-1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng_.pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng_.zipf(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(rng_.weighted_index({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng_.weighted_index({-1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng a(99);
+  Rng child1 = a.fork();
+  Rng child2 = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child1.uniform() == child2.uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+// ---- arrival processes ---------------------------------------------------------
+
+TEST(ArrivalTest, PoissonRateIsRespected) {
+  Rng rng(5);
+  PoissonProcess p(10.0);  // 10 arrivals/second
+  SimTime total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += p.next_gap(rng);
+  const double rate = n / to_seconds(total);
+  EXPECT_NEAR(rate, 10.0, 0.4);
+}
+
+TEST(ArrivalTest, MmppIsBurstierThanPoisson) {
+  Rng rng1(5), rng2(5);
+  PoissonProcess poisson(1.0);
+  MmppProcess mmpp(0.2, 20.0, 100.0, 10.0);
+  auto cv_of = [](auto& proc, Rng& rng) {
+    std::vector<double> gaps;
+    for (int i = 0; i < 8000; ++i) {
+      gaps.push_back(to_seconds(proc.next_gap(rng)));
+    }
+    double mean = 0.0;
+    for (double g : gaps) mean += g;
+    mean /= gaps.size();
+    double var = 0.0;
+    for (double g : gaps) var += (g - mean) * (g - mean);
+    var /= gaps.size();
+    return std::sqrt(var) / mean;
+  };
+  const double cv_poisson = cv_of(poisson, rng1);
+  const double cv_mmpp = cv_of(mmpp, rng2);
+  EXPECT_NEAR(cv_poisson, 1.0, 0.1);   // exponential gaps: CV = 1
+  EXPECT_GT(cv_mmpp, cv_poisson * 1.5);  // bursty: much higher CV
+}
+
+TEST(ArrivalTest, DiurnalProducesPositiveGaps) {
+  Rng rng(11);
+  DiurnalProcess d(5.0, 0.8, kDay);
+  SimTime total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime g = d.next_gap(rng);
+    ASSERT_GE(g, 0);
+    total += g;
+  }
+  // Average rate should be near the base rate over whole periods.
+  const double rate = 5000 / to_seconds(total);
+  EXPECT_NEAR(rate, 5.0, 0.5);
+}
+
+TEST(ArrivalTest, BadParametersThrow) {
+  EXPECT_THROW(PoissonProcess(0.0), std::invalid_argument);
+  EXPECT_THROW(MmppProcess(0.0, 1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(DiurnalProcess(1.0, 2.0, kDay), std::invalid_argument);
+  EXPECT_THROW(DiurnalProcess(1.0, 0.5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcs::sim
