@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_faas_keepalive.dir/abl_faas_keepalive.cpp.o"
+  "CMakeFiles/abl_faas_keepalive.dir/abl_faas_keepalive.cpp.o.d"
+  "abl_faas_keepalive"
+  "abl_faas_keepalive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_faas_keepalive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_faas_keepalive.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_mapreduce.dir/abl_mapreduce.cpp.o"
+  "CMakeFiles/abl_mapreduce.dir/abl_mapreduce.cpp.o.d"
+  "abl_mapreduce"
+  "abl_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

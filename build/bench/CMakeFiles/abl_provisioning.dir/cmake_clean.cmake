@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_provisioning.dir/abl_provisioning.cpp.o"
+  "CMakeFiles/abl_provisioning.dir/abl_provisioning.cpp.o.d"
+  "abl_provisioning"
+  "abl_provisioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_adaptation.dir/exp_adaptation.cpp.o"
+  "CMakeFiles/exp_adaptation.dir/exp_adaptation.cpp.o.d"
+  "exp_adaptation"
+  "exp_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

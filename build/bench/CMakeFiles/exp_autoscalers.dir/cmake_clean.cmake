@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_autoscalers.dir/exp_autoscalers.cpp.o"
+  "CMakeFiles/exp_autoscalers.dir/exp_autoscalers.cpp.o.d"
+  "exp_autoscalers"
+  "exp_autoscalers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_autoscalers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_faas_overhead.dir/exp_faas_overhead.cpp.o"
+  "CMakeFiles/exp_faas_overhead.dir/exp_faas_overhead.cpp.o.d"
+  "exp_faas_overhead"
+  "exp_faas_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_faas_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_failures.dir/exp_failures.cpp.o"
+  "CMakeFiles/exp_failures.dir/exp_failures.cpp.o.d"
+  "exp_failures"
+  "exp_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

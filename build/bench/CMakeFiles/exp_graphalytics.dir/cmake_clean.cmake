@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_graphalytics.dir/exp_graphalytics.cpp.o"
+  "CMakeFiles/exp_graphalytics.dir/exp_graphalytics.cpp.o.d"
+  "exp_graphalytics"
+  "exp_graphalytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_graphalytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

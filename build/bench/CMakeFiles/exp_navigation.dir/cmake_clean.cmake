@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_navigation.dir/exp_navigation.cpp.o"
+  "CMakeFiles/exp_navigation.dir/exp_navigation.cpp.o.d"
+  "exp_navigation"
+  "exp_navigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_navigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

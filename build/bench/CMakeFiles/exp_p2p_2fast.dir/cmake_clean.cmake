@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_p2p_2fast.dir/exp_p2p_2fast.cpp.o"
+  "CMakeFiles/exp_p2p_2fast.dir/exp_p2p_2fast.cpp.o.d"
+  "exp_p2p_2fast"
+  "exp_p2p_2fast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_p2p_2fast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

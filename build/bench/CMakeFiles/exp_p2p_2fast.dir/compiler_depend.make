@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_p2p_2fast.
+# This may be replaced when dependencies are built.

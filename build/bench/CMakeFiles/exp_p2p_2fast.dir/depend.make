@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_p2p_2fast.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_scavenging.dir/exp_scavenging.cpp.o"
+  "CMakeFiles/exp_scavenging.dir/exp_scavenging.cpp.o.d"
+  "exp_scavenging"
+  "exp_scavenging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_scavenging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_scheduling.dir/exp_scheduling.cpp.o"
+  "CMakeFiles/exp_scheduling.dir/exp_scheduling.cpp.o.d"
+  "exp_scheduling"
+  "exp_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_variability.dir/exp_variability.cpp.o"
+  "CMakeFiles/exp_variability.dir/exp_variability.cpp.o.d"
+  "exp_variability"
+  "exp_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_bigdata.dir/fig1_bigdata.cpp.o"
+  "CMakeFiles/fig1_bigdata.dir/fig1_bigdata.cpp.o.d"
+  "fig1_bigdata"
+  "fig1_bigdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_datacenter.dir/fig3_datacenter.cpp.o"
+  "CMakeFiles/fig3_datacenter.dir/fig3_datacenter.cpp.o.d"
+  "fig3_datacenter"
+  "fig3_datacenter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_datacenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

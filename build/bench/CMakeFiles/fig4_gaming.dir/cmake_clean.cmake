@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_gaming.dir/fig4_gaming.cpp.o"
+  "CMakeFiles/fig4_gaming.dir/fig4_gaming.cpp.o.d"
+  "fig4_gaming"
+  "fig4_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

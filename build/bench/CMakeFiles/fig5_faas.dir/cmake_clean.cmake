@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_faas.dir/fig5_faas.cpp.o"
+  "CMakeFiles/fig5_faas.dir/fig5_faas.cpp.o.d"
+  "fig5_faas"
+  "fig5_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_principles.dir/table2_principles.cpp.o"
+  "CMakeFiles/table2_principles.dir/table2_principles.cpp.o.d"
+  "table2_principles"
+  "table2_principles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_principles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

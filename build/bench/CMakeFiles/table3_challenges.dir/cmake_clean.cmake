@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_challenges.dir/table3_challenges.cpp.o"
+  "CMakeFiles/table3_challenges.dir/table3_challenges.cpp.o.d"
+  "table3_challenges"
+  "table3_challenges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_challenges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

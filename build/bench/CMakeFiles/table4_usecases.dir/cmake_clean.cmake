@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_usecases.dir/table4_usecases.cpp.o"
+  "CMakeFiles/table4_usecases.dir/table4_usecases.cpp.o.d"
+  "table4_usecases"
+  "table4_usecases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_usecases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

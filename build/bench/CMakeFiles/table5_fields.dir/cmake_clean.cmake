@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_fields.dir/table5_fields.cpp.o"
+  "CMakeFiles/table5_fields.dir/table5_fields.cpp.o.d"
+  "table5_fields"
+  "table5_fields.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_fields.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

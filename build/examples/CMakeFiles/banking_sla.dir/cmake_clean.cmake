@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_sla.dir/banking_sla.cpp.o"
+  "CMakeFiles/banking_sla.dir/banking_sla.cpp.o.d"
+  "banking_sla"
+  "banking_sla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escience_workflows.dir/escience_workflows.cpp.o"
+  "CMakeFiles/escience_workflows.dir/escience_workflows.cpp.o.d"
+  "escience_workflows"
+  "escience_workflows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escience_workflows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

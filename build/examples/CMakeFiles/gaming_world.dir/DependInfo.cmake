@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/gaming_world.cpp" "examples/CMakeFiles/gaming_world.dir/gaming_world.cpp.o" "gcc" "examples/CMakeFiles/gaming_world.dir/gaming_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_autoscale.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_gaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_p2p.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_evolve.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_world.dir/gaming_world.cpp.o"
+  "CMakeFiles/gaming_world.dir/gaming_world.cpp.o.d"
+  "gaming_world"
+  "gaming_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

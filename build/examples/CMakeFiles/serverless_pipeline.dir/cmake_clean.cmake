@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_pipeline.dir/serverless_pipeline.cpp.o"
+  "CMakeFiles/serverless_pipeline.dir/serverless_pipeline.cpp.o.d"
+  "serverless_pipeline"
+  "serverless_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

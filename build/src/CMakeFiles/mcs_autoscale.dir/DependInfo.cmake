@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autoscale/autoscaler.cpp" "src/CMakeFiles/mcs_autoscale.dir/autoscale/autoscaler.cpp.o" "gcc" "src/CMakeFiles/mcs_autoscale.dir/autoscale/autoscaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_autoscale.dir/autoscale/autoscaler.cpp.o"
+  "CMakeFiles/mcs_autoscale.dir/autoscale/autoscaler.cpp.o.d"
+  "libmcs_autoscale.a"
+  "libmcs_autoscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bigdata/dataflow.cpp" "src/CMakeFiles/mcs_bigdata.dir/bigdata/dataflow.cpp.o" "gcc" "src/CMakeFiles/mcs_bigdata.dir/bigdata/dataflow.cpp.o.d"
+  "/root/repo/src/bigdata/mapreduce.cpp" "src/CMakeFiles/mcs_bigdata.dir/bigdata/mapreduce.cpp.o" "gcc" "src/CMakeFiles/mcs_bigdata.dir/bigdata/mapreduce.cpp.o.d"
+  "/root/repo/src/bigdata/pregel.cpp" "src/CMakeFiles/mcs_bigdata.dir/bigdata/pregel.cpp.o" "gcc" "src/CMakeFiles/mcs_bigdata.dir/bigdata/pregel.cpp.o.d"
+  "/root/repo/src/bigdata/storage.cpp" "src/CMakeFiles/mcs_bigdata.dir/bigdata/storage.cpp.o" "gcc" "src/CMakeFiles/mcs_bigdata.dir/bigdata/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

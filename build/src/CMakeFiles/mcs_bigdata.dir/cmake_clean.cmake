@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_bigdata.dir/bigdata/dataflow.cpp.o"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/dataflow.cpp.o.d"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/mapreduce.cpp.o"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/mapreduce.cpp.o.d"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/pregel.cpp.o"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/pregel.cpp.o.d"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/storage.cpp.o"
+  "CMakeFiles/mcs_bigdata.dir/bigdata/storage.cpp.o.d"
+  "libmcs_bigdata.a"
+  "libmcs_bigdata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_bigdata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

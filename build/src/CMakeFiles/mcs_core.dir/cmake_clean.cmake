@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_core.dir/core/ecosystem.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/ecosystem.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/core/nfr.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/nfr.cpp.o.d"
+  "CMakeFiles/mcs_core.dir/core/registry.cpp.o"
+  "CMakeFiles/mcs_core.dir/core/registry.cpp.o.d"
+  "libmcs_core.a"
+  "libmcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_evolve.dir/evolve/evolution.cpp.o"
+  "CMakeFiles/mcs_evolve.dir/evolve/evolution.cpp.o.d"
+  "libmcs_evolve.a"
+  "libmcs_evolve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

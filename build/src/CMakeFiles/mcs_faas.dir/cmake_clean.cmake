@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_faas.dir/faas/composition.cpp.o"
+  "CMakeFiles/mcs_faas.dir/faas/composition.cpp.o.d"
+  "CMakeFiles/mcs_faas.dir/faas/function.cpp.o"
+  "CMakeFiles/mcs_faas.dir/faas/function.cpp.o.d"
+  "CMakeFiles/mcs_faas.dir/faas/platform.cpp.o"
+  "CMakeFiles/mcs_faas.dir/faas/platform.cpp.o.d"
+  "libmcs_faas.a"
+  "libmcs_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

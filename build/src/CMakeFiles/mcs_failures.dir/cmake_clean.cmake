@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_failures.dir/failures/failure_model.cpp.o"
+  "CMakeFiles/mcs_failures.dir/failures/failure_model.cpp.o.d"
+  "libmcs_failures.a"
+  "libmcs_failures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_failures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gaming/analytics.cpp" "src/CMakeFiles/mcs_gaming.dir/gaming/analytics.cpp.o" "gcc" "src/CMakeFiles/mcs_gaming.dir/gaming/analytics.cpp.o.d"
+  "/root/repo/src/gaming/pcg.cpp" "src/CMakeFiles/mcs_gaming.dir/gaming/pcg.cpp.o" "gcc" "src/CMakeFiles/mcs_gaming.dir/gaming/pcg.cpp.o.d"
+  "/root/repo/src/gaming/social.cpp" "src/CMakeFiles/mcs_gaming.dir/gaming/social.cpp.o" "gcc" "src/CMakeFiles/mcs_gaming.dir/gaming/social.cpp.o.d"
+  "/root/repo/src/gaming/virtual_world.cpp" "src/CMakeFiles/mcs_gaming.dir/gaming/virtual_world.cpp.o" "gcc" "src/CMakeFiles/mcs_gaming.dir/gaming/virtual_world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_bigdata.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

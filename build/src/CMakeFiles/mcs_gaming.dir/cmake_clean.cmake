@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_gaming.dir/gaming/analytics.cpp.o"
+  "CMakeFiles/mcs_gaming.dir/gaming/analytics.cpp.o.d"
+  "CMakeFiles/mcs_gaming.dir/gaming/pcg.cpp.o"
+  "CMakeFiles/mcs_gaming.dir/gaming/pcg.cpp.o.d"
+  "CMakeFiles/mcs_gaming.dir/gaming/social.cpp.o"
+  "CMakeFiles/mcs_gaming.dir/gaming/social.cpp.o.d"
+  "CMakeFiles/mcs_gaming.dir/gaming/virtual_world.cpp.o"
+  "CMakeFiles/mcs_gaming.dir/gaming/virtual_world.cpp.o.d"
+  "libmcs_gaming.a"
+  "libmcs_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

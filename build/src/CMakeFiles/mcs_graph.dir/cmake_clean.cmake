@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_graph.dir/graph/algorithms.cpp.o"
+  "CMakeFiles/mcs_graph.dir/graph/algorithms.cpp.o.d"
+  "CMakeFiles/mcs_graph.dir/graph/generators.cpp.o"
+  "CMakeFiles/mcs_graph.dir/graph/generators.cpp.o.d"
+  "CMakeFiles/mcs_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/mcs_graph.dir/graph/graph.cpp.o.d"
+  "libmcs_graph.a"
+  "libmcs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_infra.dir/infra/instance_catalog.cpp.o"
+  "CMakeFiles/mcs_infra.dir/infra/instance_catalog.cpp.o.d"
+  "CMakeFiles/mcs_infra.dir/infra/machine.cpp.o"
+  "CMakeFiles/mcs_infra.dir/infra/machine.cpp.o.d"
+  "CMakeFiles/mcs_infra.dir/infra/topology.cpp.o"
+  "CMakeFiles/mcs_infra.dir/infra/topology.cpp.o.d"
+  "libmcs_infra.a"
+  "libmcs_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_metrics.dir/metrics/elasticity.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/elasticity.cpp.o.d"
+  "CMakeFiles/mcs_metrics.dir/metrics/report.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/report.cpp.o.d"
+  "CMakeFiles/mcs_metrics.dir/metrics/stats.cpp.o"
+  "CMakeFiles/mcs_metrics.dir/metrics/stats.cpp.o.d"
+  "libmcs_metrics.a"
+  "libmcs_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_p2p.dir/p2p/swarm.cpp.o"
+  "CMakeFiles/mcs_p2p.dir/p2p/swarm.cpp.o.d"
+  "libmcs_p2p.a"
+  "libmcs_p2p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_p2p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

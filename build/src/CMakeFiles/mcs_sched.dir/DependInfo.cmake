@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/allocation.cpp" "src/CMakeFiles/mcs_sched.dir/sched/allocation.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/allocation.cpp.o.d"
+  "/root/repo/src/sched/datacenter_stack.cpp" "src/CMakeFiles/mcs_sched.dir/sched/datacenter_stack.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/datacenter_stack.cpp.o.d"
+  "/root/repo/src/sched/engine.cpp" "src/CMakeFiles/mcs_sched.dir/sched/engine.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/engine.cpp.o.d"
+  "/root/repo/src/sched/navigator.cpp" "src/CMakeFiles/mcs_sched.dir/sched/navigator.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/navigator.cpp.o.d"
+  "/root/repo/src/sched/pipeline.cpp" "src/CMakeFiles/mcs_sched.dir/sched/pipeline.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/pipeline.cpp.o.d"
+  "/root/repo/src/sched/portfolio.cpp" "src/CMakeFiles/mcs_sched.dir/sched/portfolio.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/portfolio.cpp.o.d"
+  "/root/repo/src/sched/provisioning.cpp" "src/CMakeFiles/mcs_sched.dir/sched/provisioning.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/provisioning.cpp.o.d"
+  "/root/repo/src/sched/scavenging.cpp" "src/CMakeFiles/mcs_sched.dir/sched/scavenging.cpp.o" "gcc" "src/CMakeFiles/mcs_sched.dir/sched/scavenging.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_failures.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sched.dir/sched/allocation.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/allocation.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/datacenter_stack.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/datacenter_stack.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/engine.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/engine.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/navigator.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/navigator.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/pipeline.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/pipeline.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/portfolio.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/portfolio.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/provisioning.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/provisioning.cpp.o.d"
+  "CMakeFiles/mcs_sched.dir/sched/scavenging.cpp.o"
+  "CMakeFiles/mcs_sched.dir/sched/scavenging.cpp.o.d"
+  "libmcs_sched.a"
+  "libmcs_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_sim.dir/sim/arrival.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/arrival.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/mcs_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/mcs_sim.dir/sim/simulator.cpp.o.d"
+  "libmcs_sim.a"
+  "libmcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/archive.cpp" "src/CMakeFiles/mcs_workload.dir/workload/archive.cpp.o" "gcc" "src/CMakeFiles/mcs_workload.dir/workload/archive.cpp.o.d"
+  "/root/repo/src/workload/task.cpp" "src/CMakeFiles/mcs_workload.dir/workload/task.cpp.o" "gcc" "src/CMakeFiles/mcs_workload.dir/workload/task.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/mcs_workload.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/mcs_workload.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/workflow.cpp" "src/CMakeFiles/mcs_workload.dir/workload/workflow.cpp.o" "gcc" "src/CMakeFiles/mcs_workload.dir/workload/workflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_infra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mcs_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcs_workload.dir/workload/archive.cpp.o"
+  "CMakeFiles/mcs_workload.dir/workload/archive.cpp.o.d"
+  "CMakeFiles/mcs_workload.dir/workload/task.cpp.o"
+  "CMakeFiles/mcs_workload.dir/workload/task.cpp.o.d"
+  "CMakeFiles/mcs_workload.dir/workload/trace.cpp.o"
+  "CMakeFiles/mcs_workload.dir/workload/trace.cpp.o.d"
+  "CMakeFiles/mcs_workload.dir/workload/workflow.cpp.o"
+  "CMakeFiles/mcs_workload.dir/workload/workflow.cpp.o.d"
+  "libmcs_workload.a"
+  "libmcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_autoscale.dir/autoscale_test.cpp.o"
+  "CMakeFiles/test_autoscale.dir/autoscale_test.cpp.o.d"
+  "test_autoscale"
+  "test_autoscale.pdb"
+  "test_autoscale[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_autoscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

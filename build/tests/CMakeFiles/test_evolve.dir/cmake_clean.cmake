@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evolve.dir/evolve_test.cpp.o"
+  "CMakeFiles/test_evolve.dir/evolve_test.cpp.o.d"
+  "test_evolve"
+  "test_evolve.pdb"
+  "test_evolve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evolve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gaming.dir/gaming_test.cpp.o"
+  "CMakeFiles/test_gaming.dir/gaming_test.cpp.o.d"
+  "test_gaming"
+  "test_gaming.pdb"
+  "test_gaming[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_navigator.dir/navigator_test.cpp.o"
+  "CMakeFiles/test_navigator.dir/navigator_test.cpp.o.d"
+  "test_navigator"
+  "test_navigator.pdb"
+  "test_navigator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_navigator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
