@@ -3,6 +3,7 @@
 // the classic trade-off curve — short windows minimize resident memory but
 // pay cold starts on every burst; long windows amortize cold starts at the
 // price of idle memory-hours.
+#include <functional>
 #include <iostream>
 
 #include "faas/platform.hpp"

@@ -8,6 +8,7 @@
 // its own signal — the portfolio re-orders the queue, the autoscaler
 // resizes the pool the portfolio's surrogate is estimating against — so
 // their composition is where emergent behaviour (P9) can appear.
+#include <functional>
 #include <iostream>
 
 #include "autoscale/autoscaler.hpp"

@@ -5,6 +5,7 @@
 // cold starts tax latency relative to a monolith. Measured: the same
 // 5-stage pipeline as (a) one monolithic function, (b) a sequence of 5
 // functions, (c) a partially parallel composition — across request rates.
+#include <functional>
 #include <iostream>
 
 #include "faas/composition.hpp"

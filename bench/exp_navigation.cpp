@@ -3,6 +3,7 @@
 // profiles for the same scientific workload. Regenerates the decision the
 // paper's §5.1 poses ("which of the tens of machine instances ... should a
 // researcher start to use?") as an auditable comparison table.
+#include <algorithm>
 #include <iostream>
 
 #include "metrics/report.hpp"

@@ -80,6 +80,39 @@ void BM_Sssp(benchmark::State& state) {
 }
 BENCHMARK(BM_Sssp);
 
+const graph::Graph& large_graph() {
+  // 2^17 vertices, 2^20 arcs: the scale the parallel kernels target.
+  static const graph::Graph g = [] {
+    sim::Rng rng(7);
+    return graph::rmat(17, 8, rng);
+  }();
+  return g;
+}
+
+void BM_PageRankParallel(benchmark::State& state) {
+  const auto& g = large_graph();
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto pr = graph::pagerank_parallel(g, pool, 1);
+    benchmark::DoNotOptimize(pr.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_PageRankParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_WccParallel(benchmark::State& state) {
+  const auto& g = large_graph();
+  parallel::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto labels = graph::wcc_parallel(g, pool);
+    benchmark::DoNotOptimize(labels.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(g.arc_count()) *
+                          state.iterations());
+}
+BENCHMARK(BM_WccParallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
 void BM_RmatGeneration(benchmark::State& state) {
   for (auto _ : state) {
     sim::Rng rng(7);

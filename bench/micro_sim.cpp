@@ -2,6 +2,7 @@
 // (google-benchmark). These quantify the substrate cost every experiment
 // in this repository pays: event throughput, cancellation, and the
 // distribution samplers used by the workload/failure models.
+#include <functional>
 #include <benchmark/benchmark.h>
 
 #include "metrics/elasticity.hpp"
@@ -28,6 +29,26 @@ void BM_EventThroughput(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_EventThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EventThroughputReserved(benchmark::State& state) {
+  // Same workload as BM_EventThroughput, but with the heap and slot table
+  // pre-sized via reserve_events: isolates the cost of growth from the
+  // cost of the schedule/dispatch fast path itself.
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim.reserve_events(events);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(static_cast<sim::SimTime>(i), [&fired] { ++fired; });
+    }
+    sim.run_until();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventThroughputReserved)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_SelfSchedulingChain(benchmark::State& state) {
   for (auto _ : state) {

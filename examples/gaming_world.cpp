@@ -4,6 +4,7 @@
 // the social meta-gaming layer mining co-play communities.
 //
 //   $ ./examples/gaming_world [seed]
+#include <functional>
 #include <cstdlib>
 #include <iostream>
 

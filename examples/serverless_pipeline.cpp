@@ -5,6 +5,7 @@
 // latency, and the platform's memory footprint over time.
 //
 //   $ ./examples/serverless_pipeline [seed]
+#include <functional>
 #include <cstdlib>
 #include <iostream>
 

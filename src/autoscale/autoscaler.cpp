@@ -1,3 +1,4 @@
+#include <functional>
 #include "autoscale/autoscaler.hpp"
 
 #include <algorithm>

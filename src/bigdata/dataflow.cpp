@@ -1,3 +1,4 @@
+#include <functional>
 #include "bigdata/dataflow.hpp"
 
 #include <algorithm>

@@ -7,8 +7,10 @@
 
 namespace mcs::bigdata {
 
-PregelEngine::PregelEngine(const graph::Graph& g, PregelConfig config)
-    : g_(g), config_(config) {
+PregelEngine::PregelEngine(const graph::Graph& g, PregelConfig config,
+                           parallel::ThreadPool* pool)
+    : g_(g), config_(config),
+      pool_(pool != nullptr ? pool : &parallel::default_pool()) {
   if (config_.workers == 0) {
     throw std::invalid_argument("PregelEngine: zero workers");
   }
@@ -23,34 +25,77 @@ PregelStats PregelEngine::run(std::vector<double>& values,
   const graph::VertexId n = g_.vertex_count();
   PregelStats stats;
 
-  // Mailboxes for the current and next superstep.
-  std::vector<std::vector<double>> inbox(n), outbox(n);
-  std::vector<bool> active(n, true);
+  // The compute loop fans out over fixed contiguous vertex chunks (a pure
+  // function of n — never of the pool size). Each chunk records its sends
+  // in a private buffer; delivery replays the buffers in chunk order,
+  // which is ascending sender order — exactly the order the sequential
+  // loop filled each mailbox in. Modelled per-worker compute cost is a
+  // floating-point fold, so it is re-accumulated sequentially in vertex
+  // order from the recorded message counts: stats stay bitwise identical
+  // to the sequential engine.
+  struct SendRec {
+    graph::VertexId target;
+    double msg;
+  };
+  const std::size_t chunks = parallel::default_chunk_count(n);
+  std::vector<std::vector<SendRec>> chunk_sends(chunks);
+  std::vector<std::uint64_t> chunk_sent(chunks), chunk_cross(chunks);
+
+  std::vector<std::vector<double>> inbox(n);
+  // Plain bytes, not vector<bool>: chunks write entries concurrently.
+  std::vector<std::uint8_t> active(n, 1), processed(n, 0);
+  std::vector<std::size_t> messages_in(n, 0);
+  std::vector<double> worker_compute(config_.workers);
 
   for (std::size_t step = 0; step < max_supersteps; ++step) {
+    parallel::parallel_for(
+        *pool_, 0, n,
+        [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+          auto& sends = chunk_sends[chunk];
+          sends.clear();
+          std::uint64_t sent = 0, cross = 0;
+          for (std::size_t i = lo; i < hi; ++i) {
+            const auto v = static_cast<graph::VertexId>(i);
+            if (active[v] == 0 && inbox[v].empty()) {
+              processed[v] = 0;
+              continue;
+            }
+            processed[v] = 1;
+            messages_in[v] = inbox[v].size();
+            const std::size_t w = worker_of(v);
+            SendFn send = [&](graph::VertexId target, double msg) {
+              if (target >= n) {
+                throw std::out_of_range("Pregel send: bad target");
+              }
+              sends.push_back(SendRec{target, msg});
+              ++sent;
+              if (worker_of(target) != w) ++cross;
+            };
+            active[v] = compute(v, values[v], inbox[v], send, step) ? 1 : 0;
+            inbox[v].clear();
+          }
+          chunk_sent[chunk] = sent;
+          chunk_cross[chunk] = cross;
+        },
+        chunks);
+
+    // Sequential epilogue: cost fold in vertex order (bitwise-stable sum).
     std::size_t active_count = 0;
-    std::uint64_t sent = 0, cross = 0;
-    std::vector<double> worker_compute(config_.workers, 0.0);
-
+    std::fill(worker_compute.begin(), worker_compute.end(), 0.0);
     for (graph::VertexId v = 0; v < n; ++v) {
-      if (!active[v] && inbox[v].empty()) continue;
+      if (processed[v] == 0) continue;
       ++active_count;
-      const std::size_t w = worker_of(v);
-      worker_compute[w] += config_.seconds_per_vertex +
-                           config_.seconds_per_message *
-                               static_cast<double>(inbox[v].size());
-
-      SendFn send = [&](graph::VertexId target, double msg) {
-        if (target >= n) throw std::out_of_range("Pregel send: bad target");
-        outbox[target].push_back(msg);
-        ++sent;
-        if (worker_of(target) != w) ++cross;
-      };
-      active[v] = compute(v, values[v], inbox[v], send, step);
-      inbox[v].clear();
+      worker_compute[worker_of(v)] +=
+          config_.seconds_per_vertex +
+          config_.seconds_per_message * static_cast<double>(messages_in[v]);
     }
-
     if (active_count == 0) break;
+
+    std::uint64_t sent = 0, cross = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      sent += chunk_sent[c];
+      cross += chunk_cross[c];
+    }
     ++stats.supersteps;
     stats.active_per_superstep.push_back(active_count);
     stats.total_messages += sent;
@@ -63,16 +108,17 @@ PregelStats PregelEngine::run(std::vector<double>& values,
                         (config_.cross_mbps * 1e6);
     stats.wall_seconds += slowest + comm + config_.barrier_seconds;
 
-    inbox.swap(outbox);
+    // Deliver: chunk order == ascending sender order.
     bool any_message = false;
-    for (const auto& box : inbox) {
-      if (!box.empty()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      for (const SendRec& rec : chunk_sends[c]) {
+        inbox[rec.target].push_back(rec.msg);
         any_message = true;
-        break;
       }
     }
     const bool any_active =
-        std::any_of(active.begin(), active.end(), [](bool a) { return a; });
+        std::any_of(active.begin(), active.end(),
+                    [](std::uint8_t a) { return a != 0; });
     if (!any_message && !any_active) break;
   }
   return stats;

@@ -9,12 +9,19 @@
 // in S+1; a vertex halts by returning false and is reactivated by incoming
 // messages. Values and messages are doubles — sufficient for the four
 // Graphalytics kernels run this way (PR, BFS, WCC, SSSP).
+// The superstep compute loop fans out over parallel::ThreadPool in fixed
+// contiguous vertex chunks; per-chunk send buffers are replayed in chunk
+// order, so message delivery order, values, and the modelled timing stats
+// are all bit-identical to the sequential engine at any thread count.
+// Compute functions may read shared state but must only write their own
+// vertex's value (all four built-in kernels do).
 #pragma once
 
 #include <functional>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mcs::bigdata {
 
@@ -43,7 +50,10 @@ class PregelEngine {
       graph::VertexId, double&, const std::vector<double>&, const SendFn&,
       std::size_t)>;
 
-  PregelEngine(const graph::Graph& g, PregelConfig config);
+  /// `pool` runs the superstep compute loop; defaults to the process-wide
+  /// parallel::default_pool(). Results do not depend on the pool size.
+  PregelEngine(const graph::Graph& g, PregelConfig config,
+               parallel::ThreadPool* pool = nullptr);
 
   /// Runs until no vertex is active and no messages are in flight, or
   /// until max_supersteps. `values` must have one entry per vertex.
@@ -57,6 +67,7 @@ class PregelEngine {
  private:
   const graph::Graph& g_;
   PregelConfig config_;
+  parallel::ThreadPool* pool_;
 };
 
 // ---- the four kernels as vertex programs (cross-checked against

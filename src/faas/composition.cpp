@@ -1,3 +1,4 @@
+#include <functional>
 #include "faas/composition.hpp"
 
 #include <algorithm>

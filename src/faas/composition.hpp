@@ -8,6 +8,7 @@
 // the source of the composition overhead exp_faas_overhead measures.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>

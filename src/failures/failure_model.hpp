@@ -8,6 +8,7 @@
 // underestimates the damage badly; exp_failures reproduces that shape.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "infra/topology.hpp"

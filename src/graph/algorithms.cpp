@@ -111,34 +111,44 @@ std::vector<VertexId> cdlp(const Graph& g, std::size_t iterations) {
   return label;
 }
 
+namespace {
+
+// Simple-graph semantics even on multigraphs (R-MAT/BA generators emit
+// duplicate edges): every neighbourhood is deduplicated and self loops
+// are dropped before counting. Shared by lcc() and lcc_parallel() so the
+// two provably run the same arithmetic.
+std::vector<VertexId> unique_neighbors(const Graph& g, VertexId u) {
+  const auto nbrs = g.neighbors(u);
+  std::vector<VertexId> set(nbrs.begin(), nbrs.end());
+  std::sort(set.begin(), set.end());
+  set.erase(std::unique(set.begin(), set.end()), set.end());
+  set.erase(std::remove(set.begin(), set.end(), u), set.end());
+  return set;
+}
+
+double lcc_of_vertex(const Graph& g, VertexId v) {
+  const std::vector<VertexId> set = unique_neighbors(g, v);
+  const std::size_t d = set.size();
+  if (d < 2) return 0.0;
+  std::size_t links = 0;
+  for (VertexId w : set) {
+    for (VertexId x : unique_neighbors(g, w)) {
+      if (x == v) continue;
+      if (std::binary_search(set.begin(), set.end(), x)) ++links;
+    }
+  }
+  // For undirected storage each triangle edge is seen twice (w->x and
+  // x->w); normalize by the full ordered-pair count d*(d-1).
+  return static_cast<double>(links) /
+         (static_cast<double>(d) * static_cast<double>(d - 1));
+}
+
+}  // namespace
+
 std::vector<double> lcc(const Graph& g) {
   std::vector<double> coeff(g.vertex_count(), 0.0);
-  // Simple-graph semantics even on multigraphs (R-MAT/BA generators emit
-  // duplicate edges): every neighbourhood is deduplicated and self loops
-  // are dropped before counting.
-  auto unique_neighbors = [&](VertexId u) {
-    const auto nbrs = g.neighbors(u);
-    std::vector<VertexId> set(nbrs.begin(), nbrs.end());
-    std::sort(set.begin(), set.end());
-    set.erase(std::unique(set.begin(), set.end()), set.end());
-    set.erase(std::remove(set.begin(), set.end(), u), set.end());
-    return set;
-  };
   for (VertexId v = 0; v < g.vertex_count(); ++v) {
-    const std::vector<VertexId> set = unique_neighbors(v);
-    const std::size_t d = set.size();
-    if (d < 2) continue;
-    std::size_t links = 0;
-    for (VertexId w : set) {
-      for (VertexId x : unique_neighbors(w)) {
-        if (x == v) continue;
-        if (std::binary_search(set.begin(), set.end(), x)) ++links;
-      }
-    }
-    // For undirected storage each triangle edge is seen twice (w->x and
-    // x->w); normalize by the full ordered-pair count d*(d-1).
-    coeff[v] = static_cast<double>(links) /
-               (static_cast<double>(d) * static_cast<double>(d - 1));
+    coeff[v] = lcc_of_vertex(g, v);
   }
   return coeff;
 }
@@ -165,6 +175,161 @@ std::vector<double> sssp(const Graph& g, VertexId source) {
     }
   }
   return dist;
+}
+
+// ---- deterministic parallel kernels -----------------------------------------
+
+namespace {
+
+// In-neighbor CSR ("transpose"): in_src lists, for each target vertex, the
+// sources of its incoming arcs in ascending source order (counting sort is
+// stable). That order is exactly the order in which the sequential push
+// kernel accumulates into each target, which is what makes the parallel
+// pull bit-identical.
+struct Transpose {
+  std::vector<std::size_t> offsets;  // n+1
+  std::vector<VertexId> src;
+};
+
+Transpose build_transpose(const Graph& g) {
+  const VertexId n = g.vertex_count();
+  Transpose t;
+  t.offsets.assign(n + 1, 0);
+  for (VertexId w : g.adjacency()) ++t.offsets[w + 1];
+  for (VertexId v = 0; v < n; ++v) t.offsets[v + 1] += t.offsets[v];
+  t.src.resize(g.arc_count());
+  std::vector<std::size_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (VertexId w : g.neighbors(v)) t.src[cursor[w]++] = v;
+  }
+  return t;
+}
+
+}  // namespace
+
+std::vector<double> pagerank_parallel(const Graph& g,
+                                      parallel::ThreadPool& pool,
+                                      std::size_t iterations, double damping) {
+  const auto n = static_cast<double>(g.vertex_count());
+  if (g.vertex_count() == 0) return {};
+  const Transpose t = build_transpose(g);
+  // Dangling vertices in ascending order: the per-iteration mass fold runs
+  // sequentially over this list, replaying the reference association order.
+  std::vector<VertexId> dangling_vertices;
+  for (VertexId v = 0; v < g.vertex_count(); ++v) {
+    if (g.out_degree(v) == 0) dangling_vertices.push_back(v);
+  }
+  std::vector<double> rank(g.vertex_count(), 1.0 / n);
+  std::vector<double> next(g.vertex_count(), 0.0);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    double dangling = 0.0;
+    for (VertexId v : dangling_vertices) dangling += rank[v];
+    const double base = (1.0 - damping) / n + damping * dangling / n;
+    parallel::parallel_for(
+        pool, 0, g.vertex_count(),
+        [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+          for (std::size_t v = lo; v < hi; ++v) {
+            double sum = 0.0;
+            for (std::size_t a = t.offsets[v]; a < t.offsets[v + 1]; ++a) {
+              const VertexId u = t.src[a];
+              // Same division the sequential kernel performs for its
+              // `share`; IEEE-754 makes it bitwise reproducible.
+              sum += rank[u] / static_cast<double>(g.out_degree(u));
+            }
+            next[v] = base + damping * sum;
+          }
+        });
+    rank.swap(next);
+  }
+  return rank;
+}
+
+std::vector<VertexId> wcc_parallel(const Graph& g,
+                                   parallel::ThreadPool& pool) {
+  const VertexId n = g.vertex_count();
+  std::vector<VertexId> cur(n);
+  for (VertexId v = 0; v < n; ++v) cur[v] = v;
+  if (n == 0) return cur;
+
+  // Directed arcs must propagate labels both ways ("weakly" connected);
+  // pulling from the transpose avoids scatter races entirely.
+  const bool need_reverse = !g.undirected();
+  Transpose rev;
+  if (need_reverse) rev = build_transpose(g);
+
+  std::vector<VertexId> next(n);
+  const std::size_t chunks = parallel::default_chunk_count(n);
+  std::vector<std::uint8_t> chunk_changed(chunks, 0);
+  auto run_round = [&](auto&& update) {
+    std::fill(chunk_changed.begin(), chunk_changed.end(), 0);
+    parallel::parallel_for(
+        pool, 0, n,
+        [&](std::size_t lo, std::size_t hi, std::size_t chunk) {
+          bool changed = false;
+          for (std::size_t v = lo; v < hi; ++v) {
+            const VertexId m = update(static_cast<VertexId>(v));
+            changed = changed || m != cur[v];
+            next[v] = m;
+          }
+          chunk_changed[chunk] = changed ? 1 : 0;
+        },
+        chunks);
+    cur.swap(next);
+    bool any = false;
+    for (std::uint8_t c : chunk_changed) any = any || c != 0;
+    return any;
+  };
+
+  for (;;) {
+    // Hook: adopt the smallest label in the closed neighbourhood.
+    bool changed = run_round([&](VertexId v) {
+      VertexId m = cur[v];
+      for (VertexId w : g.neighbors(v)) m = std::min(m, cur[w]);
+      if (need_reverse) {
+        for (std::size_t a = rev.offsets[v]; a < rev.offsets[v + 1]; ++a) {
+          m = std::min(m, cur[rev.src[a]]);
+        }
+      }
+      return m;
+    });
+    // Shortcut: pointer-jump label chains until stable (labels are vertex
+    // ids of the same component, so cur[cur[v]] is always defined).
+    while (run_round([&](VertexId v) { return cur[cur[v]]; })) {
+      changed = true;
+    }
+    if (!changed) break;
+  }
+  return cur;
+}
+
+std::vector<double> lcc_parallel(const Graph& g, parallel::ThreadPool& pool) {
+  std::vector<double> coeff(g.vertex_count(), 0.0);
+  parallel::parallel_for(
+      pool, 0, g.vertex_count(),
+      [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
+        for (std::size_t v = lo; v < hi; ++v) {
+          coeff[v] = lcc_of_vertex(g, static_cast<VertexId>(v));
+        }
+      });
+  return coeff;
+}
+
+std::vector<std::vector<std::uint32_t>> bfs_batch(
+    const Graph& g, const std::vector<VertexId>& sources,
+    parallel::ThreadPool& pool) {
+  std::vector<std::vector<std::uint32_t>> results(sources.size());
+  pool.run_tasks(sources.size(),
+                 [&](std::size_t i) { results[i] = bfs(g, sources[i]); });
+  return results;
+}
+
+std::vector<std::vector<double>> sssp_batch(const Graph& g,
+                                            const std::vector<VertexId>& sources,
+                                            parallel::ThreadPool& pool) {
+  std::vector<std::vector<double>> results(sources.size());
+  pool.run_tasks(sources.size(),
+                 [&](std::size_t i) { results[i] = sssp(g, sources[i]); });
+  return results;
 }
 
 std::vector<std::string> graphalytics_kernels() {

@@ -8,6 +8,11 @@
 //   CDLP — community detection by label propagation
 //   LCC  — local clustering coefficient
 //   SSSP — single-source shortest paths (weighted, Dijkstra)
+//
+// The *_parallel / *_batch variants run on a parallel::ThreadPool and are
+// BIT-IDENTICAL to the sequential reference at any thread count: chunk
+// boundaries are a pure function of the graph, reductions replay the
+// sequential floating-point association order (see DESIGN.md §4).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +21,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace mcs::graph {
 
@@ -45,6 +51,40 @@ constexpr double kInfDistance = std::numeric_limits<double>::infinity();
 
 /// Dijkstra single-source shortest paths over edge weights.
 [[nodiscard]] std::vector<double> sssp(const Graph& g, VertexId source);
+
+// ---- deterministic parallel kernels -----------------------------------------
+// Each returns exactly the bytes the sequential kernel above returns, for
+// every pool size (asserted by graph_test at 1, 2, and 8 threads).
+
+/// Parallel PageRank: pull-based over the in-neighbor CSR (built once,
+/// stable order), which replays the sequential push's accumulation order
+/// per vertex; the dangling-mass sum is folded sequentially in vertex
+/// order. Bit-identical to pagerank().
+[[nodiscard]] std::vector<double> pagerank_parallel(
+    const Graph& g, parallel::ThreadPool& pool, std::size_t iterations = 20,
+    double damping = 0.85);
+
+/// Parallel WCC: deterministic min-label propagation with pointer jumping
+/// (integer lattice — no rounding concerns). Converges to the canonical
+/// smallest-member label, i.e. exactly wcc()'s output.
+[[nodiscard]] std::vector<VertexId> wcc_parallel(const Graph& g,
+                                                 parallel::ThreadPool& pool);
+
+/// Parallel LCC: per-vertex coefficients are independent; each is computed
+/// by the same arithmetic as lcc().
+[[nodiscard]] std::vector<double> lcc_parallel(const Graph& g,
+                                               parallel::ThreadPool& pool);
+
+/// Batched per-source BFS: one sequential bfs() per source, sources
+/// distributed over the pool. results[i] == bfs(g, sources[i]).
+[[nodiscard]] std::vector<std::vector<std::uint32_t>> bfs_batch(
+    const Graph& g, const std::vector<VertexId>& sources,
+    parallel::ThreadPool& pool);
+
+/// Batched per-source Dijkstra. results[i] == sssp(g, sources[i]).
+[[nodiscard]] std::vector<std::vector<double>> sssp_batch(
+    const Graph& g, const std::vector<VertexId>& sources,
+    parallel::ThreadPool& pool);
 
 /// Names of the six kernels in canonical order.
 [[nodiscard]] std::vector<std::string> graphalytics_kernels();

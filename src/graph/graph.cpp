@@ -8,30 +8,34 @@ namespace mcs::graph {
 Graph::Graph(VertexId vertex_count, const std::vector<Edge>& edges,
              bool undirected)
     : n_(vertex_count), undirected_(undirected) {
-  std::vector<std::size_t> degree(n_ + 1, 0);
+  // Counting sort with no scratch arrays: degrees are counted directly into
+  // offsets_, the fill phase advances offsets_ in place (acting as the
+  // cursor array), and one backward shift restores the CSR invariant.
+  offsets_.assign(n_ + 1, 0);
   for (const Edge& e : edges) {
     if (e.src >= n_ || e.dst >= n_) {
       throw std::invalid_argument("Graph: edge endpoint out of range");
     }
-    ++degree[e.src + 1];
-    if (undirected_) ++degree[e.dst + 1];
+    ++offsets_[e.src + 1];
+    if (undirected_) ++offsets_[e.dst + 1];
   }
-  offsets_.resize(n_ + 1, 0);
-  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] = offsets_[v] + degree[v + 1];
+  for (VertexId v = 0; v < n_; ++v) offsets_[v + 1] += offsets_[v];
 
   adjacency_.resize(offsets_[n_]);
   edge_weights_.resize(offsets_[n_]);
-  std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  auto place = [this](VertexId from, VertexId to, double w) {
+    const std::size_t at = offsets_[from]++;
+    adjacency_[at] = to;
+    edge_weights_[at] = w;
+  };
   for (const Edge& e : edges) {
-    adjacency_[cursor[e.src]] = e.dst;
-    edge_weights_[cursor[e.src]] = e.weight;
-    ++cursor[e.src];
-    if (undirected_) {
-      adjacency_[cursor[e.dst]] = e.src;
-      edge_weights_[cursor[e.dst]] = e.weight;
-      ++cursor[e.dst];
-    }
+    place(e.src, e.dst, e.weight);
+    if (undirected_) place(e.dst, e.src, e.weight);
   }
+  // offsets_[v] now holds the END of v's range; shift right to restore
+  // offsets_[v] = start of v's range.
+  for (VertexId v = n_; v > 0; --v) offsets_[v] = offsets_[v - 1];
+  offsets_[0] = 0;
 }
 
 std::span<const VertexId> Graph::neighbors(VertexId v) const {

@@ -1,3 +1,4 @@
+#include <functional>
 #include "sched/datacenter_stack.hpp"
 
 namespace mcs::sched {

@@ -13,6 +13,7 @@
 // rather than redrawn.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,3 +1,4 @@
+#include <functional>
 #include "sched/pipeline.hpp"
 
 #include <algorithm>

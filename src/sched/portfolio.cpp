@@ -1,3 +1,4 @@
+#include <functional>
 #include "sched/portfolio.hpp"
 
 #include <algorithm>

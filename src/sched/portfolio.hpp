@@ -8,6 +8,7 @@
 // shape: the portfolio tracks whichever fixed policy is best per regime.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>

@@ -17,13 +17,20 @@ double to_seconds(SimTime t) {
   return static_cast<double>(t) / static_cast<double>(kSecond);
 }
 
+void Simulator::throw_time_in_past() {
+  throw std::invalid_argument("Simulator::schedule_at: time in the past");
+}
+
+void Simulator::grow_slots() {
+  slot_blocks_.push_back(std::make_unique<Slot[]>(kSlotBlockSize));
+  slot_capacity_ += static_cast<std::uint32_t>(kSlotBlockSize);
+}
+
 EventHandle Simulator::schedule_at(SimTime at, Callback fn) {
-  if (at < now_) {
-    throw std::invalid_argument("Simulator::schedule_at: time in the past");
-  }
-  const std::uint64_t id = next_id_++;
-  queue_.push(Entry{at, next_seq_++, id, std::move(fn)});
-  return EventHandle{id};
+  if (at < now_) throw_time_in_past();
+  const std::uint32_t slot = acquire_slot();
+  slot_ref(slot).fn = std::move(fn);
+  return arm(at, slot);
 }
 
 EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
@@ -31,39 +38,75 @@ EventHandle Simulator::schedule_after(SimTime delay, Callback fn) {
   return schedule_at(now_ + delay, std::move(fn));
 }
 
-bool Simulator::cancel(EventHandle h) {
-  if (!h.valid() || h.id_ >= next_id_) return false;
-  return cancelled_.insert(h.id_).second;
-}
-
-void Simulator::purge_cancelled_top() {
-  while (!queue_.empty()) {
-    auto it = cancelled_.find(queue_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    queue_.pop();
+void Simulator::reserve_events(std::size_t extra) {
+  heap_.reserve(heap_.size() + extra);
+  tail_.reserve(tail_.size() - tail_head_ + extra);
+  while (static_cast<std::size_t>(slot_capacity_) <
+         static_cast<std::size_t>(slot_count_) + extra) {
+    grow_slots();
   }
 }
 
-bool Simulator::step() {
-  purge_cancelled_top();
-  if (queue_.empty()) return false;
-  Entry e = queue_.top();
-  queue_.pop();
-  now_ = e.at;
-  ++executed_;
-  e.fn();
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid() || h.slot_ >= slot_count_) return false;
+  Slot& s = slot_ref(h.slot_);
+  if (s.gen != h.gen_) return false;  // already ran or already cancelled
+  ++s.gen;
+  s.fn.reset();  // release captures promptly
+  s.next_free = free_head_;
+  free_head_ = h.slot_;
   return true;
 }
 
+void Simulator::sift_up(std::size_t i) {
+  Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::pop_entry() {
+  // Bottom-up deletion: walk the hole from the root to a leaf along the
+  // min-child chain (no comparison against the displaced element), then
+  // bubble the former last element up from the leaf. Since the last element
+  // of a heap is almost always near-maximal, the upward pass usually stops
+  // immediately — saving one comparison per level over top-down sifting.
+  const Entry e = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      // Conditional-move selection: with branchless earlier() this loop
+      // carries no data-dependent branches.
+      best = earlier(heap_[c], heap_[best]) ? c : best;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+bool Simulator::step() { return run_one(kTimeInfinity); }
+
 std::size_t Simulator::run_until(SimTime until) {
   std::size_t ran = 0;
-  for (;;) {
-    purge_cancelled_top();
-    if (queue_.empty() || queue_.top().at > until) break;
-    if (!step()) break;
-    ++ran;
-  }
+  while (run_one(until)) ++ran;
   if (now_ < until && until != kTimeInfinity) now_ = until;
   return ran;
 }

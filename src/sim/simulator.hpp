@@ -2,7 +2,8 @@
 //
 // The paper (C15, §3.3 "Experimentation and simulation") argues that
 // simulation is the primary community instrument for studying computer
-// ecosystems; every subsystem in this repository runs on this kernel.
+// ecosystems; every subsystem in this repository runs on this kernel, so
+// its per-event cost is the floor under every experiment (E1–E12).
 //
 // Design choices:
 //  - Virtual time is an integer count of microseconds (SimTime). Integer time
@@ -11,14 +12,27 @@
 //    pure function of its inputs and RNG seed.
 //  - Single-threaded by design: determinism and debuggability outrank kernel
 //    speed for this scale of model (see bench/micro_sim for throughput).
+//  - The hot path is allocation-free: callbacks use sim::Callback (inline
+//    storage for typical capturing lambdas, heap only as a fallback), and
+//    the event queue is a 4-ary implicit heap of 24-byte entries whose
+//    callbacks live in a slot table — sift operations never move closures.
+//  - Discrete-event workloads overwhelmingly schedule in nondecreasing time
+//    order, so the queue keeps a sorted-run tail buffer beside the heap:
+//    monotone schedules append in O(1) and pop in O(1); only out-of-order
+//    events pay the O(log n) heap. Execution order is identical either way.
+//  - Cancellation is O(1) lazy deletion: a handle carries (slot, generation)
+//    and cancelling bumps the slot generation; stale heap entries are
+//    discarded with one array load when they surface, no hash lookups.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
+#include <cstring>
 #include <limits>
-#include <queue>
-#include <string>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace mcs::sim {
@@ -41,23 +55,161 @@ SimTime from_seconds(double seconds);
 /// Converts SimTime to floating point seconds (for reporting only).
 double to_seconds(SimTime t);
 
-/// Opaque handle used to cancel a scheduled event.
+/// Small-buffer-optimized move-only callable<void()>. Closures up to
+/// kInlineSize bytes (the common case: a few captured pointers/values) are
+/// stored inline; larger ones fall back to a single heap allocation. Unlike
+/// std::function it also accepts move-only closures (e.g. capturing a
+/// std::unique_ptr).
+class Callback {
+ public:
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_v<D&>>>
+  Callback(F&& fn) {  // NOLINT(google-explicit-constructor): drop-in for std::function
+    construct<D>(std::forward<F>(fn));
+  }
+
+  /// Destroys the current callable (if any) and constructs `fn` directly in
+  /// this object's storage — the kernel uses this to build a closure in its
+  /// slot without an intermediate Callback and relocation.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, Callback> &&
+                                        std::is_invocable_v<D&>>>
+  void emplace(F&& fn) {
+    reset();
+    construct<D>(std::forward<F>(fn));
+  }
+
+  Callback(Callback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      relocate_from(other);
+    }
+  }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        relocate_from(other);
+      }
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  /// Destroys the held callable (releasing its captures immediately).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  /// Whether the callable is stored inline (no heap allocation was made).
+  [[nodiscard]] bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  void operator()() {
+    ops_->invoke(storage_);
+  }
+
+ private:
+  // relocate/destroy may be null: a null relocate means "memcpy the whole
+  // buffer" (valid for trivially copyable closures and for the heap case,
+  // where the buffer just holds a pointer); a null destroy means "nothing
+  // to do". Both fast paths skip an indirect call on the kernel's hot path.
+  struct Ops {
+    void (*invoke)(void* storage);
+    void (*relocate)(void* dst, void* src) noexcept;  // move + destroy src
+    void (*destroy)(void* storage) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D, typename F>
+  void construct(F&& fn) {
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
+      ops_ = &inline_ops<D>;
+    } else {
+      *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  void relocate_from(Callback& other) noexcept {
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage_, other.storage_);
+    } else {
+      std::memcpy(storage_, other.storage_, kInlineSize);
+    }
+    other.ops_ = nullptr;
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      std::is_trivially_copyable_v<D>
+          ? nullptr
+          : +[](void* dst, void* src) noexcept {
+              D* from = std::launder(reinterpret_cast<D*>(src));
+              ::new (dst) D(std::move(*from));
+              from->~D();
+            },
+      std::is_trivially_destructible_v<D>
+          ? nullptr
+          : +[](void* s) noexcept {
+              std::launder(reinterpret_cast<D*>(s))->~D();
+            },
+      true};
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      nullptr,  // the buffer holds one pointer; memcpy relocates it
+      [](void* s) noexcept { delete *std::launder(reinterpret_cast<D**>(s)); },
+      false};
+
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+/// Opaque handle used to cancel a scheduled event. Internally a
+/// (slot, generation) pair: generations make handles single-use even when
+/// the kernel recycles the slot for a later event.
 class EventHandle {
  public:
   EventHandle() = default;
-  [[nodiscard]] bool valid() const { return id_ != 0; }
+  [[nodiscard]] bool valid() const { return gen_ != 0; }
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
-  std::uint64_t id_ = 0;
+  EventHandle(std::uint32_t slot, std::uint32_t gen)
+      : slot_(slot), gen_(gen) {}
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 /// The discrete-event engine. Owns the virtual clock and the event queue.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
@@ -66,14 +218,51 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` to run at absolute virtual time `at` (>= now()).
-  /// Events at equal times run in scheduling order.
+  /// Events at equal times run in scheduling order. The callable is
+  /// constructed directly in its kernel slot (no intermediate Callback).
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventHandle schedule_at(SimTime at, F&& fn) {
+    if (at < now_) throw_time_in_past();
+    // Exception safety by ordering, not by try/catch: the slot is only
+    // committed (freelist popped / counter bumped) after the callable's
+    // constructor has succeeded, so a throwing copy leaves no trace.
+    std::uint32_t slot;
+    if (free_head_ != kNoSlot) {
+      slot = free_head_;
+      slot_ref(slot).fn.emplace(std::forward<F>(fn));
+      free_head_ = slot_ref(slot).next_free;
+    } else {
+      if (slot_count_ == slot_capacity_) grow_slots();
+      slot = slot_count_;
+      slot_ref(slot).fn.emplace(std::forward<F>(fn));
+      ++slot_count_;
+    }
+    return arm(at, slot);
+  }
   EventHandle schedule_at(SimTime at, Callback fn);
 
   /// Schedules `fn` to run `delay` after now().
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_v<std::decay_t<F>&>>>
+  EventHandle schedule_after(SimTime delay, F&& fn) {
+    if (delay < 0) delay = 0;
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
   EventHandle schedule_after(SimTime delay, Callback fn);
 
+  /// Bulk reservation: pre-sizes the heap and the callback slot table for
+  /// `extra` additional pending events, so a burst of schedule_at calls
+  /// performs no reallocation.
+  void reserve_events(std::size_t extra);
+
   /// Cancels a pending event; returns false if it already ran or was
-  /// cancelled. Cancelling is O(1): the event is tombstoned in place.
+  /// cancelled. Cancelling is O(1): the slot generation is bumped and the
+  /// callback destroyed in place; the heap entry is discarded lazily.
   bool cancel(EventHandle h);
 
   /// Runs events until the queue drains or `until` is passed. Returns the
@@ -84,33 +273,154 @@ class Simulator {
   bool step();
 
   /// Number of events waiting (including tombstoned ones).
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const {
+    return heap_.size() + (tail_.size() - tail_head_);
+  }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
  private:
-  void purge_cancelled_top();
-
+  // Heap entries are small PODs; the (heavy) callback stays put in its slot
+  // so sift operations move 24 bytes, never a closure.
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // insertion order; breaks ties deterministically
-    std::uint64_t id;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
     Callback fn;
+    std::uint32_t gen = 1;  // bumped on execute/cancel; 0 is never stored
+    std::uint32_t next_free = kNoSlot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+  static constexpr std::uint32_t kNoSlot =
+      std::numeric_limits<std::uint32_t>::max();
+  // Slots live in fixed-size blocks, so growing the table never moves a
+  // Slot. Address stability is load-bearing twice over: growth performs no
+  // per-callback relocation, and the kernel can invoke a callback in place
+  // while user code inside it schedules new events.
+  static constexpr std::size_t kSlotBlockBits = 9;
+  static constexpr std::size_t kSlotBlockSize = std::size_t{1}
+                                                << kSlotBlockBits;
+
+  /// True when a precedes b in execution order. Compares the (at, seq)
+  /// pair as one 128-bit key: `at` is never negative (schedule_at enforces
+  /// at >= now() >= 0), so the unsigned reinterpretation preserves order,
+  /// and the compiler lowers this to a branchless cmp/sbb pair — heap sift
+  /// comparisons on random keys would otherwise mispredict constantly.
+  static bool earlier(const Entry& a, const Entry& b) {
+    const auto ka =
+        (static_cast<unsigned __int128>(static_cast<std::uint64_t>(a.at))
+         << 64) |
+        a.seq;
+    const auto kb =
+        (static_cast<unsigned __int128>(static_cast<std::uint64_t>(b.at))
+         << 64) |
+        b.seq;
+    return ka < kb;
+  }
+
+  [[noreturn]] static void throw_time_in_past();
+
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (free_head_ != kNoSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slot_ref(slot).next_free;
+      return slot;
     }
-  };
+    if (slot_count_ == slot_capacity_) grow_slots();
+    return slot_count_++;
+  }
+
+  /// Enqueues the entry for an armed slot and returns its handle. Entries
+  /// that continue the current monotone run go to the sorted tail buffer
+  /// (O(1)); earlier-than-the-run entries fall back to the heap.
+  EventHandle arm(SimTime at, std::uint32_t slot) {
+    const std::uint32_t gen = slot_ref(slot).gen;
+    const Entry e{at, next_seq_++, slot, gen};
+    if (tail_head_ == tail_.size() || !earlier(e, tail_.back())) {
+      if (tail_head_ != 0 && tail_head_ == tail_.size()) {
+        tail_.clear();
+        tail_head_ = 0;
+      }
+      tail_.push_back(e);
+    } else {
+      heap_.push_back(e);
+      sift_up(heap_.size() - 1);
+    }
+    return EventHandle{slot, gen};
+  }
+
+  [[nodiscard]] Slot& slot_ref(std::uint32_t i) {
+    return slot_blocks_[i >> kSlotBlockBits][i & (kSlotBlockSize - 1)];
+  }
+  [[nodiscard]] const Slot& slot_ref(std::uint32_t i) const {
+    return slot_blocks_[i >> kSlotBlockBits][i & (kSlotBlockSize - 1)];
+  }
+
+  void grow_slots();
+  void sift_up(std::size_t i);
+  void pop_entry();
+  /// Pops and executes the next live event in (at, seq) order; returns
+  /// false if the queues are exhausted or its time exceeds `until`. Stale
+  /// entries met on the way are discarded. Defined inline: this is the
+  /// kernel's innermost loop body and benefits from cross-inlining into
+  /// run_until/step at every call site.
+  bool run_one(SimTime until) {
+    // Discard stale (cancelled) entries at both queue fronts, then take
+    // the earlier of the two live fronts.
+    while (tail_head_ < tail_.size() && !entry_live(tail_[tail_head_])) {
+      ++tail_head_;
+    }
+    while (!heap_.empty() && !entry_live(heap_.front())) pop_entry();
+    Entry e;
+    if (tail_head_ < tail_.size() &&
+        (heap_.empty() || earlier(tail_[tail_head_], heap_.front()))) {
+      e = tail_[tail_head_];
+      if (e.at > until) return false;
+      ++tail_head_;
+    } else {
+      if (heap_.empty() || heap_.front().at > until) return false;
+      e = heap_.front();
+      pop_entry();
+    }
+    Slot& s = slot_ref(e.slot);
+    ++s.gen;  // invalidate outstanding handles before user code runs
+    now_ = e.at;
+    ++executed_;
+    // Invoke in place: slot storage is address-stable, so user code inside
+    // the callback can schedule freely without moving the running closure.
+    // The slot is not on the free list yet, so it cannot be re-armed until
+    // the guard releases it — which happens even if the callback throws.
+    struct FreeGuard {
+      Simulator* sim;
+      Slot* slot;
+      std::uint32_t index;
+      ~FreeGuard() {
+        slot->fn.reset();
+        slot->next_free = sim->free_head_;
+        sim->free_head_ = index;
+      }
+    } guard{this, &s, e.slot};
+    s.fn();
+    return true;
+  }
+  [[nodiscard]] bool entry_live(const Entry& e) const {
+    return slot_ref(e.slot).gen == e.gen;
+  }
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  std::unordered_set<std::uint64_t> cancelled_;  // tombstoned event ids
+  std::vector<Entry> heap_;  // 4-ary implicit heap ordered by earlier()
+  std::vector<Entry> tail_;  // sorted monotone run, consumed from tail_head_
+  std::size_t tail_head_ = 0;
+  // Callback storage, recycled via free list; see kSlotBlockBits above.
+  std::vector<std::unique_ptr<Slot[]>> slot_blocks_;
+  std::uint32_t slot_count_ = 0;     // slots ever handed out
+  std::uint32_t slot_capacity_ = 0;  // slots constructed across blocks
+  std::uint32_t free_head_ = kNoSlot;
 };
 
 }  // namespace mcs::sim

@@ -265,6 +265,52 @@ TEST(PregelTest, BadUsageThrows) {
       std::invalid_argument);
 }
 
+TEST(PregelTest, ResultsAndStatsInvariantUnderComputePoolSize) {
+  // The superstep loop fans out over a thread pool, but values, message
+  // counts, and the modelled timing must be bitwise identical at any pool
+  // size (chunk-ordered message replay + sequential cost fold).
+  sim::Rng rng(3);
+  const graph::Graph g = graph::rmat(9, 6, rng);
+  auto run_with = [&](std::size_t threads) {
+    parallel::ThreadPool pool(threads);
+    PregelEngine engine(g, {}, &pool);
+    std::vector<double> values(g.vertex_count());
+    for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+      values[v] = static_cast<double>(v);
+    }
+    PregelStats stats = engine.run(
+        values,
+        [&g](graph::VertexId v, double& value,
+             const std::vector<double>& msgs,
+             const PregelEngine::SendFn& send, std::size_t step) {
+          bool improved = step == 0;
+          for (double m : msgs) {
+            if (m < value) {
+              value = m;
+              improved = true;
+            }
+          }
+          if (improved) {
+            for (graph::VertexId w : g.neighbors(v)) send(w, value);
+          }
+          return false;
+        },
+        50);
+    return std::pair<std::vector<double>, PregelStats>(std::move(values),
+                                                       std::move(stats));
+  };
+  const auto [v1, s1] = run_with(1);
+  for (std::size_t threads : {2u, 8u}) {
+    const auto [vn, sn] = run_with(threads);
+    EXPECT_EQ(v1, vn);
+    EXPECT_EQ(s1.supersteps, sn.supersteps);
+    EXPECT_EQ(s1.total_messages, sn.total_messages);
+    EXPECT_EQ(s1.cross_messages, sn.cross_messages);
+    EXPECT_EQ(s1.wall_seconds, sn.wall_seconds);  // bitwise, not NEAR
+    EXPECT_EQ(s1.active_per_superstep, sn.active_per_superstep);
+  }
+}
+
 // ---- dataflow -------------------------------------------------------------------------
 
 TEST(DataflowTest, MapFilterGroupPipeline) {

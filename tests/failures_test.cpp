@@ -35,7 +35,7 @@ TEST(FailureTraceTest, EventsSortedWithinHorizon) {
   const auto trace = generate_failure_trace(dc, config, 3 * sim::kDay, rng);
   for (std::size_t i = 0; i < trace.size(); ++i) {
     EXPECT_LT(trace[i].at, 3 * sim::kDay);
-    if (i > 0) EXPECT_GE(trace[i].at, trace[i - 1].at);
+    if (i > 0) { EXPECT_GE(trace[i].at, trace[i - 1].at); }
   }
 }
 

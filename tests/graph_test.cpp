@@ -1,5 +1,6 @@
 // Tests for the graph substrate: CSR structure, generators, and the six
 // Graphalytics kernels (src/graph).
+#include <functional>
 #include <gtest/gtest.h>
 
 #include <set>
@@ -234,6 +235,71 @@ TEST(AlgorithmTest, SsspMatchesBfsOnUnitWeights) {
 TEST(AlgorithmTest, KernelListHasSixEntries) {
   EXPECT_EQ(graphalytics_kernels().size(), 6u);
 }
+
+// ---- parallel kernels: bit-identical to the sequential reference ---------------
+//
+// The acceptance bar for the parallel substrate: at 1, 2, and 8 threads the
+// parallel kernels return EXACTLY the bytes the sequential kernels return
+// (EXPECT_EQ on double vectors is bitwise for non-NaN values).
+
+class ParallelKernelTest : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  parallel::ThreadPool pool_{GetParam()};
+};
+
+TEST_P(ParallelKernelTest, PageRankBitIdentical) {
+  for (std::uint64_t seed : {7u, 77u}) {
+    sim::Rng rng(seed);
+    const Graph g = rmat(11, 8, rng);
+    EXPECT_EQ(pagerank_parallel(g, pool_, 20), pagerank(g, 20));
+  }
+  // Directed graph with dangling vertices: the sequential dangling-mass
+  // fold must be replayed exactly.
+  const Graph d(5, {{0, 1, 1}, {1, 2, 1}, {3, 0, 1}}, false);
+  EXPECT_EQ(pagerank_parallel(d, pool_, 25), pagerank(d, 25));
+}
+
+TEST_P(ParallelKernelTest, WccBitIdentical) {
+  sim::Rng rng(7);
+  const Graph g = rmat(11, 4, rng);
+  EXPECT_EQ(wcc_parallel(g, pool_), wcc(g));
+  // Disconnected + directed cases.
+  const Graph two(6, {{0, 1, 1}, {1, 2, 1}, {4, 3, 1}}, false);
+  EXPECT_EQ(wcc_parallel(two, pool_), wcc(two));
+  // Long path: exercises the pointer-jumping rounds.
+  std::vector<Edge> chain;
+  for (VertexId v = 0; v + 1 < 3000; ++v) chain.push_back({v + 1, v, 1.0});
+  const Graph path(3000, chain, false);
+  EXPECT_EQ(wcc_parallel(path, pool_), wcc(path));
+}
+
+TEST_P(ParallelKernelTest, LccBitIdentical) {
+  sim::Rng rng(7);
+  const Graph g = rmat(9, 6, rng);
+  EXPECT_EQ(lcc_parallel(g, pool_), lcc(g));
+  EXPECT_EQ(lcc_parallel(triangle_plus_tail(), pool_),
+            lcc(triangle_plus_tail()));
+}
+
+TEST_P(ParallelKernelTest, BfsAndSsspBatchesMatchPerSourceRuns) {
+  sim::Rng rng(5);
+  const Graph g = erdos_renyi(500, 2000, rng);
+  std::vector<VertexId> sources = {0, 17, 123, 499, 250};
+  const auto depths = bfs_batch(g, sources, pool_);
+  const auto dists = sssp_batch(g, sources, pool_);
+  ASSERT_EQ(depths.size(), sources.size());
+  ASSERT_EQ(dists.size(), sources.size());
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    EXPECT_EQ(depths[i], bfs(g, sources[i]));
+    EXPECT_EQ(dists[i], sssp(g, sources[i]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelKernelTest,
+                         ::testing::Values(1u, 2u, 8u),
+                         [](const ::testing::TestParamInfo<std::size_t>& info) {
+                           return "threads" + std::to_string(info.param);
+                         });
 
 // ---- property sweep over generators (parameterized) ----------------------------
 

@@ -2,6 +2,7 @@
 // that exercise several subsystems together, end-to-end determinism, and
 // parameterized invariant sweeps (the "macro-level" testing of challenge
 // C17, complementing the per-module "micro-level" suites).
+#include <functional>
 #include <gtest/gtest.h>
 
 #include "autoscale/autoscaler.hpp"

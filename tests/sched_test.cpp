@@ -1,6 +1,7 @@
 // Tests for the execution engine, allocation policies, provisioning,
 // the Schopf pipeline, portfolio scheduling, scavenging, and the Fig. 3
 // datacenter stack (src/sched).
+#include <functional>
 #include <gtest/gtest.h>
 
 #include "failures/failure_model.hpp"

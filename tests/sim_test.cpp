@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/arrival.hpp"
@@ -116,6 +119,153 @@ TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
   sim.run_until();
   EXPECT_EQ(count, 100);
   EXPECT_EQ(sim.now(), 99 * 10);
+}
+
+// ---- kernel fast paths: slot recycling, callback lifetime, heap stress ------
+
+TEST(CallbackTest, SmallLambdaIsStoredInline) {
+  int x = 0;
+  Callback cb([&x] { ++x; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(CallbackTest, CapturesUpToInlineSizeStayInline) {
+  struct Fat {
+    std::int64_t a[6];  // exactly 48 bytes
+  } fat{};
+  double sink = 0.0;
+  Callback cb([fat, &sink] { sink += static_cast<double>(fat.a[0]); });
+  // 48-byte payload + reference still must not force a heap fallback for
+  // the payload alone; anything <= kInlineSize is inline.
+  Callback small([fat]() mutable { fat.a[0] = 1; });
+  EXPECT_TRUE(small.is_inline());
+  (void)cb;
+}
+
+TEST(CallbackTest, OversizedCaptureFallsBackToHeapAndStillRuns) {
+  struct Huge {
+    std::int64_t a[16];  // 128 bytes > kInlineSize
+  } huge{};
+  huge.a[15] = 42;
+  std::int64_t seen = 0;
+  Callback cb([huge, &seen] { seen = huge.a[15]; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(CallbackTest, AcceptsMoveOnlyClosures) {
+  auto owned = std::make_unique<int>(7);
+  int seen = 0;
+  Callback cb([p = std::move(owned), &seen] { seen = *p; });
+  Callback moved = std::move(cb);
+  moved();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(SimulatorTest, CancelThenRescheduleDoesNotConfuseHandles) {
+  // The kernel recycles callback slots; a stale handle from a cancelled
+  // (or executed) event must never cancel the slot's next tenant.
+  Simulator sim;
+  int first = 0, second = 0;
+  EventHandle h1 = sim.schedule_at(10, [&] { ++first; });
+  EXPECT_TRUE(sim.cancel(h1));
+  // This schedule reuses h1's slot (same kernel storage, new generation).
+  EventHandle h2 = sim.schedule_at(20, [&] { ++second; });
+  EXPECT_FALSE(sim.cancel(h1));  // stale handle: must miss the new tenant
+  sim.run_until();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+  // After execution both handles are dead.
+  EXPECT_FALSE(sim.cancel(h2));
+  EXPECT_FALSE(sim.cancel(h1));
+}
+
+TEST(SimulatorTest, HandleFromExecutedEventCannotCancelSlotReuse) {
+  Simulator sim;
+  int a = 0, b = 0;
+  EventHandle ha = sim.schedule_at(1, [&] { ++a; });
+  sim.run_until(5);
+  EXPECT_EQ(a, 1);
+  EventHandle hb = sim.schedule_at(10, [&] { ++b; });  // recycles ha's slot
+  EXPECT_FALSE(sim.cancel(ha));
+  sim.run_until();
+  EXPECT_EQ(b, 1);
+  (void)hb;
+}
+
+TEST(SimulatorTest, CancelDestroysCallbackImmediately) {
+  // Captured resources must be released at cancel() time, not when the
+  // tombstoned heap entry eventually surfaces.
+  Simulator sim;
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  EventHandle h = sim.schedule_at(1000, [t = std::move(token)] { (void)t; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_TRUE(watch.expired());  // released now, though the event is queued
+  EXPECT_EQ(sim.pending(), 1u);  // the tombstone is still in the heap
+  sim.run_until();
+  EXPECT_EQ(sim.executed(), 0u);
+}
+
+TEST(SimulatorTest, ExecutionReleasesCallbackCaptures) {
+  Simulator sim;
+  auto token = std::make_shared<int>(1);
+  std::weak_ptr<int> watch = token;
+  sim.schedule_at(1, [t = std::move(token)] { (void)t; });
+  sim.run_until();
+  EXPECT_TRUE(watch.expired());
+}
+
+TEST(SimulatorTest, MillionMixedScheduleCancelOpsStayOrdered) {
+  // Heap behaviour after 10^6 mixed operations: a deterministic pseudo-
+  // random mix of schedules and cancels, validated by execution count and
+  // by monotone event times.
+  Simulator sim;
+  sim.reserve_events(1 << 20);
+  Rng rng(2024);
+  std::vector<EventHandle> live;
+  live.reserve(1 << 20);
+  std::uint64_t scheduled = 0, cancelled = 0;
+  SimTime last_seen = -1;
+  bool monotone = true;
+  for (int i = 0; i < 1'000'000; ++i) {
+    const double u = rng.uniform();
+    if (u < 0.6 || live.empty()) {
+      const auto at = static_cast<SimTime>(rng.uniform_int(0, 1 << 22));
+      live.push_back(sim.schedule_at(at, [&sim, &last_seen, &monotone] {
+        monotone = monotone && sim.now() >= last_seen;
+        last_seen = sim.now();
+      }));
+      ++scheduled;
+    } else {
+      const auto idx = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(live.size()) - 1));
+      if (sim.cancel(live[idx])) ++cancelled;
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  const std::size_t ran = sim.run_until();
+  EXPECT_EQ(ran, scheduled - cancelled);
+  EXPECT_EQ(sim.executed(), scheduled - cancelled);
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+TEST(SimulatorTest, ReserveEventsPreservesBehaviour) {
+  Simulator sim;
+  sim.reserve_events(1024);
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_at(100 - i, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], 99 - i);
 }
 
 TEST(SimulatorTest, DeterministicAcrossRuns) {

@@ -124,7 +124,7 @@ TEST(TraceTest, GeneratesRequestedVolume) {
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_EQ(jobs[i].id, i);
     EXPECT_TRUE(jobs[i].valid());
-    if (i > 0) EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+    if (i > 0) { EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time); }
   }
 }
 
