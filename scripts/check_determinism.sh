@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Double-run determinism check: runs `exp_graphalytics --digest` twice at
+# MCS_THREADS=1 and twice at MCS_THREADS=8 and requires all four FNV-1a
+# digests to be identical. The digest covers every kernel result (BFS, PR,
+# WCC, CDLP, LCC, SSSP over rmat/er/ba) plus the Pregel engine's values and
+# message statistics, so this is the standing check behind the repo's
+# bit-identical-at-any-thread-count promise (DESIGN.md, "Determinism &
+# hot-path rules").
+#
+# Usage: scripts/check_determinism.sh /path/to/exp_graphalytics
+set -euo pipefail
+
+exe="${1:-}"
+if [[ -z "${exe}" || ! -x "${exe}" ]]; then
+  echo "usage: $0 /path/to/exp_graphalytics" >&2
+  exit 2
+fi
+
+declare -a digests=()
+for threads in 1 1 8 8; do
+  d="$(MCS_THREADS=${threads} "${exe}" --digest)"
+  echo "MCS_THREADS=${threads}: ${d}"
+  digests+=("${d}")
+done
+
+for d in "${digests[@]:1}"; do
+  if [[ "${d}" != "${digests[0]}" ]]; then
+    echo "FAIL: digests diverge — results depend on thread count or run order" >&2
+    exit 1
+  fi
+done
+echo "OK: bit-identical across repeats and thread counts"

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <deque>
-#include <functional>
 #include <map>
 
+#include "core/callback.hpp"
 #include "faas/function.hpp"
 #include "infra/topology.hpp"
 #include "metrics/stats.hpp"
@@ -56,7 +56,10 @@ class FaasPlatform {
   /// Deploys a function (Function Management registry).
   void deploy(FunctionSpec spec);
 
-  using Callback = std::function<void(const InvocationResult&)>;
+  /// Completion callback: an owning SBO callable (move-only). Queued
+  /// requests (Pending) carry it without a heap allocation for typical
+  /// captures; std::function guaranteed one per queued invocation.
+  using Callback = core::UniqueFunction<void(const InvocationResult&)>;
 
   /// Invokes a function now; `done` fires at completion. Requests that find
   /// no warm instance trigger a cold start (when capacity allows) or queue.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <queue>
 #include <stdexcept>
-#include <unordered_map>
 
 namespace mcs::gaming {
 
@@ -15,6 +14,25 @@ std::uint32_t encode(const Board& b) {
   std::uint32_t code = 0;
   for (std::uint8_t cell : b) code = code * 9 + cell;
   return code;
+}
+
+// Lehmer rank of the board seen as a permutation of {0..8}: a perfect,
+// order-preserving index into [0, 9!). Lets BFS keep its visited/depth
+// table in a direct-indexed array instead of a hash map — no bucket order
+// anywhere near the search (determinism rule D2, tools/mcs_lint), and
+// O(1) lookups without hashing.
+constexpr std::size_t kStateCount = 362880;  // 9!
+
+std::uint32_t lehmer_rank(const Board& b) {
+  std::uint32_t rank = 0;
+  for (std::size_t i = 0; i < 9; ++i) {
+    std::uint32_t smaller_right = 0;
+    for (std::size_t j = i + 1; j < 9; ++j) {
+      if (b[j] < b[i]) ++smaller_right;
+    }
+    rank = rank * static_cast<std::uint32_t>(9 - i) + smaller_right;
+  }
+  return rank;
 }
 
 std::size_t blank_index(const Board& b) {
@@ -57,20 +75,22 @@ std::optional<std::size_t> optimal_moves(const Board& b) {
 
   const Board goal = solved_board();
   if (b == goal) return 0;
-  std::unordered_map<std::uint32_t, std::size_t> depth;
-  depth.reserve(4096);
+  // Direct-indexed depth table over all 9! states (one byte each; the
+  // 8-puzzle diameter is 31, and 0xFF marks "unvisited").
+  constexpr std::uint8_t kUnvisited = 0xFF;
+  std::vector<std::uint8_t> depth(kStateCount, kUnvisited);
   std::queue<Board> frontier;
-  depth[encode(b)] = 0;
+  depth[lehmer_rank(b)] = 0;
   frontier.push(b);
   while (!frontier.empty()) {
     const Board current = frontier.front();
     frontier.pop();
-    const std::size_t d = depth[encode(current)];
+    const std::uint8_t d = depth[lehmer_rank(current)];
     for (const Board& next : successors(current)) {
-      const std::uint32_t code = encode(next);
-      if (depth.count(code) != 0) continue;
-      if (next == goal) return d + 1;
-      depth[code] = d + 1;
+      const std::uint32_t rank = lehmer_rank(next);
+      if (depth[rank] != kUnvisited) continue;
+      if (next == goal) return d + 1u;
+      depth[rank] = static_cast<std::uint8_t>(d + 1);
       frontier.push(next);
     }
   }

@@ -227,6 +227,7 @@ std::vector<double> pagerank_parallel(const Graph& g,
     const double base = (1.0 - damping) / n + damping * dangling / n;
     parallel::parallel_for(
         pool, 0, g.vertex_count(),
+        // mcs-lint: hot
         [&](std::size_t lo, std::size_t hi, std::size_t /*chunk*/) {
           for (std::size_t v = lo; v < hi; ++v) {
             double sum = 0.0;

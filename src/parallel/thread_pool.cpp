@@ -52,7 +52,7 @@ void ThreadPool::worker_loop() {
       lock.unlock();
       std::exception_ptr error;
       try {
-        (*batch_fn_)(task);
+        batch_fn_(task);
       } catch (...) {
         error = std::current_exception();
       }
@@ -68,10 +68,10 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::run_tasks(std::size_t tasks,
-                           const std::function<void(std::size_t)>& fn) {
+                           core::FunctionRef<void(std::size_t)> fn) {
   if (tasks == 0) return;
   std::unique_lock<std::mutex> lock(mu_);
-  batch_fn_ = &fn;
+  batch_fn_ = fn;
   batch_size_ = tasks;
   next_task_ = 0;
   errors_.clear();
@@ -95,7 +95,7 @@ void ThreadPool::run_tasks(std::size_t tasks,
   }
   done_cv_.wait(lock, [&] { return in_flight_ == 0; });
   batch_size_ = 0;
-  batch_fn_ = nullptr;
+  batch_fn_ = {};
   if (!errors_.empty()) {
     // Deterministic error reporting: rethrow the lowest task index.
     auto first = std::min_element(

@@ -17,11 +17,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <exception>
-#include <functional>
 #include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "core/callback.hpp"
 
 namespace mcs::parallel {
 
@@ -44,9 +45,10 @@ class ThreadPool {
   /// workers, and blocks until all complete. If any task throws, the
   /// exception from the lowest task index is rethrown in the caller
   /// (deterministic error reporting). Not reentrant: tasks must not call
-  /// run_tasks on the same pool.
-  void run_tasks(std::size_t tasks,
-                 const std::function<void(std::size_t)>& fn);
+  /// run_tasks on the same pool. `fn` is borrowed only for the duration of
+  /// the call (run_tasks blocks until the batch drains), so a FunctionRef
+  /// is safe and keeps the fan-out allocation-free.
+  void run_tasks(std::size_t tasks, core::FunctionRef<void(std::size_t)> fn);
 
  private:
   void worker_loop();
@@ -55,7 +57,7 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable work_cv_;   // signalled when a batch starts / stop
   std::condition_variable done_cv_;   // signalled when a batch completes
-  const std::function<void(std::size_t)>* batch_fn_ = nullptr;
+  core::FunctionRef<void(std::size_t)> batch_fn_;
   std::size_t batch_size_ = 0;
   std::size_t next_task_ = 0;
   std::size_t in_flight_ = 0;

@@ -1,7 +1,8 @@
-#include <functional>
 #include "sched/pipeline.hpp"
 
 #include <algorithm>
+
+#include "core/callback.hpp"
 
 namespace mcs::sched {
 
@@ -9,7 +10,7 @@ namespace {
 
 class LambdaStage final : public PipelineStage {
  public:
-  using Fn = std::function<void(CandidateSet&, const SchedulerView&)>;
+  using Fn = core::UniqueFunction<void(CandidateSet&, const SchedulerView&)>;
   LambdaStage(std::string name, Fn fn)
       : name_(std::move(name)), fn_(std::move(fn)) {}
   [[nodiscard]] std::string name() const override { return name_; }
@@ -81,7 +82,7 @@ class PipelinePolicy final : public AllocationPolicy {
 };
 
 void filter(CandidateSet& c,
-            const std::function<bool(const infra::Machine*)>& keep) {
+            core::FunctionRef<bool(const infra::Machine*)> keep) {
   c.machines.erase(
       std::remove_if(c.machines.begin(), c.machines.end(),
                      [&](const infra::Machine* m) { return !keep(m); }),

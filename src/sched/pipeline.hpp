@@ -10,12 +10,12 @@
 // out of shared stages (see make_pipeline_policy and bench/exp_scheduling).
 #pragma once
 
-#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/callback.hpp"
 #include "sched/allocation.hpp"
 
 namespace mcs::sched {
@@ -65,8 +65,9 @@ class PipelineStage {
     sim::SimTime patience);
 
 /// Task-ordering function used by the pipeline before placement (Schopf
-/// step 1 lives at the queue level).
-using TaskOrder = std::function<bool(const ReadyTask&, const ReadyTask&)>;
+/// step 1 lives at the queue level). An owning SBO callable (move-only):
+/// the stock orderings are captureless and every stored one stays inline.
+using TaskOrder = core::UniqueFunction<bool(const ReadyTask&, const ReadyTask&)>;
 [[nodiscard]] TaskOrder order_fcfs();
 [[nodiscard]] TaskOrder order_sjf();
 [[nodiscard]] TaskOrder order_rank();  ///< HEFT upward rank, descending

@@ -1,4 +1,3 @@
-#include <functional>
 #include "sched/portfolio.hpp"
 
 #include <algorithm>
@@ -6,9 +5,8 @@
 
 namespace mcs::sched {
 
-double estimate_queue_makespan(
-    const SchedulerView& view,
-    const std::function<bool(const ReadyTask&, const ReadyTask&)>& order) {
+double estimate_queue_makespan(const SchedulerView& view,
+                               const TaskOrder& order) {
   if (view.ready->empty()) return 0.0;
   // Machine model: per machine, the time (seconds from now) when each of
   // its cores frees up, approximated at whole-machine granularity by a

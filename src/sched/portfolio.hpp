@@ -8,26 +8,25 @@
 // shape: the portfolio tracks whichever fixed policy is best per regime.
 #pragma once
 
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "sched/engine.hpp"
+#include "sched/pipeline.hpp"
 
 namespace mcs::sched {
 
 /// Estimates the makespan (seconds from now) of running the current ready
 /// queue to completion under a task ordering, using greedy list scheduling
 /// onto the machines' free capacity. Pure function: no events, no state.
-[[nodiscard]] double estimate_queue_makespan(
-    const SchedulerView& view,
-    const std::function<bool(const ReadyTask&, const ReadyTask&)>& order);
+[[nodiscard]] double estimate_queue_makespan(const SchedulerView& view,
+                                             const TaskOrder& order);
 
 /// Builds candidate orderings by name ("fcfs", "sjf", "ljf").
 struct PortfolioCandidate {
   std::string policy_name;  ///< passed to make_policy() when chosen
-  std::function<bool(const ReadyTask&, const ReadyTask&)> order;
+  TaskOrder order;          ///< move-only, like the pipeline's orderings
 };
 
 [[nodiscard]] std::vector<PortfolioCandidate> default_portfolio();

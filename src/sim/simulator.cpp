@@ -47,6 +47,7 @@ void Simulator::reserve_events(std::size_t extra) {
   }
 }
 
+// mcs-lint: hot
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid() || h.slot_ >= slot_count_) return false;
   Slot& s = slot_ref(h.slot_);
@@ -58,6 +59,7 @@ bool Simulator::cancel(EventHandle h) {
   return true;
 }
 
+// mcs-lint: hot
 void Simulator::sift_up(std::size_t i) {
   Entry e = heap_[i];
   while (i > 0) {
@@ -69,6 +71,7 @@ void Simulator::sift_up(std::size_t i) {
   heap_[i] = e;
 }
 
+// mcs-lint: hot
 void Simulator::pop_entry() {
   // Bottom-up deletion: walk the hole from the root to a leaf along the
   // min-child chain (no comparison against the displaced element), then

@@ -366,7 +366,9 @@ class Simulator {
   /// false if the queues are exhausted or its time exceeds `until`. Stale
   /// entries met on the way are discarded. Defined inline: this is the
   /// kernel's innermost loop body and benefits from cross-inlining into
-  /// run_until/step at every call site.
+  /// run_until/step at every call site. Marked hot: tools/mcs_lint rejects
+  /// any heap allocation introduced here (rule H2).
+  // mcs-lint: hot
   bool run_one(SimTime until) {
     // Discard stale (cancelled) entries at both queue fronts, then take
     // the earlier of the two live fronts.

@@ -165,6 +165,22 @@ TEST(PcgTest, EmptyBandThrows) {
   EXPECT_THROW((void)generate_puzzles(1, 10, 5, rng), std::invalid_argument);
 }
 
+TEST(PcgTest, SameSeedSameInstances) {
+  // Generation is a pure function of the seed: two runs produce identical
+  // boards, difficulties, and acceptance statistics (no container order or
+  // hash-map iteration leaks into the output — see rule D2 in DESIGN.md).
+  sim::Rng rng_a(1234), rng_b(1234);
+  const auto a = generate_puzzles(12, 4, 14, rng_a);
+  const auto b = generate_puzzles(12, 4, 14, rng_b);
+  ASSERT_EQ(a.instances.size(), b.instances.size());
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_EQ(a.instances[i].board, b.instances[i].board);
+    EXPECT_EQ(a.instances[i].difficulty, b.instances[i].difficulty);
+  }
+  EXPECT_EQ(a.stats.generated, b.stats.generated);
+  EXPECT_EQ(a.stats.accepted, b.stats.accepted);
+}
+
 // ---- social meta-gaming --------------------------------------------------------------
 
 TEST(SocialTest, InteractionGraphWeightsCountSharedSessions) {

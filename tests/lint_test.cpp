@@ -1,0 +1,307 @@
+// Fixture suite for tools/mcs_lint: every rule has at least one known-bad
+// snippet that fires and one known-good snippet where the suppression
+// escape (or a whitelist / scoping boundary) is honored. The fixtures are
+// string literals — the linter's lexer skips string contents, so this file
+// itself stays lint-clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+using mcs::lint::Finding;
+using mcs::lint::Rule;
+using mcs::lint::analyze_file;
+
+std::vector<Finding> findings_for(const std::string& tag,
+                                  const std::string& code, Rule rule) {
+  std::vector<Finding> out;
+  for (Finding& f : analyze_file(tag, code)) {
+    if (f.rule == rule) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+// ---- D1: ambient time & randomness ------------------------------------------
+
+TEST(LintD1, FlagsAmbientClockAndRandomness) {
+  const std::string code = R"cpp(
+    int seed() { return rand(); }
+    long stamp() { return time(nullptr); }
+    double tick();
+  )cpp";
+  const auto hits = findings_for("src/sched/engine.cpp", code, Rule::kD1);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_EQ(hits[1].line, 3);
+}
+
+TEST(LintD1, FlagsChronoClocks) {
+  const std::string code = R"cpp(
+    auto t0 = std::chrono::steady_clock::now();
+    std::random_device rd;
+  )cpp";
+  EXPECT_EQ(findings_for("src/faas/platform.cpp", code, Rule::kD1).size(),
+            2u);
+}
+
+TEST(LintD1, WhitelistedPathsAreExempt) {
+  const std::string code = "std::random_device rd;\n";
+  EXPECT_TRUE(findings_for("src/sim/random.cpp", code, Rule::kD1).empty());
+  EXPECT_TRUE(
+      findings_for("src/parallel/thread_pool.cpp", code, Rule::kD1).empty());
+  // bench/ may time with real clocks: D1 is a src/-only rule.
+  EXPECT_TRUE(findings_for("bench/micro_sim.cpp", code, Rule::kD1).empty());
+}
+
+TEST(LintD1, AllowCommentSuppresses) {
+  const std::string code =
+      "int x = rand();  // mcs-lint: allow(D1)\n";
+  EXPECT_TRUE(findings_for("src/core/nfr.cpp", code, Rule::kD1).empty());
+}
+
+// ---- D2: order-dependent unordered iteration --------------------------------
+
+TEST(LintD2, FlagsAccumulatingRangeFor) {
+  const std::string code = R"cpp(
+    #include <unordered_map>
+    int total(const std::unordered_map<int, int>& m) {
+      int sum = 0;
+      for (const auto& [k, v] : m) sum += v;
+      return sum;
+    }
+  )cpp";
+  const auto hits = findings_for("src/metrics/stats.cpp", code, Rule::kD2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 5);
+}
+
+TEST(LintD2, FlagsIteratorLoopOverUnordered) {
+  const std::string code = R"cpp(
+    std::unordered_set<int> seen;
+    void drain(std::vector<int>& out) {
+      for (auto it = seen.begin(); it != seen.end(); ++it) {
+        out.push_back(*it);
+      }
+    }
+  )cpp";
+  EXPECT_EQ(findings_for("src/p2p/swarm.cpp", code, Rule::kD2).size(), 1u);
+}
+
+TEST(LintD2, TracksTypeAliases) {
+  const std::string code = R"cpp(
+    using Index = std::unordered_map<int, double>;
+    Index index_;
+    double mass() {
+      double m = 0.0;
+      for (const auto& kv : index_) m += kv.second;
+      return m;
+    }
+  )cpp";
+  EXPECT_EQ(findings_for("src/bigdata/storage.cpp", code, Rule::kD2).size(),
+            1u);
+}
+
+TEST(LintD2, PureReadLoopIsFine) {
+  const std::string code = R"cpp(
+    bool contains(const std::unordered_map<int, int>& m, int needle) {
+      for (const auto& [k, v] : m) {
+        if (k == needle) return true;
+      }
+      return false;
+    }
+  )cpp";
+  EXPECT_TRUE(findings_for("src/core/registry.cpp", code, Rule::kD2).empty());
+}
+
+TEST(LintD2, OrderedOkSuppresses) {
+  const std::string code = R"cpp(
+    int total(const std::unordered_map<int, int>& m) {
+      int sum = 0;
+      // mcs-lint: ordered-ok
+      for (const auto& [k, v] : m) sum += v;
+      return sum;
+    }
+  )cpp";
+  EXPECT_TRUE(findings_for("src/metrics/stats.cpp", code, Rule::kD2).empty());
+}
+
+TEST(LintD2, OrderedContainersAreFine) {
+  const std::string code = R"cpp(
+    int total(const std::map<int, int>& m) {
+      int sum = 0;
+      for (const auto& [k, v] : m) sum += v;
+      return sum;
+    }
+  )cpp";
+  EXPECT_TRUE(findings_for("src/metrics/stats.cpp", code, Rule::kD2).empty());
+}
+
+// ---- H1: std::function in hot-path files ------------------------------------
+
+TEST(LintH1, FlagsStdFunctionInHotDirs) {
+  const std::string code = "using Fn = std::function<void()>;\n";
+  EXPECT_EQ(findings_for("src/sim/arrival.hpp", code, Rule::kH1).size(), 1u);
+  EXPECT_EQ(findings_for("src/graph/graph.hpp", code, Rule::kH1).size(), 1u);
+  EXPECT_EQ(
+      findings_for("src/parallel/thread_pool.hpp", code, Rule::kH1).size(),
+      1u);
+}
+
+TEST(LintH1, ColdDirsAndCommentsAreFine) {
+  // Cold layers may still choose std::function deliberately.
+  const std::string code = "using Fn = std::function<void()>;\n";
+  EXPECT_TRUE(findings_for("src/evolve/evolution.hpp", code, Rule::kH1)
+                  .empty());
+  // Mentions in comments must not fire: the lexer strips them.
+  const std::string comment_only =
+      "// Unlike std::function this accepts move-only closures.\n"
+      "class Callback {};\n";
+  EXPECT_TRUE(
+      findings_for("src/sim/simulator.hpp", comment_only, Rule::kH1).empty());
+}
+
+TEST(LintH1, AllowCommentSuppresses) {
+  const std::string code =
+      "using Fn = std::function<void()>;  // mcs-lint: allow(H1)\n";
+  EXPECT_TRUE(findings_for("src/sim/arrival.hpp", code, Rule::kH1).empty());
+}
+
+// ---- H2: heap allocation in hot functions -----------------------------------
+
+TEST(LintH2, FlagsAllocationsInHotFunction) {
+  const std::string code = R"cpp(
+    // mcs-lint: hot
+    void drain(std::vector<int>& out) {
+      out.push_back(1);
+      auto p = std::make_unique<int>(2);
+      int* q = new int(3);
+      delete q;
+    }
+  )cpp";
+  const auto hits = findings_for("src/sim/simulator.cpp", code, Rule::kH2);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 4);  // push_back without reserve
+  EXPECT_EQ(hits[1].line, 5);  // make_unique
+  EXPECT_EQ(hits[2].line, 6);  // new
+}
+
+TEST(LintH2, ReserveInSameFunctionPermitsPushBack) {
+  const std::string code = R"cpp(
+    // mcs-lint: hot
+    void fill(std::vector<int>& out, std::size_t n) {
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) out.push_back(1);
+    }
+  )cpp";
+  EXPECT_TRUE(
+      findings_for("src/graph/algorithms.cpp", code, Rule::kH2).empty());
+}
+
+TEST(LintH2, UnmarkedFunctionsAreNotChecked) {
+  const std::string code = R"cpp(
+    void cold(std::vector<int>& out) {
+      out.push_back(1);
+      int* q = new int(3);
+      delete q;
+    }
+  )cpp";
+  EXPECT_TRUE(
+      findings_for("src/sim/simulator.cpp", code, Rule::kH2).empty());
+}
+
+TEST(LintH2, AllowCommentSuppresses) {
+  const std::string code = R"cpp(
+    // mcs-lint: hot
+    void drain(std::vector<int>& out) {
+      out.push_back(1);  // mcs-lint: allow(H2)
+    }
+  )cpp";
+  EXPECT_TRUE(
+      findings_for("src/sim/simulator.cpp", code, Rule::kH2).empty());
+}
+
+// ---- S1: mutable static state -----------------------------------------------
+
+TEST(LintS1, FlagsMutableStatics) {
+  const std::string code = R"cpp(
+    static int call_count = 0;
+    int bump() {
+      static double last = 0.0;
+      last += 1.0;
+      return ++call_count;
+    }
+  )cpp";
+  const auto hits = findings_for("src/core/ecosystem.cpp", code, Rule::kS1);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_EQ(hits[1].line, 4);
+}
+
+TEST(LintS1, ConstAndConstexprStaticsAreFine) {
+  const std::string code = R"cpp(
+    static const int kAnswer = 42;
+    static constexpr double kPi = 3.14159;
+    static bool helper(int x) { return x > 0; }
+  )cpp";
+  EXPECT_TRUE(
+      findings_for("src/core/ecosystem.cpp", code, Rule::kS1).empty());
+}
+
+TEST(LintS1, WhitelistedSingletonFileIsExempt) {
+  const std::string code =
+      "ThreadPool& default_pool() { static ThreadPool pool; return pool; }\n";
+  EXPECT_TRUE(findings_for("src/parallel/thread_pool.cpp", code, Rule::kS1)
+                  .empty());
+  // The same code anywhere else in src/ fires.
+  EXPECT_EQ(findings_for("src/sched/engine.cpp", code, Rule::kS1).size(),
+            1u);
+}
+
+TEST(LintS1, AllowCommentSuppresses) {
+  const std::string code =
+      "static int reviewed_registry_count = 0;  // mcs-lint: allow(S1)\n";
+  EXPECT_TRUE(
+      findings_for("src/core/registry.cpp", code, Rule::kS1).empty());
+}
+
+// ---- infrastructure ---------------------------------------------------------
+
+TEST(LintInfra, FingerprintsAreLineNumberIndependent) {
+  const std::string a = "int f() { return rand(); }\n";
+  const std::string b = "\n\n\nint f() { return rand(); }\n";
+  const auto fa = findings_for("src/core/nfr.cpp", a, Rule::kD1);
+  const auto fb = findings_for("src/core/nfr.cpp", b, Rule::kD1);
+  ASSERT_EQ(fa.size(), 1u);
+  ASSERT_EQ(fb.size(), 1u);
+  EXPECT_NE(fa[0].line, fb[0].line);
+  EXPECT_EQ(fa[0].fingerprint, fb[0].fingerprint);
+}
+
+TEST(LintInfra, FindingsFormatAndSortStably) {
+  const std::string code = R"cpp(
+    long stamp() { return time(nullptr); }
+    int seed() { return rand(); }
+  )cpp";
+  const auto all = analyze_file("src/core/nfr.cpp", code);
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                             [](const Finding& x, const Finding& y) {
+                               return x.line < y.line;
+                             }));
+  const std::string line = mcs::lint::format_finding(all[0]);
+  EXPECT_NE(line.find("src/core/nfr.cpp:2: [D1]"), std::string::npos);
+}
+
+TEST(LintInfra, StringsAndRawStringsAreSkipped) {
+  const std::string code =
+      "const char* msg = \"never call rand() here\";\n"
+      "const char* raw = R\"(std::function<void()> in a string)\";\n";
+  EXPECT_TRUE(analyze_file("src/sim/arrival.cpp", code).empty());
+}
+
+}  // namespace

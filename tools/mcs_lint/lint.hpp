@@ -1,0 +1,66 @@
+// mcs-lint — repo-specific determinism & hot-path static analyzer.
+//
+// The paper's reproducibility stance (§5 "Threats to validity") and PR 1's
+// bit-identical parallel kernels are protected here *by construction*: the
+// classes of regression that historically rot datacenter simulators become
+// lint findings instead of flaky-bench mysteries. No libclang — a small
+// purpose-built lexer (comments/strings stripped, scopes tracked) is enough
+// for the five rules, keeps the tool dependency-free, and lints the whole
+// tree in milliseconds.
+//
+// Rules (see DESIGN.md "Determinism & hot-path rules" for rationale):
+//   D1  wall-clock / ambient randomness (`std::random_device`, `rand()`,
+//       `time(nullptr)`, `system_clock`, `steady_clock`, ...) in src/
+//       outside src/sim/random.* and src/parallel/.
+//   D2  range-for or iterator loops over std::unordered_{map,set} whose
+//       body mutates state or accumulates results (bucket-order hazard).
+//       Suppress a reviewed site with `// mcs-lint: ordered-ok`.
+//   H1  std::function in hot-path files (src/sim/, src/graph/,
+//       src/parallel/) — use sim::Callback, core::UniqueFunction, or
+//       core::FunctionRef.
+//   H2  heap allocation (`new`, `make_unique`/`make_shared`, `push_back`/
+//       `emplace_back` without a prior `reserve` on the same receiver in
+//       the same function) inside functions marked `// mcs-lint: hot`.
+//   S1  mutable static / namespace-scope state in src/ outside the
+//       explicit whitelist (process-wide singletons must be deliberate).
+//
+// Generic per-line suppression: `// mcs-lint: allow(D1)` on the finding's
+// line or the line above. `--baseline` / `--write-baseline` implement the
+// ratchet: existing debt is recorded and only *new* findings fail CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mcs::lint {
+
+enum class Rule { kD1, kD2, kH1, kH2, kS1 };
+
+[[nodiscard]] const char* rule_name(Rule rule);
+
+struct Finding {
+  std::string file;  ///< path tag as given to analyze_file (repo-relative)
+  int line = 0;      ///< 1-based
+  Rule rule = Rule::kD1;
+  std::string message;
+  /// Line-number-independent identity used by the baseline ratchet:
+  /// FNV-1a over (file, rule, whitespace-collapsed source line).
+  std::uint64_t fingerprint = 0;
+};
+
+/// 64-bit FNV-1a (also the digest primitive scripts/check_determinism.sh
+/// relies on via bench/exp_graphalytics --digest).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t len,
+                                  std::uint64_t seed = 1469598103934665603ull);
+
+/// Analyzes one translation unit. `path_tag` decides which rules apply
+/// (src/ vs bench/ vs tests/, hot-path directories, whitelists) and is the
+/// `file` reported in findings. Findings are sorted by line.
+[[nodiscard]] std::vector<Finding> analyze_file(const std::string& path_tag,
+                                                const std::string& content);
+
+/// Formats a finding as `file:line: [RULE] message`.
+[[nodiscard]] std::string format_finding(const Finding& f);
+
+}  // namespace mcs::lint

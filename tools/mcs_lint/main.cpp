@@ -1,0 +1,206 @@
+// mcs_lint CLI — see lint.hpp for the rule set.
+//
+//   mcs_lint [options] <paths...>         lint files/directories
+//     --baseline FILE          suppress findings recorded in FILE (ratchet)
+//     --write-baseline FILE    record current findings to FILE and exit 0
+//     --fix-suppressions       append suppression comments to offending
+//                              lines in place (ordered-ok for D2,
+//                              allow(RULE) otherwise)
+//
+// Exit code: 0 = clean (after baseline), 1 = findings, 2 = usage/IO error.
+// Run from the repository root so path tags are repo-relative
+// (`build/tools/mcs_lint src bench tests`); the `lint.tree` ctest and the
+// `lint` CMake target do exactly that.
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using mcs::lint::Finding;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& paths,
+                                       bool& ok) {
+  std::vector<std::string> files;
+  for (const std::string& p : paths) {
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+           it.increment(ec)) {
+        if (!ec && it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(fs::path(p).generic_string());
+    } else {
+      std::cerr << "mcs_lint: no such file or directory: " << p << "\n";
+      ok = false;
+    }
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+  return files;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "mcs_lint: cannot read " << path << "\n";
+    ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::string fingerprint_key(const Finding& f) {
+  std::ostringstream key;
+  key << mcs::lint::rule_name(f.rule) << " " << std::hex << f.fingerprint;
+  return key.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  bool fix_suppressions = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      write_baseline_path = argv[++i];
+    } else if (arg == "--fix-suppressions") {
+      fix_suppressions = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: mcs_lint [--baseline FILE] [--write-baseline "
+                   "FILE] [--fix-suppressions] <paths...>\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mcs_lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "usage: mcs_lint [options] <paths...>\n";
+    return 2;
+  }
+
+  bool io_ok = true;
+  const std::vector<std::string> files = collect_files(paths, io_ok);
+
+  std::vector<Finding> findings;
+  for (const std::string& file : files) {
+    const std::string content = read_file(file, io_ok);
+    std::vector<Finding> fs_file = mcs::lint::analyze_file(file, content);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(fs_file.begin()),
+                    std::make_move_iterator(fs_file.end()));
+  }
+  if (!io_ok) return 2;
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path);
+    if (!out) {
+      std::cerr << "mcs_lint: cannot write " << write_baseline_path << "\n";
+      return 2;
+    }
+    out << "# mcs-lint baseline — accepted debt; burn down, never add.\n";
+    for (const Finding& f : findings) {
+      out << fingerprint_key(f) << " " << f.file << ":" << f.line << "\n";
+    }
+    std::cout << "mcs_lint: wrote " << findings.size()
+              << " baseline entr" << (findings.size() == 1 ? "y" : "ies")
+              << " to " << write_baseline_path << "\n";
+    return 0;
+  }
+
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::cerr << "mcs_lint: cannot read baseline " << baseline_path << "\n";
+      return 2;
+    }
+    // Multiset keyed by (rule, fingerprint): each entry forgives one
+    // finding, so fixing an instance ratchets the count down.
+    std::map<std::string, int> budget;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream fields(line);
+      std::string rule, fp;
+      if (fields >> rule >> fp) ++budget[rule + " " + fp];
+    }
+    std::vector<Finding> fresh;
+    for (Finding& f : findings) {
+      auto it = budget.find(fingerprint_key(f));
+      if (it != budget.end() && it->second > 0) {
+        --it->second;
+        continue;
+      }
+      fresh.push_back(std::move(f));
+    }
+    findings = std::move(fresh);
+  }
+
+  if (fix_suppressions) {
+    std::map<std::string, std::map<int, const Finding*>> by_file;
+    for (const Finding& f : findings) by_file[f.file][f.line] = &f;
+    for (const auto& [file, by_line] : by_file) {
+      bool ok = true;
+      const std::string content = read_file(file, ok);
+      if (!ok) return 2;
+      std::vector<std::string> lines;
+      std::istringstream split(content);
+      std::string l;
+      while (std::getline(split, l)) lines.push_back(std::move(l));
+      for (const auto& [line_no, finding] : by_line) {
+        if (line_no < 1 || line_no > static_cast<int>(lines.size())) continue;
+        std::string& target = lines[static_cast<std::size_t>(line_no - 1)];
+        const std::string marker =
+            finding->rule == mcs::lint::Rule::kD2
+                ? std::string("  // mcs-lint: ordered-ok")
+                : std::string("  // mcs-lint: allow(") +
+                      mcs::lint::rule_name(finding->rule) + ")";
+        if (target.find("mcs-lint:") == std::string::npos) target += marker;
+      }
+      std::ofstream out(file, std::ios::binary | std::ios::trunc);
+      for (const std::string& out_line : lines) out << out_line << "\n";
+      std::cout << "mcs_lint: suppressed " << by_line.size()
+                << " finding(s) in " << file << "\n";
+    }
+    return 0;
+  }
+
+  for (const Finding& f : findings) {
+    std::cout << mcs::lint::format_finding(f) << "\n";
+  }
+  if (findings.empty()) {
+    std::cout << "mcs_lint: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  std::cout << "mcs_lint: " << findings.size() << " finding"
+            << (findings.size() == 1 ? "" : "s") << " across " << files.size()
+            << " files\n";
+  return 1;
+}
