@@ -7,62 +7,157 @@
 // good supply accuracy; workflow-aware Plan/Token are competitive on
 // slowdown at lower cost; no-scaling (pin max) wins slowdown but wastes
 // the most resources; under-reactive policies starve the queue.
+//
+// Scale-out: `--reps N` fans N replications per autoscaler across the
+// thread pool (exp::run_sweep); the trace is paired per replication (every
+// autoscaler sees the same jobs within a rep). Merged output is
+// bit-identical at any MCS_THREADS (`--digest`).
 #include <iostream>
 
 #include "autoscale/autoscaler.hpp"
+#include "exp/sweep.hpp"
 #include "metrics/report.hpp"
+#include "metrics/stats.hpp"
 #include "workload/trace.hpp"
 
-int main() {
-  using namespace mcs;
+namespace {
+
+using namespace mcs;
+
+struct CellResult {
+  double accuracy_under_norm = 0.0;
+  double accuracy_over_norm = 0.0;
+  double timeshare_under = 0.0;
+  double timeshare_over = 0.0;
+  double jitter_per_hour = 0.0;
+  double elasticity_score = 0.0;
+  double risk = 0.0;
+  double avg_machines = 0.0;
+  double cost = 0.0;
+  double mean_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+};
+
+CellResult run_cell(const std::string& name, std::uint64_t trace_seed) {
+  sim::Rng rng(trace_seed);
+  workload::TraceConfig trace;
+  trace.job_count = 90;
+  trace.arrivals = workload::ArrivalKind::kBursty;
+  trace.arrival_rate_per_hour = 300.0;
+  trace.workflow_fraction = 0.7;
+  trace.workflow_width = 12;
+  trace.mean_task_seconds = 45.0;
+  auto jobs = workload::generate_trace(trace, rng);
+
+  infra::Datacenter dc("as-dc", "eu");
+  dc.add_uniform_racks(4, 12, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
+  autoscale::AutoscaleRunConfig config;
+  config.max_machines = 48;
+  config.provisioning.boot_delay = 60 * sim::kSecond;
+  config.provisioning.price_per_machine_hour = 0.20;
+  const auto r = autoscale::run_autoscaled(
+      dc, std::move(jobs), autoscale::make_autoscaler(name), config);
+
+  CellResult out;
+  out.accuracy_under_norm = r.elasticity.accuracy_under_norm;
+  out.accuracy_over_norm = r.elasticity.accuracy_over_norm;
+  out.timeshare_under = r.elasticity.timeshare_under;
+  out.timeshare_over = r.elasticity.timeshare_over;
+  out.jitter_per_hour = r.elasticity.jitter_per_hour;
+  out.elasticity_score = r.elasticity_score;
+  out.risk = metrics::operational_risk(r.elasticity);
+  out.avg_machines = r.avg_machines;
+  out.cost = r.cost;
+  out.mean_slowdown = r.sched.mean_slowdown;
+  out.p95_slowdown = r.sched.p95_slowdown;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::SweepCli cli = exp::parse_sweep_cli(argc, argv);
+  const std::uint64_t seed = 1743;
+
+  std::vector<std::string> names = {"none"};
+  for (const auto& n : autoscale::all_autoscaler_names()) names.push_back(n);
+
+  parallel::ThreadPool pool(cli.threads);
+  exp::SweepOptions opt;
+  opt.reps = cli.reps;
+  opt.base_seed = seed;
+  opt.pool = &pool;
+
+  const auto cells = exp::run_sweep<CellResult>(
+      names.size(), opt, [&](const exp::SweepPoint& p) {
+        // Trace seed depends on the rep only: every autoscaler sees the
+        // same job stream within a replication (paired comparison).
+        return run_cell(names[p.scenario], exp::substream_seed(seed, p.rep));
+      });
+
+  if (cli.digest) {
+    metrics::Digest digest;
+    for (const CellResult& c : cells) {
+      metrics::Digest d;
+      d.add_double(c.accuracy_under_norm);
+      d.add_double(c.accuracy_over_norm);
+      d.add_double(c.timeshare_under);
+      d.add_double(c.timeshare_over);
+      d.add_double(c.jitter_per_hour);
+      d.add_double(c.elasticity_score);
+      d.add_double(c.risk);
+      d.add_double(c.avg_machines);
+      d.add_double(c.cost);
+      d.add_double(c.mean_slowdown);
+      d.add_double(c.p95_slowdown);
+      digest.merge(d);
+    }
+    std::cout << digest.hex() << "\n";
+    return 0;
+  }
+
   metrics::print_banner(
       std::cout, "E1 — Autoscaler comparison (after [43], SPEC metrics [32])");
-  const std::uint64_t seed = 1743;
   metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "replications", std::to_string(opt.reps));
   metrics::print_kv(std::cout, "workload",
                     "90 jobs, 70% scientific workflows, bursty arrivals");
   metrics::print_kv(std::cout, "pool", "1..48 machines x 4 cores, 60 s boot");
-
-  auto make_jobs = [&] {
-    sim::Rng rng(seed);
-    workload::TraceConfig trace;
-    trace.job_count = 90;
-    trace.arrivals = workload::ArrivalKind::kBursty;
-    trace.arrival_rate_per_hour = 300.0;
-    trace.workflow_fraction = 0.7;
-    trace.workflow_width = 12;
-    trace.mean_task_seconds = 45.0;
-    return workload::generate_trace(trace, rng);
-  };
 
   metrics::Table table({"autoscaler", "acc_U (norm)", "acc_O (norm)",
                         "t_U", "t_O", "jitter/h", "score", "risk",
                         "avg machines", "cost [$]", "mean slowdown",
                         "p95 slowdown"});
-  std::vector<std::string> names = {"none"};
-  for (const auto& n : autoscale::all_autoscaler_names()) names.push_back(n);
-
-  for (const std::string& name : names) {
-    infra::Datacenter dc("as-dc", "eu");
-    dc.add_uniform_racks(4, 12, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
-    autoscale::AutoscaleRunConfig config;
-    config.max_machines = 48;
-    config.provisioning.boot_delay = 60 * sim::kSecond;
-    config.provisioning.price_per_machine_hour = 0.20;
-    const auto r = autoscale::run_autoscaled(
-        dc, make_jobs(), autoscale::make_autoscaler(name), config);
-    table.add_row({r.autoscaler,
-                   metrics::Table::num(r.elasticity.accuracy_under_norm, 3),
-                   metrics::Table::num(r.elasticity.accuracy_over_norm, 3),
-                   metrics::Table::pct(r.elasticity.timeshare_under),
-                   metrics::Table::pct(r.elasticity.timeshare_over),
-                   metrics::Table::num(r.elasticity.jitter_per_hour, 1),
-                   metrics::Table::num(r.elasticity_score, 3),
-                   metrics::Table::num(metrics::operational_risk(r.elasticity), 3),
-                   metrics::Table::num(r.avg_machines, 1),
-                   metrics::Table::num(r.cost),
-                   metrics::Table::num(r.sched.mean_slowdown),
-                   metrics::Table::num(r.sched.p95_slowdown)});
+  for (std::size_t s = 0; s < names.size(); ++s) {
+    metrics::Accumulator acc_u(false), acc_o(false), t_u(false), t_o(false),
+        jitter(false), score(false), risk(false), machines(false),
+        cost(false), slowdown(false), p95(false);
+    for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+      const CellResult& c = cells[s * opt.reps + rep];
+      acc_u.add(c.accuracy_under_norm);
+      acc_o.add(c.accuracy_over_norm);
+      t_u.add(c.timeshare_under);
+      t_o.add(c.timeshare_over);
+      jitter.add(c.jitter_per_hour);
+      score.add(c.elasticity_score);
+      risk.add(c.risk);
+      machines.add(c.avg_machines);
+      cost.add(c.cost);
+      slowdown.add(c.mean_slowdown);
+      p95.add(c.p95_slowdown);
+    }
+    table.add_row({names[s],
+                   metrics::Table::num(acc_u.mean(), 3),
+                   metrics::Table::num(acc_o.mean(), 3),
+                   metrics::Table::pct(t_u.mean()),
+                   metrics::Table::pct(t_o.mean()),
+                   metrics::Table::num(jitter.mean(), 1),
+                   metrics::Table::num(score.mean(), 3),
+                   metrics::Table::num(risk.mean(), 3),
+                   metrics::Table::num(machines.mean(), 1),
+                   metrics::Table::num(cost.mean()),
+                   metrics::Table::num(slowdown.mean()),
+                   metrics::Table::num(p95.mean())});
   }
   table.print(std::cout);
   std::cout <<

@@ -3,17 +3,32 @@
 // volume, first characterized (burst size, gap CV), then run under a BoT
 // workload to show the published shape — correlated failures hurt far
 // more than iid at the same volume, because they align downtime.
+//
+// Scale-out: `--reps N` runs N substream-seeded replications per failure
+// mode across the thread pool (exp::run_sweep); the workload trace is
+// paired per replication (same jobs for every mode within a rep), failure
+// traces get independent substreams. Merged output is bit-identical at any
+// MCS_THREADS (`--digest`).
 #include <algorithm>
 #include <iostream>
 
+#include "exp/sweep.hpp"
 #include "failures/failure_model.hpp"
 #include "metrics/report.hpp"
+#include "metrics/stats.hpp"
 #include "sched/engine.hpp"
 #include "workload/trace.hpp"
 
 namespace {
 
 using namespace mcs;
+
+constexpr failures::CorrelationMode kModes[] = {
+    failures::CorrelationMode::kIid,
+    failures::CorrelationMode::kSpaceCorrelated,
+    failures::CorrelationMode::kTimeCorrelated,
+    failures::CorrelationMode::kSpaceAndTime};
+constexpr std::size_t kModeCount = 4;
 
 const char* mode_name(failures::CorrelationMode m) {
   switch (m) {
@@ -25,40 +40,42 @@ const char* mode_name(failures::CorrelationMode m) {
   return "?";
 }
 
-}  // namespace
+/// One replication of one mode: characterization + workload impact.
+struct CellResult {
+  // Part 1 — failure-trace characterization.
+  double events = 0.0;
+  double machine_failures = 0.0;
+  double mean_burst = 0.0;
+  double max_burst = 0.0;
+  double gap_cv = 0.0;
+  double peak_down_fraction = 0.0;
+  double degraded_fraction = 0.0;  ///< time with >= 25% of the floor down
+  // Part 2 — impact on a BoT workload.
+  double tasks_killed = 0.0;
+  double jobs_abandoned = 0.0;
+  double mean_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+};
 
-int main() {
-  metrics::print_banner(
-      std::cout, "E3 — Correlated failures vs iid (after [26], [27])");
-  const std::uint64_t seed = 26;
-  metrics::print_kv(std::cout, "seed", std::to_string(seed));
-  metrics::print_kv(std::cout, "floor", "4 racks x 16 machines");
-  metrics::print_kv(std::cout, "volume",
-                    "2 machine-failures per machine-day in every mode");
+CellResult run_cell(failures::CorrelationMode mode, std::uint64_t cell_seed,
+                    std::uint64_t workload_seed) {
+  CellResult out;
 
-  // Part 1: trace characterization, including the availability tail — the
-  // fraction of time with >= 25% of the floor simultaneously down, the
-  // quantity that breaks capacity guarantees ([26]'s headline effect).
-  metrics::Table character({"mode", "events", "machine failures",
-                            "mean burst", "max burst", "gap CV",
-                            "peak down", "time >=25% down"});
-  for (auto mode :
-       {failures::CorrelationMode::kIid,
-        failures::CorrelationMode::kSpaceCorrelated,
-        failures::CorrelationMode::kTimeCorrelated,
-        failures::CorrelationMode::kSpaceAndTime}) {
+  // Part 1: characterize the 14-day failure trace, including the
+  // availability tail — the fraction of time with >= 25% of the floor
+  // simultaneously down, the quantity that breaks capacity guarantees
+  // ([26]'s headline effect).
+  {
     infra::Datacenter dc("f-dc", "eu");
     dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
     failures::FailureModelConfig config;
     config.mode = mode;
     config.failures_per_machine_day = 2.0;
-    sim::Rng rng(seed);
+    sim::Rng rng(cell_seed);
     const auto trace =
         failures::generate_failure_trace(dc, config, 14 * sim::kDay, rng);
     const auto s = failures::summarize(trace);
 
-    // Sweep the trace to find simultaneous unavailability: machines down
-    // as a function of time (sorted down/up edge events).
     std::vector<std::pair<sim::SimTime, int>> edges;
     for (const auto& e : trace) {
       edges.emplace_back(e.at, static_cast<int>(e.machines.size()));
@@ -76,34 +93,27 @@ int main() {
       down += delta;
       peak_down = std::max(peak_down, down);
     }
-    character.add_row(
-        {mode_name(mode), std::to_string(s.events),
-         std::to_string(s.machine_failures),
-         metrics::Table::num(s.mean_event_size, 1),
-         metrics::Table::num(s.max_event_size, 0),
-         metrics::Table::num(s.gap_cv, 2),
-         metrics::Table::pct(static_cast<double>(peak_down) /
-                             static_cast<double>(dc.machine_count())),
-         metrics::Table::pct(sim::to_seconds(degraded_time) /
-                             sim::to_seconds(14 * sim::kDay))});
+    out.events = static_cast<double>(s.events);
+    out.machine_failures = static_cast<double>(s.machine_failures);
+    out.mean_burst = s.mean_event_size;
+    out.max_burst = s.max_event_size;
+    out.gap_cv = s.gap_cv;
+    out.peak_down_fraction = static_cast<double>(peak_down) /
+                             static_cast<double>(dc.machine_count());
+    out.degraded_fraction = sim::to_seconds(degraded_time) /
+                            sim::to_seconds(14 * sim::kDay);
   }
-  character.print(std::cout);
 
-  // Part 2: impact on a running workload.
-  metrics::print_banner(std::cout, "Impact on a bag-of-tasks workload");
-  metrics::Table impact({"mode", "tasks killed", "jobs abandoned",
-                         "mean slowdown", "p95 slowdown"});
-  for (auto mode :
-       {failures::CorrelationMode::kIid,
-        failures::CorrelationMode::kSpaceCorrelated,
-        failures::CorrelationMode::kTimeCorrelated,
-        failures::CorrelationMode::kSpaceAndTime}) {
+  // Part 2: impact on a running workload (the workload stream is paired
+  // per replication — identical jobs for every mode — so mode differences
+  // are attributable to the failure model alone).
+  {
     infra::Datacenter dc("f-dc", "eu");
     dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
     sim::Simulator sim;
     sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
 
-    sim::Rng wrng(seed + 1);
+    sim::Rng wrng(workload_seed);
     workload::TraceConfig trace;
     trace.job_count = 150;
     trace.arrival_rate_per_hour = 400.0;
@@ -115,7 +125,7 @@ int main() {
     config.mode = mode;
     config.failures_per_machine_day = 6.0;
     config.mean_repair_seconds = 3600.0;
-    sim::Rng frng(seed);
+    sim::Rng frng(exp::substream_seed(cell_seed, 1));
     auto events =
         failures::generate_failure_trace(dc, config, 2 * sim::kDay, frng);
     failures::FailureInjector injector(sim, dc, events);
@@ -124,11 +134,103 @@ int main() {
     sim.run_until();
 
     const auto r = sched::summarize_run(engine, dc);
-    impact.add_row({mode_name(mode), std::to_string(engine.tasks_killed()),
-                    std::to_string(r.abandoned),
-                    metrics::Table::num(r.mean_slowdown),
-                    metrics::Table::num(r.p95_slowdown)});
+    out.tasks_killed = static_cast<double>(engine.tasks_killed());
+    out.jobs_abandoned = static_cast<double>(r.abandoned);
+    out.mean_slowdown = r.mean_slowdown;
+    out.p95_slowdown = r.p95_slowdown;
   }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::SweepCli cli = exp::parse_sweep_cli(argc, argv);
+  const std::uint64_t seed = 26;
+
+  parallel::ThreadPool pool(cli.threads);
+  exp::SweepOptions opt;
+  opt.reps = cli.reps;
+  opt.base_seed = seed;
+  opt.pool = &pool;
+
+  const auto cells = exp::run_sweep<CellResult>(
+      kModeCount, opt, [&](const exp::SweepPoint& p) {
+        // Workload seed depends on the rep only: every mode sees the same
+        // job stream within a replication (paired comparison).
+        const std::uint64_t workload_seed =
+            exp::substream_seed(seed + 1, p.rep);
+        return run_cell(kModes[p.scenario], p.seed, workload_seed);
+      });
+
+  if (cli.digest) {
+    metrics::Digest digest;
+    for (const CellResult& c : cells) {
+      metrics::Digest d;
+      d.add_double(c.events);
+      d.add_double(c.machine_failures);
+      d.add_double(c.mean_burst);
+      d.add_double(c.max_burst);
+      d.add_double(c.gap_cv);
+      d.add_double(c.peak_down_fraction);
+      d.add_double(c.degraded_fraction);
+      d.add_double(c.tasks_killed);
+      d.add_double(c.jobs_abandoned);
+      d.add_double(c.mean_slowdown);
+      d.add_double(c.p95_slowdown);
+      digest.merge(d);
+    }
+    std::cout << digest.hex() << "\n";
+    return 0;
+  }
+
+  metrics::print_banner(
+      std::cout, "E3 — Correlated failures vs iid (after [26], [27])");
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "replications", std::to_string(opt.reps));
+  metrics::print_kv(std::cout, "floor", "4 racks x 16 machines");
+  metrics::print_kv(std::cout, "volume",
+                    "2 machine-failures per machine-day in every mode");
+
+  metrics::Table character({"mode", "events", "machine failures",
+                            "mean burst", "max burst", "gap CV",
+                            "peak down", "time >=25% down"});
+  metrics::Table impact({"mode", "tasks killed", "jobs abandoned",
+                         "mean slowdown", "p95 slowdown"});
+  for (std::size_t m = 0; m < kModeCount; ++m) {
+    metrics::Accumulator events(false), failures_acc(false), burst(false),
+        max_burst(false), gap_cv(false), peak(false), degraded(false),
+        killed(false), abandoned(false), slowdown(false), p95(false);
+    for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+      const CellResult& c = cells[m * opt.reps + rep];
+      events.add(c.events);
+      failures_acc.add(c.machine_failures);
+      burst.add(c.mean_burst);
+      max_burst.add(c.max_burst);
+      gap_cv.add(c.gap_cv);
+      peak.add(c.peak_down_fraction);
+      degraded.add(c.degraded_fraction);
+      killed.add(c.tasks_killed);
+      abandoned.add(c.jobs_abandoned);
+      slowdown.add(c.mean_slowdown);
+      p95.add(c.p95_slowdown);
+    }
+    character.add_row({mode_name(kModes[m]),
+                       metrics::Table::num(events.mean(), 0),
+                       metrics::Table::num(failures_acc.mean(), 0),
+                       metrics::Table::num(burst.mean(), 1),
+                       metrics::Table::num(max_burst.mean(), 0),
+                       metrics::Table::num(gap_cv.mean(), 2),
+                       metrics::Table::pct(peak.mean()),
+                       metrics::Table::pct(degraded.mean())});
+    impact.add_row({mode_name(kModes[m]),
+                    metrics::Table::num(killed.mean(), 0),
+                    metrics::Table::num(abandoned.mean(), 1),
+                    metrics::Table::num(slowdown.mean()),
+                    metrics::Table::num(p95.mean())});
+  }
+  character.print(std::cout);
+  metrics::print_banner(std::cout, "Impact on a bag-of-tasks workload");
   impact.print(std::cout);
   std::cout <<
       "\nThe [26]/[27] shape: identical failure *volume*, very different\n"

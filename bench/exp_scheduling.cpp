@@ -5,9 +5,19 @@
 // SJF wins mean metrics under heavy-tailed task mixes, FCFS/backfilling
 // behave under uniform loads, HEFT wins on heterogeneous machines — and a
 // portfolio scheduler tracks whichever fixed policy suits the regime.
+//
+// Scale-out: `--reps N` fans N independent replications per regime across
+// the thread pool (exp::run_sweep). Each replication is its own Simulator
+// with a substream-seeded trace; per-(regime, policy) metrics are merged
+// through metrics::Accumulator in flat grid order, so the aggregate is
+// bit-identical at any MCS_THREADS (checked by bench.determinism via
+// `--digest`).
 #include <iostream>
+#include <memory>
 
+#include "exp/sweep.hpp"
 #include "metrics/report.hpp"
+#include "metrics/stats.hpp"
 #include "sched/engine.hpp"
 #include "sched/portfolio.hpp"
 #include "workload/trace.hpp"
@@ -40,14 +50,7 @@ infra::Datacenter make_dc(bool heterogeneous) {
   return dc;
 }
 
-}  // namespace
-
-int main() {
-  metrics::print_banner(
-      std::cout, "E5 — Scheduling policies across regimes + portfolio");
-  const std::uint64_t seed = 22;
-  metrics::print_kv(std::cout, "seed", std::to_string(seed));
-
+std::vector<Regime> make_regimes() {
   std::vector<Regime> regimes;
   {
     Regime r;
@@ -88,51 +91,157 @@ int main() {
     r.heterogeneous = true;
     regimes.push_back(r);
   }
+  return regimes;
+}
 
-  const std::vector<std::string> policies = {
+const std::vector<std::string>& policy_names() {
+  static const std::vector<std::string> kPolicies = {
       "fcfs", "fcfs-bestfit", "sjf",      "ljf",
       "fair-share", "edf",    "easy-backfill", "conservative-backfill",
       "heft", "min-min",      "max-min",  "random"};
+  return kPolicies;
+}
 
-  for (const Regime& regime : regimes) {
-    metrics::print_banner(std::cout, "Regime: " + regime.name);
-    sim::Rng rng(seed);
-    const auto jobs = workload::generate_trace(regime.trace, rng);
+struct PolicyRow {
+  double mean_slowdown = 0.0;
+  double p95_slowdown = 0.0;
+  double mean_wait_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double portfolio_switches = 0.0;  ///< portfolio row only
+};
+
+/// One replication: the full policy set + portfolio on one substream trace.
+struct CellResult {
+  std::vector<PolicyRow> rows;  ///< policy_names() order, then portfolio
+};
+
+CellResult run_cell(const Regime& regime, std::uint64_t trace_seed) {
+  CellResult cell;
+  sim::Rng rng(trace_seed);
+  const auto jobs = workload::generate_trace(regime.trace, rng);
+  for (const std::string& name : policy_names()) {
+    auto dc = make_dc(regime.heterogeneous);
+    const auto r = sched::run_workload(dc, jobs, sched::make_policy(name));
+    PolicyRow row;
+    row.mean_slowdown = r.mean_slowdown;
+    row.p95_slowdown = r.p95_slowdown;
+    row.mean_wait_seconds = r.mean_wait_seconds;
+    row.makespan_seconds = r.makespan_seconds;
+    cell.rows.push_back(row);
+  }
+  {
+    auto dc = make_dc(regime.heterogeneous);
+    sim::Simulator sim;
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+    engine.submit_all(jobs);
+    sched::PortfolioScheduler portfolio(sim, dc, engine,
+                                        sched::default_portfolio(),
+                                        30 * sim::kSecond);
+    portfolio.start();
+    sim.run_until();
+    const auto r = sched::summarize_run(engine, dc);
+    PolicyRow row;
+    row.mean_slowdown = r.mean_slowdown;
+    row.p95_slowdown = r.p95_slowdown;
+    row.mean_wait_seconds = r.mean_wait_seconds;
+    row.makespan_seconds = r.makespan_seconds;
+    row.portfolio_switches = static_cast<double>(portfolio.switches());
+    cell.rows.push_back(row);
+  }
+  return cell;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const exp::SweepCli cli = exp::parse_sweep_cli(argc, argv);
+  const std::uint64_t seed = 22;
+  const auto regimes = make_regimes();
+  const std::size_t row_count = policy_names().size() + 1;  // + portfolio
+
+  parallel::ThreadPool pool(cli.threads);
+  exp::SweepOptions opt;
+  opt.reps = cli.reps;
+  opt.base_seed = seed;
+  opt.pool = &pool;
+
+  const auto cells = exp::run_sweep<CellResult>(
+      regimes.size(), opt, [&](const exp::SweepPoint& p) {
+        return run_cell(regimes[p.scenario], p.seed);
+      });
+
+  if (cli.digest) {
+    // Per-cell digests merged in flat grid order: bit-identical at any
+    // thread count (the bench.determinism contract).
+    metrics::Digest digest;
+    for (const CellResult& cell : cells) {
+      metrics::Digest d;
+      for (const PolicyRow& row : cell.rows) {
+        d.add_double(row.mean_slowdown);
+        d.add_double(row.p95_slowdown);
+        d.add_double(row.mean_wait_seconds);
+        d.add_double(row.makespan_seconds);
+        d.add_double(row.portfolio_switches);
+      }
+      digest.merge(d);
+    }
+    std::cout << digest.hex() << "\n";
+    return 0;
+  }
+
+  metrics::print_banner(
+      std::cout, "E5 — Scheduling policies across regimes + portfolio");
+  metrics::print_kv(std::cout, "seed", std::to_string(seed));
+  metrics::print_kv(std::cout, "replications", std::to_string(opt.reps));
+  metrics::print_kv(std::cout, "threads",
+                    std::to_string(pool.thread_count()));
+
+  for (std::size_t s = 0; s < regimes.size(); ++s) {
+    metrics::print_banner(std::cout, "Regime: " + regimes[s].name);
+    // Merge this regime's replications (flat grid order) per policy.
+    std::vector<metrics::Accumulator> slowdown(row_count,
+                                               metrics::Accumulator(false));
+    std::vector<metrics::Accumulator> p95(row_count,
+                                          metrics::Accumulator(false));
+    std::vector<metrics::Accumulator> wait(row_count,
+                                           metrics::Accumulator(false));
+    std::vector<metrics::Accumulator> makespan(row_count,
+                                               metrics::Accumulator(false));
+    double switches = 0.0;
+    for (std::size_t rep = 0; rep < opt.reps; ++rep) {
+      const CellResult& cell = cells[s * opt.reps + rep];
+      for (std::size_t i = 0; i < row_count; ++i) {
+        slowdown[i].add(cell.rows[i].mean_slowdown);
+        p95[i].add(cell.rows[i].p95_slowdown);
+        wait[i].add(cell.rows[i].mean_wait_seconds);
+        makespan[i].add(cell.rows[i].makespan_seconds);
+      }
+      switches += cell.rows[row_count - 1].portfolio_switches;
+    }
+
     metrics::Table table({"policy", "mean slowdown", "p95 slowdown",
                           "mean wait [s]", "makespan [s]"});
     double best_slowdown = 1e18;
     std::string best_policy;
-    for (const std::string& name : policies) {
-      auto dc = make_dc(regime.heterogeneous);
-      const auto r = sched::run_workload(dc, jobs, sched::make_policy(name));
-      if (r.mean_slowdown < best_slowdown) {
-        best_slowdown = r.mean_slowdown;
+    for (std::size_t i = 0; i < policy_names().size(); ++i) {
+      const std::string& name = policy_names()[i];
+      if (slowdown[i].mean() < best_slowdown) {
+        best_slowdown = slowdown[i].mean();
         best_policy = name;
       }
-      table.add_row({name, metrics::Table::num(r.mean_slowdown),
-                     metrics::Table::num(r.p95_slowdown),
-                     metrics::Table::num(r.mean_wait_seconds, 1),
-                     metrics::Table::num(r.makespan_seconds, 0)});
+      table.add_row({name, metrics::Table::num(slowdown[i].mean()),
+                     metrics::Table::num(p95[i].mean()),
+                     metrics::Table::num(wait[i].mean(), 1),
+                     metrics::Table::num(makespan[i].mean(), 0)});
     }
-    // Portfolio scheduler on the same regime.
-    {
-      auto dc = make_dc(regime.heterogeneous);
-      sim::Simulator sim;
-      sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
-      engine.submit_all(jobs);
-      sched::PortfolioScheduler portfolio(sim, dc, engine,
-                                          sched::default_portfolio(),
-                                          30 * sim::kSecond);
-      portfolio.start();
-      sim.run_until();
-      const auto r = sched::summarize_run(engine, dc);
-      table.add_row({"PORTFOLIO (" + std::to_string(portfolio.switches()) +
-                         " switches)",
-                     metrics::Table::num(r.mean_slowdown),
-                     metrics::Table::num(r.p95_slowdown),
-                     metrics::Table::num(r.mean_wait_seconds, 1),
-                     metrics::Table::num(r.makespan_seconds, 0)});
-    }
+    const std::size_t pi = row_count - 1;
+    table.add_row({"PORTFOLIO (" +
+                       std::to_string(static_cast<long long>(switches)) +
+                       " switches)",
+                   metrics::Table::num(slowdown[pi].mean()),
+                   metrics::Table::num(p95[pi].mean()),
+                   metrics::Table::num(wait[pi].mean(), 1),
+                   metrics::Table::num(makespan[pi].mean(), 0)});
     table.print(std::cout);
     metrics::print_kv(std::cout, "best fixed policy", best_policy);
   }

@@ -5,10 +5,14 @@
 #include <functional>
 #include <benchmark/benchmark.h>
 
+#include "exp/sweep.hpp"
 #include "metrics/elasticity.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sched/engine.hpp"
 #include "sim/arrival.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
+#include "workload/trace.hpp"
 
 namespace {
 
@@ -82,6 +86,72 @@ void BM_CancelHeavy(benchmark::State& state) {
   state.SetItemsProcessed(8192 * state.iterations());
 }
 BENCHMARK(BM_CancelHeavy);
+
+void BM_EngineThroughput(benchmark::State& state) {
+  // Jobs/second through the ExecutionEngine on a fixed, contended workload:
+  // 512 bag-of-tasks jobs (~8 tasks each) arriving fast onto a 4x8-machine
+  // floor, FCFS. This is the scheduling layer's steady-state
+  // submit -> allocate -> run -> complete loop, the engine behind every
+  // exp_* sweep replication.
+  sim::Rng rng(7);
+  workload::TraceConfig tc;
+  tc.job_count = 512;
+  tc.arrival_rate_per_hour = 40000.0;
+  tc.mean_tasks_per_job = 8.0;
+  tc.mean_task_seconds = 120.0;
+  tc.cv_task_seconds = 1.5;
+  const auto jobs = workload::generate_trace(tc, rng);
+  for (auto _ : state) {
+    infra::Datacenter dc("bm-dc", "eu");
+    dc.add_uniform_racks(4, 8, infra::ResourceVector{8.0, 32.0, 0.0}, 1.0);
+    const auto r = sched::run_workload(dc, jobs, sched::make_fcfs());
+    if (r.jobs.size() != jobs.size()) state.SkipWithError("jobs lost");
+    benchmark::DoNotOptimize(r.mean_slowdown);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineThroughput);
+
+void BM_SweepScaling(benchmark::State& state) {
+  // Wall-clock scaling of exp::run_sweep: 16 independent scheduling
+  // replications fanned over a pool of `threads` workers. UseRealTime
+  // because the work happens on pool threads, not the timing thread.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  parallel::ThreadPool pool(threads);
+  workload::TraceConfig tc;
+  tc.job_count = 96;
+  tc.arrival_rate_per_hour = 2000.0;
+  tc.mean_tasks_per_job = 6.0;
+  tc.mean_task_seconds = 60.0;
+  tc.cv_task_seconds = 1.0;
+  for (auto _ : state) {
+    exp::SweepOptions opt;
+    opt.reps = 16;
+    opt.base_seed = 11;
+    opt.pool = &pool;
+    const auto results = exp::run_sweep<double>(
+        1, opt, [&](const exp::SweepPoint& p) {
+          sim::Rng rng(p.seed);
+          const auto jobs = workload::generate_trace(tc, rng);
+          infra::Datacenter dc("bm-dc", "eu");
+          dc.add_uniform_racks(2, 8, infra::ResourceVector{8.0, 32.0, 0.0},
+                               1.0);
+          return sched::run_workload(dc, jobs, sched::make_fcfs())
+              .mean_slowdown;
+        });
+    if (results.size() != 16) state.SkipWithError("reps lost");
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(16 * state.iterations());
+}
+BENCHMARK(BM_SweepScaling)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();
 
 void BM_RngExponential(benchmark::State& state) {
   sim::Rng rng(1);

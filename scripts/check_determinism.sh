@@ -7,12 +7,23 @@
 # bit-identical-at-any-thread-count promise (DESIGN.md, "Determinism &
 # hot-path rules").
 #
-# Usage: scripts/check_determinism.sh /path/to/exp_graphalytics
+# An optional second binary is checked as a *sweep* digest: it is run with
+# `--reps 8 --digest` once at MCS_THREADS=1 and once at MCS_THREADS=8,
+# covering the exp::run_sweep merge path (one Simulator per replication,
+# merged in flat grid order — DESIGN.md, "Experiment sweeps").
+#
+# Usage: scripts/check_determinism.sh /path/to/exp_graphalytics \
+#            [/path/to/exp_scheduling]
 set -euo pipefail
 
 exe="${1:-}"
 if [[ -z "${exe}" || ! -x "${exe}" ]]; then
-  echo "usage: $0 /path/to/exp_graphalytics" >&2
+  echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp]" >&2
+  exit 2
+fi
+sweep_exe="${2:-}"
+if [[ -n "${sweep_exe}" && ! -x "${sweep_exe}" ]]; then
+  echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp]" >&2
   exit 2
 fi
 
@@ -29,4 +40,18 @@ for d in "${digests[@]:1}"; do
     exit 1
   fi
 done
+
+if [[ -n "${sweep_exe}" ]]; then
+  declare -a sweep_digests=()
+  for threads in 1 8; do
+    d="$(MCS_THREADS=${threads} "${sweep_exe}" --reps 8 --digest)"
+    echo "sweep MCS_THREADS=${threads}: ${d}"
+    sweep_digests+=("${d}")
+  done
+  if [[ "${sweep_digests[1]}" != "${sweep_digests[0]}" ]]; then
+    echo "FAIL: sweep digests diverge — merge order depends on thread count" >&2
+    exit 1
+  fi
+fi
+
 echo "OK: bit-identical across repeats and thread counts"

@@ -1,0 +1,52 @@
+#include "exp/sweep.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace mcs::exp {
+
+std::uint64_t substream_seed(std::uint64_t base, std::uint64_t index) {
+  // SplitMix64 finalizer over the combined state: statistically
+  // independent outputs for adjacent indices, and a pure function of
+  // (base, index) only.
+  std::uint64_t z = base + 0x9e3779b97f4a7c15ull * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z == 0 ? 0x9e3779b97f4a7c15ull : z;
+}
+
+SweepCli parse_sweep_cli(int argc, const char* const* argv) {
+  SweepCli cli;
+  auto parse_count = [](const std::string& flag,
+                        const char* value) -> std::size_t {
+    if (value == nullptr) {
+      throw std::invalid_argument(flag + ": missing value");
+    }
+    char* end = nullptr;
+    const unsigned long long n = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0') {
+      throw std::invalid_argument(flag + ": not a number: " + value);
+    }
+    return static_cast<std::size_t>(n);
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--digest") {
+      cli.digest = true;
+    } else if (arg == "--reps") {
+      cli.reps = parse_count(arg, i + 1 < argc ? argv[++i] : nullptr);
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      cli.reps = parse_count("--reps", arg.c_str() + 7);
+    } else if (arg == "--threads") {
+      cli.threads = parse_count(arg, i + 1 < argc ? argv[++i] : nullptr);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      cli.threads = parse_count("--threads", arg.c_str() + 10);
+    }
+  }
+  if (cli.reps == 0) cli.reps = 1;
+  return cli;
+}
+
+}  // namespace mcs::exp

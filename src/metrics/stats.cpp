@@ -24,6 +24,38 @@ void Accumulator::add(double x) {
   }
 }
 
+void Accumulator::merge(const Accumulator& other) {
+  if (other.n_ == 0) return;
+  if (keep_samples_) {
+    if (!other.keep_samples_) {
+      throw std::logic_error(
+          "Accumulator::merge: sample-keeping side cannot absorb a "
+          "sample-free accumulator");
+    }
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+  if (n_ == 0) {
+    n_ = other.n_;
+    sum_ = other.sum_;
+    mean_ = other.mean_;
+    m2_ = other.m2_;
+    min_ = other.min_;
+    max_ = other.max_;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (n2 / (n1 + n2));
+  m2_ += other.m2_ + delta * delta * (n1 * n2 / (n1 + n2));
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
 double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double Accumulator::variance() const {
@@ -56,6 +88,37 @@ double Accumulator::quantile(double q) const {
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
   const double frac = pos - static_cast<double>(lo);
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void Digest::add_bytes(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h_ ^= p[i];
+    h_ *= 1099511628211ull;  // FNV-1a prime
+  }
+  ++fed_;
+}
+
+void Digest::add_u64(std::uint64_t v) { add_bytes(&v, sizeof(v)); }
+
+void Digest::add_double(double v) { add_bytes(&v, sizeof(v)); }
+
+void Digest::merge(const Digest& child) {
+  std::uint64_t v = child.h_;
+  add_bytes(&v, sizeof(v));
+  v = child.fed_;
+  add_bytes(&v, sizeof(v));
+}
+
+std::string Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  std::uint64_t v = h_;
+  for (std::size_t i = 16; i-- > 0;) {
+    out[i] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
 }
 
 double pearson(const std::vector<double>& a, const std::vector<double>& b) {

@@ -6,6 +6,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 namespace mcs::metrics {
@@ -17,6 +19,15 @@ class Accumulator {
   explicit Accumulator(bool keep_samples = true) : keep_samples_(keep_samples) {}
 
   void add(double x);
+
+  /// Folds another accumulator into this one (Chan et al. pairwise update
+  /// for mean/M2; min/max/sum/count combine directly; samples are
+  /// concatenated). Deterministic but — like any floating-point fold — not
+  /// commutative: callers merging parallel partials must do so in a fixed
+  /// order (the sweep runner merges in flat grid order) for bit-identical
+  /// results at any thread count. Requires matching keep_samples modes
+  /// when both sides hold data.
+  void merge(const Accumulator& other);
 
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double sum() const { return sum_; }
@@ -46,6 +57,29 @@ class Accumulator {
   double max_ = 0.0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// Order-sensitive FNV-1a digest over a stream of values, with a merge
+/// operation for combining per-replication digests. merge() is
+/// deterministic (it folds the child's hash and length into the parent)
+/// but not commutative, so parallel sweeps merge per-cell digests in flat
+/// grid order — the digest is then bit-identical at any thread count.
+class Digest {
+ public:
+  void add_bytes(const void* data, std::size_t len);
+  void add_u64(std::uint64_t v);
+  /// Hashes the exact bit pattern (reproducible across runs, not across
+  /// float representations — fine for one toolchain).
+  void add_double(double v);
+  void merge(const Digest& child);
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+  /// 16 lowercase hex digits (the format check_determinism.sh diffs).
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;  // FNV-1a offset basis
+  std::uint64_t fed_ = 0;                     // values fed (length guard)
 };
 
 /// Pearson correlation of two equal-length series; 0 if degenerate.

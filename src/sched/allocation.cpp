@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -12,38 +13,68 @@ namespace mcs::sched {
 namespace {
 
 /// Tracks capacity planned within one decide() round so batches stay
-/// feasible.
+/// feasible. Dense vectors indexed by machine id (machine ids are dense
+/// per datacenter), plus a componentwise free-capacity upper bound that
+/// lets pick_machine reject can't-fit-anywhere demands in O(1) — the
+/// difference between O(placements * machines) and O(queue * machines)
+/// per round on a saturated floor.
 class PlannedCapacity {
  public:
   explicit PlannedCapacity(const std::vector<const infra::Machine*>& machines) {
+    infra::MachineId max_id = 0;
+    for (const infra::Machine* m : machines) max_id = std::max(max_id, m->id());
+    free_.assign(max_id + 1, infra::ResourceVector{});
+    speed_.assign(max_id + 1, 1.0);
+    present_.assign(max_id + 1, 0);
     for (const infra::Machine* m : machines) {
       free_[m->id()] = m->available();
       speed_[m->id()] = m->speed_factor();
+      present_[m->id()] = 1;
     }
+    recompute_bound();
   }
 
   [[nodiscard]] bool fits(infra::MachineId id,
                           const infra::ResourceVector& r) const {
-    auto it = free_.find(id);
-    return it != free_.end() && r.fits_within(it->second);
+    return id < present_.size() && present_[id] != 0 &&
+           r.fits_within(free_[id]);
   }
 
   void take(infra::MachineId id, const infra::ResourceVector& r) {
     free_[id] -= r;
+    recompute_bound();
   }
 
-  [[nodiscard]] double speed(infra::MachineId id) const {
-    return speed_.at(id);
+  [[nodiscard]] double speed(infra::MachineId id) const { return speed_[id]; }
+
+  [[nodiscard]] const infra::ResourceVector& free_on(
+      infra::MachineId id) const {
+    return free_[id];
   }
 
-  [[nodiscard]] const std::map<infra::MachineId, infra::ResourceVector>& free()
-      const {
-    return free_;
+  /// Necessary condition for `r` to fit on *some* machine: each component
+  /// must fit within the componentwise max of free capacity.
+  [[nodiscard]] bool may_fit_anywhere(const infra::ResourceVector& r) const {
+    return r.fits_within(max_free_);
   }
 
  private:
-  std::map<infra::MachineId, infra::ResourceVector> free_;
-  std::map<infra::MachineId, double> speed_;
+  void recompute_bound() {
+    max_free_ = infra::ResourceVector{};
+    for (infra::MachineId id = 0; id < present_.size(); ++id) {
+      if (present_[id] == 0) continue;
+      max_free_.cores = std::max(max_free_.cores, free_[id].cores);
+      max_free_.memory_gib = std::max(max_free_.memory_gib,
+                                      free_[id].memory_gib);
+      max_free_.accelerators = std::max(max_free_.accelerators,
+                                        free_[id].accelerators);
+    }
+  }
+
+  std::vector<infra::ResourceVector> free_;
+  std::vector<double> speed_;
+  std::vector<std::uint8_t> present_;
+  infra::ResourceVector max_free_;
 };
 
 /// Picks a machine for `demand` under the fit heuristic; returns nullopt
@@ -52,6 +83,7 @@ std::optional<infra::MachineId> pick_machine(
     const std::vector<const infra::Machine*>& machines,
     const PlannedCapacity& planned, const infra::ResourceVector& demand,
     Fit fit) {
+  if (!planned.may_fit_anywhere(demand)) return std::nullopt;
   std::optional<infra::MachineId> best;
   double best_score = 0.0;
   for (const infra::Machine* m : machines) {
@@ -61,10 +93,10 @@ std::optional<infra::MachineId> pick_machine(
       case Fit::kFirst:
         return m->id();
       case Fit::kBest:
-        score = -(planned.free().at(m->id()).cores - demand.cores);
+        score = -(planned.free_on(m->id()).cores - demand.cores);
         break;
       case Fit::kWorst:
-        score = planned.free().at(m->id()).cores - demand.cores;
+        score = planned.free_on(m->id()).cores - demand.cores;
         break;
       case Fit::kFastest:
         score = m->speed_factor();
@@ -337,6 +369,7 @@ class Heft final : public AllocationPolicy {
     std::vector<Assignment> out;
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
+      if (!planned.may_fit_anywhere(t.demand)) continue;
       // Earliest-finish-time machine among those with room now.
       std::optional<infra::MachineId> best;
       double best_finish = std::numeric_limits<double>::max();
@@ -381,6 +414,7 @@ class MinMin final : public AllocationPolicy {
       for (std::size_t i = 0; i < view.ready->size(); ++i) {
         if (taken[i]) continue;
         const ReadyTask& t = (*view.ready)[i];
+        if (!planned.may_fit_anywhere(t.demand)) continue;
         double mct = std::numeric_limits<double>::max();
         std::optional<infra::MachineId> arg;
         for (const infra::Machine* m : view.machines) {
@@ -428,6 +462,7 @@ class RandomPolicy final : public AllocationPolicy {
     std::vector<Assignment> out;
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
+      if (!planned.may_fit_anywhere(t.demand)) continue;
       // Collect fitting machines, pick one uniformly.
       std::vector<infra::MachineId> options;
       for (const infra::Machine* m : view.machines) {
@@ -471,11 +506,10 @@ struct FairShareCmp {
   bool operator()(const ReadyTask& a, const ReadyTask& b,
                   const SchedulerView& view) const {
     double ua = 0.0, ub = 0.0;
-    if (view.user_usage) {
-      if (auto it = view.user_usage->find(a.user); it != view.user_usage->end())
-        ua = it->second;
-      if (auto it = view.user_usage->find(b.user); it != view.user_usage->end())
-        ub = it->second;
+    if (view.user_usage != nullptr) {
+      const std::vector<double>& usage = *view.user_usage;
+      if (a.user_id < usage.size()) ua = usage[a.user_id];
+      if (b.user_id < usage.size()) ub = usage[b.user_id];
     }
     if (ua != ub) return ua < ub;  // least-served user first
     return FcfsCmp{}(a, b, view);

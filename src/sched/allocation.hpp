@@ -9,7 +9,7 @@
 // BoT heuristics (min-min / max-min).
 #pragma once
 
-#include <map>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -28,7 +28,12 @@ struct ReadyTask {
   infra::ResourceVector demand;
   sim::SimTime job_submit = 0;
   sim::SimTime became_ready = 0;
-  std::string user;
+  /// Interned submitter id (dense index into SchedulerView::user_usage);
+  /// the engine resolves the user string once at submit, never per round.
+  std::uint32_t user_id = 0;
+  /// Engine-internal job slot (stable for the job's lifetime; policies
+  /// should treat it as opaque).
+  std::uint32_t job_slot = 0;
   /// HEFT upward rank (critical-path distance to the job's exit, in
   /// reference seconds); 0 for bag tasks.
   double rank = 0.0;
@@ -51,8 +56,9 @@ struct SchedulerView {
   const std::vector<ReadyTask>* ready = nullptr;
   std::vector<const infra::Machine*> machines;  ///< usable, non-draining
   const std::vector<RunningView>* running = nullptr;
-  /// Consumed core-seconds per user (fair-share input).
-  const std::map<std::string, double>* user_usage = nullptr;
+  /// Consumed core-seconds per user, indexed by ReadyTask::user_id
+  /// (fair-share input).
+  const std::vector<double>* user_usage = nullptr;
 };
 
 /// One placement decision: ready-queue index -> machine.

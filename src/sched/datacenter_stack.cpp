@@ -1,25 +1,38 @@
-#include <functional>
 #include "sched/datacenter_stack.hpp"
 
 namespace mcs::sched {
 
+/// Shared state of one sampling loop. The probe lives here exactly once;
+/// each scheduled tick captures only a shared_ptr to this block (two
+/// words, always inline in sim::Callback) instead of copying the closure.
+struct OperationsService::MonitorLoop {
+  std::string gauge;
+  core::UniqueFunction<double()> probe;
+  sim::SimTime interval = 0;
+  sim::SimTime until = 0;
+};
+
 void OperationsService::monitor(const std::string& gauge,
-                                std::function<double()> probe,
+                                core::UniqueFunction<double()> probe,
                                 sim::SimTime interval, sim::SimTime until) {
   if (interval <= 0) throw std::invalid_argument("monitor: interval <= 0");
   series_[gauge];  // create the series up front
-  // Self-rescheduling sampling loop via a shared recursive closure.
-  auto holder = std::make_shared<std::function<void()>>();
-  *holder = [this, gauge, probe, interval, until, holder] {
-    auto it = series_.find(gauge);
-    if (it == series_.end()) return;
-    it->second.append(sim_.now(), probe());
-    ++samples_;
-    if (sim_.now() + interval <= until) {
-      sim_.schedule_after(interval, *holder);
-    }
-  };
-  sim_.schedule_after(0, *holder);
+  auto loop = std::make_shared<MonitorLoop>();
+  loop->gauge = gauge;
+  loop->probe = std::move(probe);
+  loop->interval = interval;
+  loop->until = until;
+  sim_.schedule_after(0, [this, loop] { monitor_tick(loop); });
+}
+
+void OperationsService::monitor_tick(const std::shared_ptr<MonitorLoop>& loop) {
+  auto it = series_.find(loop->gauge);
+  if (it == series_.end()) return;
+  it->second.append(sim_.now(), loop->probe());
+  ++samples_;
+  if (sim_.now() + loop->interval <= loop->until) {
+    sim_.schedule_after(loop->interval, [this, loop] { monitor_tick(loop); });
+  }
 }
 
 void OperationsService::log(const std::string& line) {

@@ -13,11 +13,12 @@
 // rather than redrawn.
 #pragma once
 
-#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/callback.hpp"
 #include "metrics/elasticity.hpp"
 #include "sched/engine.hpp"
 #include "sched/provisioning.hpp"
@@ -30,8 +31,10 @@ class OperationsService {
  public:
   explicit OperationsService(sim::Simulator& sim) : sim_(sim) {}
 
-  /// Periodically samples a gauge into a named series.
-  void monitor(const std::string& gauge, std::function<double()> probe,
+  /// Periodically samples a gauge into a named series. The probe is a
+  /// move-only core::UniqueFunction: it is stored once in the sampling
+  /// loop's shared state instead of being copied into every event.
+  void monitor(const std::string& gauge, core::UniqueFunction<double()> probe,
                sim::SimTime interval, sim::SimTime until);
 
   void log(const std::string& line);
@@ -41,6 +44,9 @@ class OperationsService {
   [[nodiscard]] std::size_t samples_taken() const { return samples_; }
 
  private:
+  struct MonitorLoop;
+  void monitor_tick(const std::shared_ptr<MonitorLoop>& loop);
+
   sim::Simulator& sim_;
   std::map<std::string, metrics::StepSeries> series_;
   std::size_t log_count_ = 0;

@@ -8,28 +8,6 @@
 
 namespace mcs::sched {
 
-namespace {
-
-/// Upward ranks for HEFT: critical-path distance from each task to the
-/// job's exit, in reference seconds.
-std::vector<double> upward_ranks(const workload::Job& job) {
-  std::vector<double> rank(job.tasks.size(), 0.0);
-  // Build successor lists.
-  std::vector<std::vector<std::size_t>> succ(job.tasks.size());
-  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
-    for (std::size_t d : job.tasks[i].deps) succ[d].push_back(i);
-  }
-  // Tasks are topologically ordered; sweep backwards.
-  for (std::size_t i = job.tasks.size(); i-- > 0;) {
-    double best = 0.0;
-    for (std::size_t s : succ[i]) best = std::max(best, rank[s]);
-    rank[i] = job.tasks[i].work_seconds + best;
-  }
-  return rank;
-}
-
-}  // namespace
-
 ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
                                  std::unique_ptr<AllocationPolicy> policy,
                                  EngineConfig config)
@@ -37,28 +15,61 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
   if (!policy_) throw std::invalid_argument("ExecutionEngine: null policy");
 }
 
+std::uint32_t ExecutionEngine::intern_user(const std::string& name) {
+  const auto [it, inserted] = user_ids_.try_emplace(
+      name, static_cast<std::uint32_t>(user_names_.size()));
+  if (inserted) {
+    user_names_.push_back(name);
+    user_usage_.push_back(0.0);
+  }
+  return it->second;
+}
+
 void ExecutionEngine::submit(workload::Job job) {
   if (!job.valid()) throw std::invalid_argument("ExecutionEngine: invalid job");
   if (job.tasks.empty()) return;
   if (job.submit_time < sim_.now()) job.submit_time = sim_.now();
   const workload::JobId id = job.id;
-  if (jobs_.count(id) != 0) {
+  if (id_to_slot_.count(id) != 0) {
     throw std::invalid_argument("ExecutionEngine: duplicate job id");
   }
 
-  JobRuntime jr;
-  jr.missing_deps.resize(job.tasks.size());
-  jr.retries.assign(job.tasks.size(), 0);
-  jr.done.assign(job.tasks.size(), false);
-  jr.remaining = job.tasks.size();
-  for (std::size_t i = 0; i < job.tasks.size(); ++i) {
-    jr.missing_deps[i] = job.tasks[i].deps.size();
-  }
-  const sim::SimTime at = job.submit_time;
+  const std::uint32_t slot = jobs_.acquire();
+  JobSlot& jr = jobs_[slot];
   jr.job = std::move(job);
-  jobs_.emplace(id, std::move(jr));
+  const std::size_t n = jr.job.tasks.size();
+  jr.missing_deps.assign(n, 0);
+  jr.retries.assign(n, 0);
+  jr.done.assign(n, 0);
+  jr.remaining = n;
+  jr.failures = 0;
+  jr.first_start = 0;
+  jr.started = false;
+  jr.user_id = intern_user(jr.job.user);
+
+  // Successor CSR: counts, prefix sum, fill (targets of each task end up in
+  // ascending order because tasks are topologically ordered).
+  jr.succ_offsets.assign(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& deps = jr.job.tasks[i].deps;
+    jr.missing_deps[i] = static_cast<std::uint32_t>(deps.size());
+    for (std::size_t d : deps) ++jr.succ_offsets[d + 1];
+  }
+  for (std::size_t t = 0; t < n; ++t) {
+    jr.succ_offsets[t + 1] += jr.succ_offsets[t];
+  }
+  jr.succ_targets.assign(jr.succ_offsets[n], 0);
+  succ_cursor_.assign(jr.succ_offsets.begin(), jr.succ_offsets.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d : jr.job.tasks[i].deps) {
+      jr.succ_targets[succ_cursor_[d]++] = static_cast<std::uint32_t>(i);
+    }
+  }
+
+  const sim::SimTime at = jr.job.submit_time;
+  id_to_slot_.emplace(id, slot);
   ++submitted_;
-  sim_.schedule_at(at, [this, id] { arrive(id); });
+  sim_.schedule_at(at, [this, slot] { arrive(slot); });
 }
 
 void ExecutionEngine::submit_all(std::vector<workload::Job> jobs) {
@@ -71,50 +82,108 @@ void ExecutionEngine::set_policy(std::unique_ptr<AllocationPolicy> policy) {
   kick();
 }
 
-void ExecutionEngine::arrive(workload::JobId id) {
-  JobRuntime& jr = jobs_.at(id);
-  const auto ranks = upward_ranks(jr.job);
-  for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
-    if (jr.missing_deps[i] == 0) enqueue_ready(jr, i);
+bool ExecutionEngine::demand_satisfiable(
+    const infra::ResourceVector& demand) const {
+  // Memory can be partially borrowed when scavenging is on; cores and
+  // accelerators cannot.
+  const double needed_memory =
+      config_.scavenging.enabled
+          ? demand.memory_gib * (1.0 - config_.scavenging.max_borrow_fraction)
+          : demand.memory_gib;
+  const std::size_t machine_count = dc_.machine_count();
+  for (std::uint32_t id = 0; id < machine_count; ++id) {
+    const infra::ResourceVector& cap = dc_.machine(id).capacity();
+    if (demand.cores <= cap.cores && needed_memory <= cap.memory_gib &&
+        demand.accelerators <= cap.accelerators) {
+      return true;
+    }
   }
-  // Stash ranks into the enqueued entries (and reuse later re-queues).
-  for (ReadyTask& rt : ready_) {
-    if (rt.job == id) rt.rank = ranks[rt.task_index];
+  return false;
+}
+
+void ExecutionEngine::arrive(std::uint32_t job_slot) {
+  JobSlot& jr = jobs_[job_slot];
+  const std::size_t n = jr.job.tasks.size();
+  // A task whose demand exceeds every machine's *total* capacity — even
+  // machines that are currently down or powered off, and even granting
+  // maximal memory scavenging — can never be placed by any future
+  // schedule. Abandon the job at arrival instead of parking it forever:
+  // a forever-pending job keeps all_done() false, which spins monitor
+  // loops (autoscalers, portfolio) without end.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!demand_satisfiable(jr.job.tasks[i].demand)) {
+      complete_job(job_slot, /*abandoned=*/true);
+      return;
+    }
+  }
+  // Upward ranks for HEFT via the CSR successor lists: critical-path
+  // distance to the job's exit in reference seconds. Tasks are
+  // topologically ordered; sweep backwards.
+  rank_scratch_.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double best = 0.0;
+    for (std::uint32_t k = jr.succ_offsets[i]; k < jr.succ_offsets[i + 1];
+         ++k) {
+      best = std::max(best, rank_scratch_[jr.succ_targets[k]]);
+    }
+    rank_scratch_[i] = jr.job.tasks[i].work_seconds + best;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (jr.missing_deps[i] == 0) {
+      enqueue_ready(jr, job_slot, i, rank_scratch_[i]);
+    }
   }
   record_series_point();
   kick();
 }
 
-void ExecutionEngine::enqueue_ready(JobRuntime& jr, std::size_t task_index) {
-  ReadyTask rt;
+// mcs-lint: hot
+void ExecutionEngine::enqueue_ready(JobSlot& jr, std::uint32_t job_slot,
+                                    std::size_t task_index, double rank) {
+  if (ready_.size() == ready_.capacity()) {
+    ready_.reserve(ready_.empty() ? 16 : ready_.size() * 2);
+  }
+  ready_.push_back(ReadyTask{});
+  ReadyTask& rt = ready_.back();
   rt.job = jr.job.id;
   rt.task_index = task_index;
   rt.work_seconds = jr.job.tasks[task_index].work_seconds;
   rt.demand = jr.job.tasks[task_index].demand;
   rt.job_submit = jr.job.submit_time;
   rt.became_ready = sim_.now();
-  rt.user = jr.job.user;
+  rt.user_id = jr.user_id;
+  rt.job_slot = job_slot;
+  rt.rank = rank;
   // C3: the job's latency SLO becomes an absolute deadline the EDF policy
   // can schedule against.
   if (const auto slo = jr.job.sla.objective(core::NfrDimension::kLatency)) {
     rt.deadline = jr.job.submit_time + sim::from_seconds(slo->target);
   }
-  ready_.push_back(std::move(rt));
 }
 
-void ExecutionEngine::drain(infra::MachineId id) { draining_.insert(id); }
+void ExecutionEngine::drain(infra::MachineId id) {
+  const std::size_t word = id >> 6;
+  if (word >= draining_bits_.size()) draining_bits_.resize(word + 1, 0);
+  draining_bits_[word] |= std::uint64_t{1} << (id & 63);
+}
 void ExecutionEngine::undrain(infra::MachineId id) {
-  draining_.erase(id);
+  const std::size_t word = id >> 6;
+  if (word < draining_bits_.size()) {
+    draining_bits_[word] &= ~(std::uint64_t{1} << (id & 63));
+  }
   kick();
 }
 bool ExecutionEngine::is_draining(infra::MachineId id) const {
-  return draining_.count(id) != 0;
+  const std::size_t word = id >> 6;
+  return word < draining_bits_.size() &&
+         (draining_bits_[word] >> (id & 63) & 1) != 0;
 }
 
 bool ExecutionEngine::idle(infra::MachineId id) const {
-  return std::none_of(running_.begin(), running_.end(), [&](const auto& kv) {
-    return kv.second.machine == id;
-  });
+  for (std::uint32_t key = 0; key < running_.size(); ++key) {
+    if (running_.live(key) && running_[key].machine == id) return false;
+  }
+  return true;
 }
 
 void ExecutionEngine::kick() {
@@ -126,6 +195,7 @@ void ExecutionEngine::kick() {
   });
 }
 
+// mcs-lint: hot
 void ExecutionEngine::try_schedule() {
   if (ready_.empty()) return;
   bool progress = true;
@@ -135,30 +205,43 @@ void ExecutionEngine::try_schedule() {
     SchedulerView view;
     view.now = sim_.now();
     view.ready = &ready_;
-    for (infra::Machine* m : dc_.machines()) {
-      if (m->usable() && draining_.count(m->id()) == 0) {
-        view.machines.push_back(m);
-      }
+    // Move the machine list's storage in and out of the view so its
+    // capacity survives across rounds.
+    view.machines = std::move(machines_scratch_);
+    view.machines.clear();
+    const std::size_t machine_count = dc_.machine_count();
+    view.machines.reserve(machine_count);
+    for (std::uint32_t id = 0; id < machine_count; ++id) {
+      infra::Machine& m = dc_.machine(id);
+      if (m.usable() && !is_draining(id)) view.machines.push_back(&m);
     }
-    if (view.machines.empty()) return;
-    std::vector<RunningView> running_view;
-    running_view.reserve(running_.size());
-    for (const auto& [key, rt] : running_) {
-      running_view.push_back(RunningView{rt.machine, rt.expected_end, rt.held});
+    if (view.machines.empty()) {
+      machines_scratch_ = std::move(view.machines);
+      break;
     }
-    view.running = &running_view;
+    running_scratch_.clear();
+    running_scratch_.reserve(running_.size());
+    for (std::uint32_t key = 0; key < running_.size(); ++key) {
+      if (!running_.live(key)) continue;
+      const RunningSlot& rt = running_[key];
+      running_scratch_.push_back(
+          RunningView{rt.machine, rt.expected_end, rt.held});
+    }
+    view.running = &running_scratch_;
     view.user_usage = &user_usage_;
 
     const auto assignments = policy_->decide(view);
+    machines_scratch_ = std::move(view.machines);
+
     // Apply in descending ready-index order so indices stay valid while
     // erasing; re-validate each against live machine state.
-    std::vector<Assignment> sorted = assignments;
-    std::sort(sorted.begin(), sorted.end(),
+    sorted_scratch_.assign(assignments.begin(), assignments.end());
+    std::sort(sorted_scratch_.begin(), sorted_scratch_.end(),
               [](const Assignment& a, const Assignment& b) {
                 return a.ready_index > b.ready_index;
               });
     std::size_t last = ready_.size();  // guard against duplicate indices
-    for (const Assignment& a : sorted) {
+    for (const Assignment& a : sorted_scratch_) {
       if (a.ready_index >= last) continue;
       last = a.ready_index;
       if (start_task(a.ready_index, a.machine)) progress = true;
@@ -169,7 +252,7 @@ void ExecutionEngine::try_schedule() {
     // ready task directly — start_task itself knows how to borrow memory.
     if (!progress && config_.scavenging.enabled) {
       for (std::size_t i = ready_.size(); i-- > 0 && !progress;) {
-        for (const infra::Machine* m : view.machines) {
+        for (const infra::Machine* m : machines_scratch_) {
           if (start_task(i, m->id())) {
             progress = true;
             break;
@@ -181,12 +264,13 @@ void ExecutionEngine::try_schedule() {
   record_series_point();
 }
 
+// mcs-lint: hot
 bool ExecutionEngine::start_task(std::size_t ready_index,
                                  infra::MachineId machine_id) {
   if (ready_index >= ready_.size()) return false;
   const ReadyTask rt = ready_[ready_index];
   infra::Machine& m = dc_.machine(machine_id);
-  if (!m.usable() || draining_.count(machine_id) != 0) return false;
+  if (!m.usable() || is_draining(machine_id)) return false;
 
   infra::ResourceVector held = rt.demand;
   double runtime_multiplier = 1.0;
@@ -219,33 +303,40 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
   m.allocate(held);
   ready_.erase(ready_.begin() + static_cast<std::ptrdiff_t>(ready_index));
 
-  JobRuntime& jr = jobs_.at(rt.job);
-  if (!jr.first_start) jr.first_start = sim_.now();
+  JobSlot& jr = jobs_[rt.job_slot];
+  if (!jr.started) {
+    jr.started = true;
+    jr.first_start = sim_.now();
+  }
 
   const double runtime_s =
       rt.work_seconds * runtime_multiplier / m.speed_factor();
   const sim::SimTime end =
       sim_.now() + std::max<sim::SimTime>(sim::from_seconds(runtime_s), 1);
 
-  const std::size_t key = next_running_key_++;
-  RunningTask task;
-  task.job = rt.job;
-  task.task_index = rt.task_index;
+  const std::uint32_t key = running_.acquire();
+  RunningSlot& task = running_[key];
+  task.job_slot = rt.job_slot;
+  task.task_index = static_cast<std::uint32_t>(rt.task_index);
   task.machine = machine_id;
   task.start = sim_.now();
   task.expected_end = end;
   task.held = held;
   task.work_seconds = rt.work_seconds;
-  task.completion = sim_.schedule_at(end, [this, key] { finish_task(key); });
-  running_.emplace(key, std::move(task));
+  const std::uint32_t gen = running_.gen(key);
+  task.completion = sim_.schedule_at(end, [this, key, gen] {
+    finish_task(key, gen);
+  });
   return true;
 }
 
-void ExecutionEngine::finish_task(std::size_t running_key) {
-  auto it = running_.find(running_key);
-  if (it == running_.end()) return;
-  RunningTask rt = it->second;
-  running_.erase(it);
+// mcs-lint: hot
+void ExecutionEngine::finish_task(std::uint32_t key, std::uint32_t gen) {
+  // Generation guard: the slot may have been recycled after a failure
+  // kill or job abandonment cancelled this completion's run.
+  if (!running_.live(key) || running_.gen(key) != gen) return;
+  const RunningSlot rt = running_[key];
+  running_.release(key);
 
   infra::Machine& m = dc_.machine(rt.machine);
   if (m.usable()) m.release(rt.held);
@@ -254,68 +345,63 @@ void ExecutionEngine::finish_task(std::size_t running_key) {
       rt.held.cores * sim::to_seconds(sim_.now() - rt.start);
   busy_core_seconds_ += core_seconds;
 
-  JobRuntime& jr = jobs_.at(rt.job);
-  user_usage_[jr.job.user] += core_seconds;
-  jr.done[rt.task_index] = true;
+  JobSlot& jr = jobs_[rt.job_slot];
+  user_usage_[jr.user_id] += core_seconds;
+  jr.done[rt.task_index] = 1;
   --jr.remaining;
 
-  // Unlock successors.
-  for (std::size_t i = rt.task_index + 1; i < jr.job.tasks.size(); ++i) {
-    if (jr.done[i]) continue;
-    const auto& deps = jr.job.tasks[i].deps;
-    if (std::find(deps.begin(), deps.end(), rt.task_index) != deps.end()) {
-      if (--jr.missing_deps[i] == 0) {
-        enqueue_ready(jr, i);
-        // Keep the HEFT rank usable after requeue.
-        ready_.back().rank = 0.0;
-      }
+  // Unlock successors via the CSR list (O(out-degree)).
+  for (std::uint32_t k = jr.succ_offsets[rt.task_index];
+       k < jr.succ_offsets[rt.task_index + 1]; ++k) {
+    const std::uint32_t i = jr.succ_targets[k];
+    if (jr.done[i] != 0) continue;
+    if (--jr.missing_deps[i] == 0) {
+      // Rank 0 on requeue (matches pre-CSR behavior: HEFT ranks are
+      // stamped at arrival only).
+      enqueue_ready(jr, rt.job_slot, i, 0.0);
     }
   }
   if (jr.remaining == 0) {
-    complete_job(jr, /*abandoned=*/false);
+    complete_job(rt.job_slot, /*abandoned=*/false);
   }
   record_series_point();
   kick();
 }
 
 void ExecutionEngine::on_machine_failed(infra::MachineId id) {
-  // Collect tasks running there (the machine has already dropped its
-  // allocations via Machine::fail()).
-  std::vector<std::size_t> keys;
-  for (const auto& [key, rt] : running_) {
-    if (rt.machine == id) keys.push_back(key);
-  }
-  for (std::size_t key : keys) {
-    auto rit = running_.find(key);
-    if (rit == running_.end()) continue;  // removed by a job abandonment
-    RunningTask rt = rit->second;
-    running_.erase(rit);
+  // The machine has already dropped its allocations via Machine::fail().
+  // Index-order scan is safe against removals: complete_job(abandoned)
+  // only marks other running slots dead, which the live() check skips.
+  for (std::uint32_t key = 0; key < running_.size(); ++key) {
+    if (!running_.live(key) || running_[key].machine != id) continue;
+    const RunningSlot rt = running_[key];
+    running_.release(key);
     sim_.cancel(rt.completion);
     ++tasks_killed_;
 
-    auto jit = jobs_.find(rt.job);
-    if (jit == jobs_.end()) continue;  // job already completed/abandoned
-    JobRuntime& jr = jit->second;
+    if (!jobs_.live(rt.job_slot)) continue;  // job already completed/abandoned
+    JobSlot& jr = jobs_[rt.job_slot];
     ++jr.failures;
     if (config_.retry_failed_tasks &&
         jr.retries[rt.task_index] < config_.max_retries) {
       ++jr.retries[rt.task_index];
-      enqueue_ready(jr, rt.task_index);
+      enqueue_ready(jr, rt.job_slot, rt.task_index, 0.0);
     } else {
       // Abandon the whole job: it can never finish.
-      complete_job(jr, /*abandoned=*/true);
+      complete_job(rt.job_slot, /*abandoned=*/true);
     }
   }
   record_series_point();
   kick();
 }
 
-void ExecutionEngine::complete_job(JobRuntime& jr, bool abandoned) {
+void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
+  JobSlot& jr = jobs_[job_slot];
   JobStats stats;
   stats.id = jr.job.id;
   stats.user = jr.job.user;
   stats.submit = jr.job.submit_time;
-  stats.first_start = jr.first_start.value_or(sim_.now());
+  stats.first_start = jr.started ? jr.first_start : sim_.now();
   stats.finish = sim_.now();
   stats.wait_seconds = sim::to_seconds(stats.first_start - stats.submit);
   stats.response_seconds = sim::to_seconds(stats.finish - stats.submit);
@@ -329,24 +415,23 @@ void ExecutionEngine::complete_job(JobRuntime& jr, bool abandoned) {
 
   if (abandoned) {
     // Drop any still-queued/running work of this job.
-    const workload::JobId id = jr.job.id;
     ready_.erase(std::remove_if(ready_.begin(), ready_.end(),
-                                [&](const ReadyTask& t) { return t.job == id; }),
+                                [&](const ReadyTask& t) {
+                                  return t.job_slot == job_slot;
+                                }),
                  ready_.end());
-    std::vector<std::size_t> keys;
-    for (const auto& [key, rt] : running_) {
-      if (rt.job == id) keys.push_back(key);
-    }
-    for (std::size_t key : keys) {
-      RunningTask rt = running_.at(key);
+    for (std::uint32_t key = 0; key < running_.size(); ++key) {
+      if (!running_.live(key) || running_[key].job_slot != job_slot) continue;
+      const RunningSlot rt = running_[key];
       sim_.cancel(rt.completion);
       infra::Machine& m = dc_.machine(rt.machine);
       if (m.usable()) m.release(rt.held);
-      running_.erase(key);
+      running_.release(key);
     }
     jr.remaining = 0;
   }
-  jobs_.erase(jr.job.id);
+  id_to_slot_.erase(jr.job.id);
+  jobs_.release(job_slot);
 }
 
 bool ExecutionEngine::all_done() const {
@@ -356,36 +441,38 @@ bool ExecutionEngine::all_done() const {
 double ExecutionEngine::demand_cores() const {
   double cores = 0.0;
   for (const ReadyTask& t : ready_) cores += t.demand.cores;
-  for (const auto& [key, rt] : running_) cores += rt.held.cores;
+  running_.for_each([&](std::uint32_t, const RunningSlot& rt) {
+    cores += rt.held.cores;
+  });
   return cores;
 }
 
 double ExecutionEngine::supply_cores() const {
   double cores = 0.0;
+  const std::size_t machine_count = dc_.machine_count();
   const infra::Datacenter& dc = dc_;
-  for (const infra::Machine* m : dc.machines()) {
-    if (m->usable() && draining_.count(m->id()) == 0) {
-      cores += m->capacity().cores;
-    }
+  for (std::uint32_t id = 0; id < machine_count; ++id) {
+    const infra::Machine& m = dc.machine(id);
+    if (m.usable() && !is_draining(id)) cores += m.capacity().cores;
   }
   return cores;
 }
 
 double ExecutionEngine::pending_work_core_seconds() const {
   double work = 0.0;
-  for (const auto& [id, jr] : jobs_) {
+  jobs_.for_each([&](std::uint32_t, const JobSlot& jr) {
     for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
-      if (!jr.done[i]) {
+      if (jr.done[i] == 0) {
         work += jr.job.tasks[i].work_seconds * jr.job.tasks[i].demand.cores;
       }
     }
-  }
+  });
   // Running tasks are already counted as not-done above; subtract the part
   // already executed (approximate by elapsed fraction).
-  for (const auto& [key, rt] : running_) {
+  running_.for_each([&](std::uint32_t, const RunningSlot& rt) {
     const double elapsed = sim::to_seconds(sim_.now() - rt.start);
     work -= std::min(elapsed, rt.work_seconds) * rt.held.cores;
-  }
+  });
   return std::max(work, 0.0);
 }
 
@@ -394,15 +481,17 @@ std::size_t ExecutionEngine::eligible_within(sim::SimTime window) const {
   const sim::SimTime horizon = sim_.now() + window;
   // Successors of tasks that finish within the window, whose remaining
   // dependency count would drop to zero.
-  for (const auto& [id, jr] : jobs_) {
+  jobs_.for_each([&](std::uint32_t job_slot, const JobSlot& jr) {
     // Count, per task, how many of its missing deps finish inside the window.
     for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
-      if (jr.done[i] || jr.missing_deps[i] == 0) continue;
+      if (jr.done[i] != 0 || jr.missing_deps[i] == 0) continue;
       std::size_t resolving = 0;
       for (std::size_t d : jr.job.tasks[i].deps) {
-        if (jr.done[d]) continue;
-        for (const auto& [key, rt] : running_) {
-          if (rt.job == id && rt.task_index == d &&
+        if (jr.done[d] != 0) continue;
+        for (std::uint32_t key = 0; key < running_.size(); ++key) {
+          if (!running_.live(key)) continue;
+          const RunningSlot& rt = running_[key];
+          if (rt.job_slot == job_slot && rt.task_index == d &&
               rt.expected_end <= horizon) {
             ++resolving;
             break;
@@ -411,8 +500,14 @@ std::size_t ExecutionEngine::eligible_within(sim::SimTime window) const {
       }
       if (resolving >= jr.missing_deps[i]) ++eligible;
     }
-  }
+  });
   return eligible;
+}
+
+std::map<std::string, double> ExecutionEngine::user_usage() const {
+  std::map<std::string, double> out;
+  for (const auto& [name, uid] : user_ids_) out.emplace(name, user_usage_[uid]);
+  return out;
 }
 
 SchedulerView ExecutionEngine::snapshot_view(
@@ -420,17 +515,18 @@ SchedulerView ExecutionEngine::snapshot_view(
   SchedulerView view;
   view.now = sim_.now();
   view.ready = &ready_;
+  const std::size_t machine_count = dc_.machine_count();
   const infra::Datacenter& dc = dc_;
-  for (const infra::Machine* m : dc.machines()) {
-    if (m->usable() && draining_.count(m->id()) == 0) {
-      view.machines.push_back(m);
-    }
+  view.machines.reserve(machine_count);
+  for (std::uint32_t id = 0; id < machine_count; ++id) {
+    const infra::Machine& m = dc.machine(id);
+    if (m.usable() && !is_draining(id)) view.machines.push_back(&m);
   }
   running_storage.clear();
   running_storage.reserve(running_.size());
-  for (const auto& [key, rt] : running_) {
+  running_.for_each([&](std::uint32_t, const RunningSlot& rt) {
     running_storage.push_back(RunningView{rt.machine, rt.expected_end, rt.held});
-  }
+  });
   view.running = &running_storage;
   view.user_usage = &user_usage_;
   return view;

@@ -7,14 +7,23 @@
 // failures by re-queueing killed tasks, supports draining for elastic
 // provisioning, and records the demand/supply series the SPEC elasticity
 // metrics and autoscalers consume.
+//
+// Storage discipline (DESIGN.md §9): jobs and running tasks live in
+// core::SlotPool arenas addressed by dense uint32 slot indices, draining is
+// a machine-id bitset, and user names are interned to dense ids at submit.
+// Together with scratch buffers reused across scheduling rounds, the
+// steady-state submit -> allocate -> run -> complete loop performs zero
+// heap allocation once warmed up (enforced by mcs_lint rule H2 via the
+// `// mcs-lint: hot` annotations in engine.cpp).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
-#include <optional>
-#include <set>
+#include <string>
 #include <vector>
 
+#include "core/slot_pool.hpp"
 #include "infra/topology.hpp"
 #include "metrics/elasticity.hpp"
 #include "sched/allocation.hpp"
@@ -95,7 +104,9 @@ class ExecutionEngine {
   [[nodiscard]] std::size_t jobs_completed() const { return completed_.size(); }
   [[nodiscard]] const std::vector<JobStats>& completed() const { return completed_; }
   [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
-  [[nodiscard]] std::size_t running_count() const { return running_.size(); }
+  [[nodiscard]] std::size_t running_count() const {
+    return running_.live_count();
+  }
   [[nodiscard]] std::size_t tasks_killed() const { return tasks_killed_; }
   [[nodiscard]] std::size_t tasks_scavenged() const { return tasks_scavenged_; }
 
@@ -116,9 +127,15 @@ class ExecutionEngine {
   /// deps are done) — the Token autoscaler's level-of-parallelism input.
   [[nodiscard]] std::size_t eligible_within(sim::SimTime window) const;
 
-  /// Consumed core-seconds per user.
-  [[nodiscard]] const std::map<std::string, double>& user_usage() const {
+  /// Consumed core-seconds per user, materialized by name (reporting; the
+  /// hot path accounts into the dense per-id vector below).
+  [[nodiscard]] std::map<std::string, double> user_usage() const;
+  /// Consumed core-seconds indexed by interned user id.
+  [[nodiscard]] const std::vector<double>& user_usage_by_id() const {
     return user_usage_;
+  }
+  [[nodiscard]] const std::string& user_name(std::uint32_t user_id) const {
+    return user_names_[user_id];
   }
 
   /// Builds the same view a policy would receive (for surrogate evaluation
@@ -130,33 +147,46 @@ class ExecutionEngine {
   [[nodiscard]] double busy_core_seconds() const { return busy_core_seconds_; }
 
  private:
-  struct JobRuntime {
+  /// Per-job state, recycled through the slot pool: the vectors keep their
+  /// capacity across job churn, so re-initializing them with assign() in
+  /// submit() allocates nothing once warmed up.
+  struct JobSlot {
     workload::Job job;
-    std::vector<std::size_t> missing_deps;  ///< per task
-    std::vector<std::size_t> retries;       ///< per task
-    std::vector<bool> done;
+    std::vector<std::uint32_t> missing_deps;  ///< per task
+    std::vector<std::uint32_t> retries;       ///< per task
+    std::vector<std::uint8_t> done;           ///< per task
+    /// CSR successor lists (built once at submit; drives both the HEFT
+    /// upward-rank sweep and O(out-degree) successor unlock on finish).
+    std::vector<std::uint32_t> succ_offsets;  ///< size tasks+1
+    std::vector<std::uint32_t> succ_targets;
     std::size_t remaining = 0;
-    std::optional<sim::SimTime> first_start;
     std::size_t failures = 0;
+    sim::SimTime first_start = 0;
+    bool started = false;
+    std::uint32_t user_id = 0;
   };
 
-  struct RunningTask {
-    workload::JobId job;
-    std::size_t task_index;
-    infra::MachineId machine;
-    sim::SimTime start;
-    sim::SimTime expected_end;
+  struct RunningSlot {
+    std::uint32_t job_slot = 0;
+    std::uint32_t task_index = 0;
+    infra::MachineId machine = 0;
+    sim::SimTime start = 0;
+    sim::SimTime expected_end = 0;
     infra::ResourceVector held;   ///< resources actually held on machine
-    double work_seconds;          ///< for usage accounting
+    double work_seconds = 0.0;    ///< for usage accounting
     sim::EventHandle completion;
   };
 
-  void arrive(workload::JobId id);
-  void enqueue_ready(JobRuntime& jr, std::size_t task_index);
+  void arrive(std::uint32_t job_slot);
+  [[nodiscard]] bool demand_satisfiable(
+      const infra::ResourceVector& demand) const;
+  void enqueue_ready(JobSlot& jr, std::uint32_t job_slot,
+                     std::size_t task_index, double rank);
   void try_schedule();
   bool start_task(std::size_t ready_index, infra::MachineId machine);
-  void finish_task(std::size_t running_key);
-  void complete_job(JobRuntime& jr, bool abandoned);
+  void finish_task(std::uint32_t key, std::uint32_t gen);
+  void complete_job(std::uint32_t job_slot, bool abandoned);
+  [[nodiscard]] std::uint32_t intern_user(const std::string& name);
   void record_series_point();
 
   sim::Simulator& sim_;
@@ -164,21 +194,36 @@ class ExecutionEngine {
   std::unique_ptr<AllocationPolicy> policy_;
   EngineConfig config_;
 
-  std::map<workload::JobId, JobRuntime> jobs_;
+  core::SlotPool<JobSlot> jobs_;
+  /// JobId -> slot, touched only at submit (duplicate detection) and job
+  /// completion — never in the per-task loop.
+  std::map<workload::JobId, std::uint32_t> id_to_slot_;
   std::vector<ReadyTask> ready_;
-  std::map<std::size_t, RunningTask> running_;  ///< key -> task
-  std::size_t next_running_key_ = 0;
-  std::set<infra::MachineId> draining_;
+  core::SlotPool<RunningSlot> running_;
+  /// Draining machines as a bitset over dense machine ids.
+  std::vector<std::uint64_t> draining_bits_;
+
+  /// User interning: name -> dense id at submit; per-id accounting after.
+  std::map<std::string, std::uint32_t> user_ids_;
+  std::vector<std::string> user_names_;
+  std::vector<double> user_usage_;  ///< core-seconds, indexed by user id
 
   std::vector<JobStats> completed_;
   std::size_t submitted_ = 0;
   std::size_t tasks_killed_ = 0;
   std::size_t tasks_scavenged_ = 0;
   double busy_core_seconds_ = 0.0;
-  std::map<std::string, double> user_usage_;
   metrics::StepSeries demand_;
   metrics::StepSeries supply_;
   bool schedule_pending_ = false;
+
+  // Scratch buffers reused across scheduling rounds (capacity persists, so
+  // rebuilding the per-round view allocates nothing once warmed up).
+  std::vector<const infra::Machine*> machines_scratch_;
+  std::vector<RunningView> running_scratch_;
+  std::vector<Assignment> sorted_scratch_;
+  std::vector<double> rank_scratch_;
+  std::vector<std::uint32_t> succ_cursor_;
 };
 
 /// Convenience driver: builds an engine, submits the trace, runs to

@@ -24,8 +24,11 @@ ScavengingOutcome run_once(const std::vector<workload::Job>& jobs,
   out.mean_slowdown = result.mean_slowdown;
   out.makespan_seconds = result.makespan_seconds;
   out.tasks_scavenged = engine.tasks_scavenged();
-  out.jobs_completed = engine.jobs_completed();
-  out.jobs_abandoned = engine.jobs_submitted() - engine.jobs_completed();
+  // completed() includes abandoned jobs (they carry stats too); report
+  // them as abandoned, not completed.
+  out.jobs_completed = result.jobs.size() - result.abandoned;
+  out.jobs_abandoned =
+      result.abandoned + (engine.jobs_submitted() - engine.jobs_completed());
   out.utilization = result.utilization;
   return out;
 }

@@ -1,0 +1,190 @@
+// Engine edge paths under the slot-table layout (PR 3): retry after
+// machine failure with slot reuse, drain-while-running, scavenging
+// penalty accounting, abandoned-job accounting, and per-user usage under
+// job churn. These pin the behaviors that the dense storage refactor
+// (core::SlotPool jobs/running tables, generation-guarded completions,
+// interned users) must preserve.
+#include <gtest/gtest.h>
+
+#include "sched/engine.hpp"
+#include "workload/task.hpp"
+
+namespace mcs::sched {
+namespace {
+
+infra::Datacenter make_dc(std::size_t machines, double cores,
+                          double memory_gib) {
+  infra::Datacenter dc("dc", "eu");
+  dc.add_uniform_racks(1, machines,
+                       infra::ResourceVector{cores, memory_gib, 0.0}, 1.0);
+  return dc;
+}
+
+TEST(EngineSlotsTest, RetryAfterFailureCompletesWithSlotReuse) {
+  // One 4-core machine, one 4-task job. Fail the machine mid-run: the
+  // running tasks are killed, re-queued, and must finish after repair.
+  // The kill recycles running-table slots; the generation guard must keep
+  // the cancelled completions from firing into the reused slots.
+  auto dc = make_dc(1, 4.0, 16.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs());
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.schedule_at(50 * sim::kSecond, [&] {
+    dc.machine(0).repair();
+    engine.kick();
+  });
+  sim.run_until();
+
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 1u);
+  const JobStats& s = engine.completed()[0];
+  EXPECT_FALSE(s.abandoned);
+  EXPECT_EQ(s.task_failures, 4u);
+  EXPECT_EQ(engine.tasks_killed(), 4u);
+  // Restarted from scratch at t=50: finish at 150s.
+  EXPECT_NEAR(s.response_seconds, 150.0, 0.5);
+}
+
+TEST(EngineSlotsTest, SlotReuseAcrossJobChurnKeepsStatsIntact) {
+  // 64 jobs arriving in a staggered stream through a small floor: far
+  // more jobs than are ever live at once, so job slots recycle many
+  // times. Every job must complete exactly once with sane stats.
+  auto dc = make_dc(2, 4.0, 16.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs());
+  for (workload::JobId id = 1; id <= 64; ++id) {
+    workload::Job j = workload::make_bag_of_tasks(id, 2, 30.0);
+    j.submit_time = static_cast<sim::SimTime>(id - 1) * 10 * sim::kSecond;
+    engine.submit(std::move(j));
+  }
+  sim.run_until();
+
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 64u);
+  for (const JobStats& s : engine.completed()) {
+    EXPECT_FALSE(s.abandoned);
+    EXPECT_GE(s.slowdown, 1.0 - 1e-9);
+    EXPECT_GE(s.response_seconds, 30.0 - 1e-6);
+  }
+}
+
+TEST(EngineSlotsTest, DrainWhileRunningFinishesButBlocksPlacement) {
+  // Job A starts on the only machine; the machine is drained while A
+  // runs. A must run to completion, but job B (ready during the drain)
+  // must not be placed until undrain.
+  auto dc = make_dc(1, 4.0, 16.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs());
+  engine.submit(workload::make_bag_of_tasks(
+      1, 1, 100.0, infra::ResourceVector{4.0, 1.0, 0.0}));
+  workload::Job b = workload::make_bag_of_tasks(2, 1, 50.0);
+  b.submit_time = 10 * sim::kSecond;
+  engine.submit(std::move(b));
+
+  sim.schedule_at(5 * sim::kSecond, [&] { engine.drain(0); });
+  std::size_t ready_after_a = 999;
+  sim.schedule_at(120 * sim::kSecond, [&] {
+    // A (0..100s) is done; B must still be parked, not placed.
+    ready_after_a = engine.ready_count();
+    engine.undrain(0);
+  });
+  sim.run_until();
+
+  EXPECT_EQ(ready_after_a, 1u);
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 2u);
+  for (const JobStats& s : engine.completed()) {
+    if (s.id == 1) {
+      EXPECT_NEAR(s.response_seconds, 100.0, 0.5);
+    } else {
+      // B: submitted at 10s, placed at undrain (120s), runs 50s, so it
+      // finishes at 170s — a 160s response.
+      EXPECT_NEAR(s.response_seconds, 160.0, 0.5);
+    }
+  }
+}
+
+TEST(EngineSlotsTest, ScavengingPenaltyAndUsageAccounting) {
+  // 12 GiB demanded on an 8 GiB machine: borrowed fraction 1/3, runtime
+  // multiplier 1 + 0.6/3 = 1.2 -> 120 s. Usage accounting must charge
+  // the *actual* occupancy (cores x 120 s), not the nominal work.
+  auto dc = make_dc(1, 4.0, 8.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.scavenging.enabled = true;
+  config.scavenging.max_borrow_fraction = 0.5;
+  config.scavenging.penalty = 0.6;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  workload::Job j = workload::make_bag_of_tasks(
+      1, 1, 100.0, infra::ResourceVector{2.0, 12.0, 0.0});
+  j.user = "tenant-a";
+  engine.submit(std::move(j));
+  sim.run_until();
+
+  ASSERT_TRUE(engine.all_done());
+  EXPECT_EQ(engine.tasks_scavenged(), 1u);
+  EXPECT_NEAR(engine.completed()[0].response_seconds, 120.0, 0.5);
+  EXPECT_NEAR(engine.busy_core_seconds(), 2.0 * 120.0, 1.0);
+  const auto usage = engine.user_usage();
+  ASSERT_EQ(usage.count("tenant-a"), 1u);
+  EXPECT_NEAR(usage.at("tenant-a"), 2.0 * 120.0, 1.0);
+}
+
+TEST(EngineSlotsTest, MaxRetriesExceededAbandonsJobAndFreesFloor) {
+  // max_retries = 0: the first kill abandons the job. The floor must be
+  // clean afterwards (no leaked running slots, all_done true), and the
+  // abandoned job must appear in completed() with its failure count.
+  auto dc = make_dc(2, 4.0, 16.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.max_retries = 0;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  engine.submit(workload::make_bag_of_tasks(1, 2, 500.0));
+
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.run_until();
+
+  ASSERT_TRUE(engine.all_done());
+  EXPECT_EQ(engine.ready_count(), 0u);
+  EXPECT_EQ(engine.running_count(), 0u);
+  ASSERT_EQ(engine.completed().size(), 1u);
+  const JobStats& s = engine.completed()[0];
+  EXPECT_TRUE(s.abandoned);
+  EXPECT_GE(s.task_failures, 1u);
+  // The surviving machine must be fully released despite the abandon.
+  EXPECT_NEAR(dc.machine(1).used().cores, 0.0, 1e-9);
+}
+
+TEST(EngineSlotsTest, UserInterningSurvivesChurn) {
+  // Two users alternating across recycled job slots: per-user usage must
+  // land on the right interned id throughout.
+  auto dc = make_dc(1, 4.0, 16.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs());
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    workload::Job j = workload::make_bag_of_tasks(id, 1, 10.0);
+    j.user = (id % 2 == 0) ? "even" : "odd";
+    j.submit_time = static_cast<sim::SimTime>(id - 1) * 20 * sim::kSecond;
+    engine.submit(std::move(j));
+  }
+  sim.run_until();
+
+  ASSERT_TRUE(engine.all_done());
+  const auto usage = engine.user_usage();
+  ASSERT_EQ(usage.size(), 2u);
+  // 4 jobs each, 1 core x 10 s per job.
+  EXPECT_NEAR(usage.at("even"), 40.0, 0.5);
+  EXPECT_NEAR(usage.at("odd"), 40.0, 0.5);
+  EXPECT_EQ(engine.user_usage_by_id().size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcs::sched

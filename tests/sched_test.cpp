@@ -115,15 +115,20 @@ TEST(EngineTest, SubmittingDuplicateJobIdThrows) {
                std::invalid_argument);
 }
 
-TEST(EngineTest, TaskTooBigForAnyMachineStalls) {
+TEST(EngineTest, TaskTooBigForAnyMachineIsAbandoned) {
+  // A demand no machine's *total* capacity can ever hold is rejected at
+  // arrival rather than parked forever: a forever-pending job would pin
+  // all_done() false and spin monitor loops (autoscaler, portfolio).
   auto dc = make_dc(2, 4.0);
   sim::Simulator sim;
   ExecutionEngine engine(sim, dc, make_fcfs());
   engine.submit(workload::make_bag_of_tasks(
       1, 1, 10.0, infra::ResourceVector{16.0, 1.0, 0.0}));
   sim.run_until();
-  EXPECT_FALSE(engine.all_done());
-  EXPECT_EQ(engine.ready_count(), 1u);  // parked, not lost
+  EXPECT_TRUE(engine.all_done());
+  EXPECT_EQ(engine.ready_count(), 0u);
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_TRUE(engine.completed()[0].abandoned);
 }
 
 // ---- policy comparisons -----------------------------------------------------------
