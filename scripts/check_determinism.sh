@@ -7,25 +7,30 @@
 # bit-identical-at-any-thread-count promise (DESIGN.md, "Determinism &
 # hot-path rules").
 #
-# An optional second binary is checked as a *sweep* digest: it is run with
-# `--reps 8 --digest` once at MCS_THREADS=1 and once at MCS_THREADS=8,
+# Optional further binaries are checked as *sweep* digests: each is run
+# with `--reps 8 --digest` once at MCS_THREADS=1 and once at MCS_THREADS=8,
 # covering the exp::run_sweep merge path (one Simulator per replication,
-# merged in flat grid order — DESIGN.md, "Experiment sweeps").
+# merged in flat grid order — DESIGN.md, "Experiment sweeps"). A binary
+# named mcs_check is driven as `--seeds 64 --digest` instead, covering the
+# fuzzer's scenario fan-out (one Simulator per seed under the invariant
+# oracle — DESIGN.md, "Oracle & fuzzing layer").
 #
 # Usage: scripts/check_determinism.sh /path/to/exp_graphalytics \
-#            [/path/to/exp_scheduling]
+#            [/path/to/sweep_exp ...]
 set -euo pipefail
 
 exe="${1:-}"
 if [[ -z "${exe}" || ! -x "${exe}" ]]; then
-  echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp]" >&2
+  echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp ...]" >&2
   exit 2
 fi
-sweep_exe="${2:-}"
-if [[ -n "${sweep_exe}" && ! -x "${sweep_exe}" ]]; then
-  echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp]" >&2
-  exit 2
-fi
+shift
+for sweep_exe in "$@"; do
+  if [[ ! -x "${sweep_exe}" ]]; then
+    echo "usage: $0 /path/to/exp_graphalytics [/path/to/sweep_exp ...]" >&2
+    exit 2
+  fi
+done
 
 declare -a digests=()
 for threads in 1 1 8 8; do
@@ -41,17 +46,23 @@ for d in "${digests[@]:1}"; do
   fi
 done
 
-if [[ -n "${sweep_exe}" ]]; then
+for sweep_exe in "$@"; do
+  if [[ "$(basename "${sweep_exe}")" == "mcs_check" ]]; then
+    sweep_args=(--seeds 64 --digest)
+  else
+    sweep_args=(--reps 8 --digest)
+  fi
   declare -a sweep_digests=()
   for threads in 1 8; do
-    d="$(MCS_THREADS=${threads} "${sweep_exe}" --reps 8 --digest)"
-    echo "sweep MCS_THREADS=${threads}: ${d}"
+    d="$(MCS_THREADS=${threads} "${sweep_exe}" "${sweep_args[@]}")"
+    echo "$(basename "${sweep_exe}") MCS_THREADS=${threads}: ${d}"
     sweep_digests+=("${d}")
   done
   if [[ "${sweep_digests[1]}" != "${sweep_digests[0]}" ]]; then
-    echo "FAIL: sweep digests diverge — merge order depends on thread count" >&2
+    echo "FAIL: $(basename "${sweep_exe}") digests diverge — merge order depends on thread count" >&2
     exit 1
   fi
-fi
+  unset sweep_digests
+done
 
 echo "OK: bit-identical across repeats and thread counts"

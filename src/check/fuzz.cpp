@@ -1,0 +1,432 @@
+#include "check/fuzz.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "check/oracle.hpp"
+#include "exp/sweep.hpp"
+#include "metrics/stats.hpp"
+#include "sched/engine.hpp"
+#include "sim/random.hpp"
+
+namespace mcs::check {
+
+namespace {
+
+// Fixed substream tags: every sub-model of a scenario draws from its own
+// stream of the spec seed, so shrinking one dimension (fewer jobs, fewer
+// flaps) never perturbs what the others generate.
+constexpr std::uint64_t kParamStream = 0;
+constexpr std::uint64_t kDcStream = 1;
+constexpr std::uint64_t kTraceStream = 2;
+constexpr std::uint64_t kFailureStream = 3;
+constexpr std::uint64_t kFlapStream = 4;
+
+/// Job id for the optional never-placeable job — far above trace ids.
+constexpr workload::JobId kImpossibleJobId = 1'000'000;
+
+infra::Datacenter materialize_dc(const ScenarioSpec& spec) {
+  infra::Datacenter dc("fuzz-dc", "sim");
+  sim::Rng rng(exp::substream_seed(spec.seed, kDcStream));
+  for (std::size_t r = 0; r < spec.racks; ++r) {
+    const double speed = spec.heterogeneous ? rng.uniform(0.6, 2.0) : 1.0;
+    const double cores =
+        spec.heterogeneous
+            ? static_cast<double>(4 << rng.uniform_int(0, 2))  // 4/8/16
+            : 8.0;
+    for (std::size_t m = 0; m < spec.per_rack; ++m) {
+      const double accel = rng.uniform() < spec.accel_fraction ? 2.0 : 0.0;
+      dc.add_machine("m-" + std::to_string(r) + "-" + std::to_string(m),
+                     infra::ResourceVector{cores, cores * 4.0, accel}, speed,
+                     r);
+    }
+  }
+  return dc;
+}
+
+std::vector<workload::Job> materialize_jobs(const ScenarioSpec& spec) {
+  sim::Rng rng(exp::substream_seed(spec.seed, kTraceStream));
+  auto jobs = workload::generate_trace(spec.trace, rng);
+  if (spec.job_limit < jobs.size()) jobs.resize(spec.job_limit);
+  if (spec.impossible_job) {
+    workload::Job job;
+    job.id = kImpossibleJobId;
+    job.user = "fuzz-impossible";
+    job.submit_time = spec.horizon / 2;
+    workload::Task task;
+    task.work_seconds = 1.0;
+    task.demand = infra::ResourceVector{1e6, 1e6, 0.0};
+    job.tasks.push_back(task);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+/// One drain/undrain or power-off/restore pair, fully precomputed so the
+/// list is a pure function of the flap substream (and prefix-stable under
+/// flap_count shrinking).
+struct Flap {
+  sim::SimTime at = 0;
+  sim::SimTime duration = 0;
+  infra::MachineId machine = 0;
+  bool power = false;  ///< power flap (off/restore) vs drain flap
+};
+
+std::vector<Flap> materialize_flaps(const ScenarioSpec& spec,
+                                    std::size_t machine_count) {
+  std::vector<Flap> flaps;
+  if (machine_count == 0) return flaps;
+  sim::Rng rng(exp::substream_seed(spec.seed, kFlapStream));
+  flaps.reserve(spec.flap_count);
+  for (std::size_t i = 0; i < spec.flap_count; ++i) {
+    Flap f;
+    f.at = sim::from_seconds(
+        rng.uniform(0.0, sim::to_seconds(spec.horizon)));
+    f.duration = sim::from_seconds(rng.uniform(1.0, 600.0));
+    f.machine = static_cast<infra::MachineId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(machine_count) - 1));
+    f.power = rng.chance(0.5);
+    flaps.push_back(f);
+  }
+  return flaps;
+}
+
+}  // namespace
+
+ScenarioSpec make_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.seed = seed;
+  sim::Rng rng(exp::substream_seed(seed, kParamStream));
+
+  spec.racks = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  spec.per_rack = static_cast<std::size_t>(rng.uniform_int(2, 8));
+  spec.heterogeneous = rng.chance(0.5);
+  spec.accel_fraction = rng.chance(0.4) ? 0.25 : 0.0;
+
+  spec.trace.job_count = static_cast<std::size_t>(rng.uniform_int(5, 50));
+  spec.trace.arrivals = static_cast<workload::ArrivalKind>(
+      rng.uniform_int(0, 2));
+  spec.trace.arrival_rate_per_hour = rng.uniform(200.0, 3000.0);
+  spec.trace.workflow_fraction =
+      rng.chance(0.5) ? rng.uniform(0.2, 1.0) : 0.0;
+  spec.trace.workflow_width =
+      static_cast<std::size_t>(rng.uniform_int(2, 16));
+  spec.trace.mean_tasks_per_job = rng.uniform(2.0, 12.0);
+  spec.trace.mean_task_seconds = rng.uniform(10.0, 120.0);
+  spec.trace.cv_task_seconds = rng.uniform(0.3, 3.0);
+  spec.trace.mean_cores_per_task = rng.uniform(1.0, 4.0);
+  spec.trace.memory_per_core_gib = rng.uniform(1.0, 4.0);
+  spec.trace.accelerated_fraction =
+      spec.accel_fraction > 0.0 ? rng.uniform(0.0, 0.3) : 0.0;
+  spec.trace.user_count = static_cast<std::size_t>(rng.uniform_int(1, 5));
+  spec.impossible_job = rng.chance(0.2);
+
+  const auto policies = sched::all_policy_names();
+  spec.policy = policies[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(policies.size()) - 1))];
+  spec.retry = rng.chance(0.8);
+  spec.max_retries = static_cast<std::size_t>(rng.uniform_int(0, 8));
+  spec.scavenging = rng.chance(0.3);
+
+  spec.failures_enabled = rng.chance(0.75);
+  spec.failure.mode = static_cast<failures::CorrelationMode>(
+      rng.uniform_int(0, 3));
+  spec.failure.failures_per_machine_day = rng.uniform(0.5, 20.0);
+  spec.failure.mean_repair_seconds = rng.uniform(30.0, 900.0);
+  spec.failure.cv_repair = rng.uniform(0.5, 2.0);
+  spec.failure.mean_burst_size = rng.uniform(2.0, 6.0);
+  spec.failure.weibull_shape = rng.uniform(0.4, 0.9);
+
+  spec.flap_count = static_cast<std::size_t>(rng.uniform_int(0, 6));
+  spec.horizon = sim::from_seconds(rng.uniform(3600.0, 3.0 * 3600.0));
+  return spec;
+}
+
+SeedRunResult run_spec(const ScenarioSpec& spec) {
+  SeedRunResult result;
+  result.seed = spec.seed;
+
+  sim::Simulator sim;
+  infra::Datacenter dc = materialize_dc(spec);
+
+  sched::EngineConfig config;
+  config.record_series = false;
+  config.retry_failed_tasks = spec.retry;
+  config.max_retries = spec.max_retries;
+  config.scavenging.enabled = spec.scavenging;
+
+  sched::ExecutionEngine engine(sim, dc, sched::make_policy(spec.policy),
+                                config);
+
+  InvariantChecker::Options oracle_options;
+  oracle_options.exclusive_allocation = true;
+  InvariantChecker oracle(sim, dc, oracle_options);
+  oracle.attach(engine);
+
+  // The injector outlives run_until (its events capture `this`).
+  std::vector<failures::FailureEvent> failure_trace;
+  if (spec.failures_enabled) {
+    sim::Rng rng(exp::substream_seed(spec.seed, kFailureStream));
+    failure_trace =
+        failures::generate_failure_trace(dc, spec.failure, spec.horizon, rng);
+    if (spec.failure_limit < failure_trace.size()) {
+      failure_trace.resize(spec.failure_limit);
+    }
+  }
+  failures::FailureInjector injector(sim, dc, failure_trace);
+
+  try {
+    engine.submit_all(materialize_jobs(spec));
+    injector.arm(
+        [&engine](infra::MachineId id) { engine.on_machine_failed(id); },
+        [&engine](infra::MachineId) { engine.kick(); });
+
+    for (const Flap& f : materialize_flaps(spec, dc.machine_count())) {
+      const infra::MachineId m = f.machine;
+      if (f.power) {
+        // Autoscaler-style elasticity: power an *idle* machine down and
+        // restore it later (a real provisioner drains before power-off).
+        sim.schedule_at(f.at, [&engine, &dc, m] {
+          infra::Machine& machine = dc.machine(m);
+          if (machine.state() == infra::MachineState::kOperational &&
+              engine.idle(m)) {
+            machine.set_state(infra::MachineState::kOff);
+          }
+        });
+        sim.schedule_at(f.at + f.duration, [&engine, &dc, m] {
+          infra::Machine& machine = dc.machine(m);
+          if (machine.state() == infra::MachineState::kOff) {
+            machine.set_state(infra::MachineState::kOperational);
+            engine.kick();
+          }
+        });
+      } else {
+        sim.schedule_at(f.at, [&engine, m] { engine.drain(m); });
+        sim.schedule_at(f.at + f.duration,
+                        [&engine, m] { engine.undrain(m); });
+      }
+    }
+
+    // Scenarios are finite by construction (every failure gets a repair,
+    // every flap a restore, no recurring monitors), so the queue drains.
+    sim.run_until();
+    oracle.verify(engine, "end-of-run");
+    if (!engine.all_done()) {
+      throw OracleViolation(
+          "ORACLE VIOLATION [quiescence] scenario did not drain: " +
+          oracle.quiescence_report(engine));
+    }
+  } catch (const OracleViolation& violation) {
+    result.ok = false;
+    result.violation = violation.what();
+  } catch (const std::exception& ex) {
+    // Engine/machine logic errors (double release, over-allocation) are
+    // state-machine bugs too — report them like oracle findings.
+    result.ok = false;
+    result.violation = std::string("EXCEPTION: ") + ex.what();
+  }
+
+  result.events = sim.executed();
+  result.transitions = oracle.transitions();
+  result.checks = oracle.checks();
+  result.jobs_submitted = engine.jobs_submitted();
+  result.tasks_killed = engine.tasks_killed();
+  for (const sched::JobStats& j : engine.completed()) {
+    if (j.abandoned) {
+      ++result.jobs_abandoned;
+    } else {
+      ++result.jobs_completed;
+    }
+  }
+
+  // Order-sensitive trace digest: replaying the same spec must reproduce
+  // this exactly (and it feeds the batch summary digest in flat order).
+  metrics::Digest digest;
+  digest.add_u64(result.events);
+  digest.add_u64(result.transitions);
+  digest.add_u64(static_cast<std::uint64_t>(result.jobs_submitted));
+  digest.add_u64(static_cast<std::uint64_t>(result.tasks_killed));
+  digest.add_u64(result.ok ? 1 : 0);
+  for (const sched::JobStats& j : engine.completed()) {
+    digest.add_u64(j.id);
+    digest.add_u64(j.abandoned ? 1 : 0);
+    digest.add_u64(static_cast<std::uint64_t>(j.submit));
+    digest.add_u64(static_cast<std::uint64_t>(j.finish));
+    digest.add_u64(static_cast<std::uint64_t>(j.task_failures));
+    digest.add_double(j.slowdown);
+  }
+  result.digest = digest.value();
+  return result;
+}
+
+SeedRunResult run_seed(std::uint64_t seed) { return run_spec(make_spec(seed)); }
+
+std::uint64_t seed_for_index(std::uint64_t base_seed, std::size_t index) {
+  // Matches exp::run_sweep's cell seeding for (scenario=index, rep=0).
+  return exp::substream_seed(exp::substream_seed(base_seed, index), 0);
+}
+
+FuzzReport run_fuzz(const FuzzOptions& opt) {
+  exp::SweepOptions sweep;
+  sweep.reps = 1;
+  sweep.base_seed = opt.base_seed;
+  sweep.pool = opt.pool;
+
+  const auto results = exp::run_sweep<SeedRunResult>(
+      opt.seeds, sweep,
+      [](const exp::SweepPoint& p) { return run_seed(p.seed); });
+
+  FuzzReport report;
+  report.seeds_run = results.size();
+  metrics::Digest summary;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const SeedRunResult& r = results[i];
+    summary.add_u64(r.seed);
+    summary.add_u64(r.digest);
+    report.total_events += r.events;
+    report.total_transitions += r.transitions;
+    report.total_checks += r.checks;
+    report.total_completed += r.jobs_completed;
+    report.total_abandoned += r.jobs_abandoned;
+    report.total_tasks_killed += r.tasks_killed;
+    if (!r.ok) {
+      report.failing_indices.push_back(i);
+      report.failures.push_back(r);
+    }
+  }
+  report.summary_digest = summary.value();
+  return report;
+}
+
+std::string to_text(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << std::setprecision(17);
+  out << "seed=" << spec.seed << "\n";
+  out << "racks=" << spec.racks << "\n";
+  out << "per_rack=" << spec.per_rack << "\n";
+  out << "heterogeneous=" << (spec.heterogeneous ? 1 : 0) << "\n";
+  out << "accel_fraction=" << spec.accel_fraction << "\n";
+  out << "trace.job_count=" << spec.trace.job_count << "\n";
+  out << "trace.arrivals=" << static_cast<int>(spec.trace.arrivals) << "\n";
+  out << "trace.arrival_rate_per_hour=" << spec.trace.arrival_rate_per_hour
+      << "\n";
+  out << "trace.workflow_fraction=" << spec.trace.workflow_fraction << "\n";
+  out << "trace.workflow_width=" << spec.trace.workflow_width << "\n";
+  out << "trace.mean_tasks_per_job=" << spec.trace.mean_tasks_per_job << "\n";
+  out << "trace.mean_task_seconds=" << spec.trace.mean_task_seconds << "\n";
+  out << "trace.cv_task_seconds=" << spec.trace.cv_task_seconds << "\n";
+  out << "trace.mean_cores_per_task=" << spec.trace.mean_cores_per_task
+      << "\n";
+  out << "trace.memory_per_core_gib=" << spec.trace.memory_per_core_gib
+      << "\n";
+  out << "trace.accelerated_fraction=" << spec.trace.accelerated_fraction
+      << "\n";
+  out << "trace.user_count=" << spec.trace.user_count << "\n";
+  out << "trace.fragmentation_factor=" << spec.trace.fragmentation_factor
+      << "\n";
+  out << "job_limit=" << spec.job_limit << "\n";
+  out << "impossible_job=" << (spec.impossible_job ? 1 : 0) << "\n";
+  out << "policy=" << spec.policy << "\n";
+  out << "retry=" << (spec.retry ? 1 : 0) << "\n";
+  out << "max_retries=" << spec.max_retries << "\n";
+  out << "scavenging=" << (spec.scavenging ? 1 : 0) << "\n";
+  out << "failures_enabled=" << (spec.failures_enabled ? 1 : 0) << "\n";
+  out << "failure.mode=" << static_cast<int>(spec.failure.mode) << "\n";
+  out << "failure.failures_per_machine_day="
+      << spec.failure.failures_per_machine_day << "\n";
+  out << "failure.mean_repair_seconds=" << spec.failure.mean_repair_seconds
+      << "\n";
+  out << "failure.cv_repair=" << spec.failure.cv_repair << "\n";
+  out << "failure.mean_burst_size=" << spec.failure.mean_burst_size << "\n";
+  out << "failure.weibull_shape=" << spec.failure.weibull_shape << "\n";
+  out << "failure_limit=" << spec.failure_limit << "\n";
+  out << "flap_count=" << spec.flap_count << "\n";
+  out << "horizon=" << spec.horizon << "\n";
+  return out.str();
+}
+
+ScenarioSpec from_text(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') continue;
+    const std::size_t eq = line.find('=', start);
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("repro line " + std::to_string(line_no) +
+                                  ": expected key=value, got '" + line + "'");
+    }
+    const std::string key = line.substr(start, eq - start);
+    const std::string value = line.substr(eq + 1);
+    try {
+      if (key == "seed") spec.seed = std::stoull(value);
+      else if (key == "racks") spec.racks = std::stoull(value);
+      else if (key == "per_rack") spec.per_rack = std::stoull(value);
+      else if (key == "heterogeneous") spec.heterogeneous = std::stoi(value) != 0;
+      else if (key == "accel_fraction") spec.accel_fraction = std::stod(value);
+      else if (key == "trace.job_count") spec.trace.job_count = std::stoull(value);
+      else if (key == "trace.arrivals")
+        spec.trace.arrivals = static_cast<workload::ArrivalKind>(std::stoi(value));
+      else if (key == "trace.arrival_rate_per_hour")
+        spec.trace.arrival_rate_per_hour = std::stod(value);
+      else if (key == "trace.workflow_fraction")
+        spec.trace.workflow_fraction = std::stod(value);
+      else if (key == "trace.workflow_width")
+        spec.trace.workflow_width = std::stoull(value);
+      else if (key == "trace.mean_tasks_per_job")
+        spec.trace.mean_tasks_per_job = std::stod(value);
+      else if (key == "trace.mean_task_seconds")
+        spec.trace.mean_task_seconds = std::stod(value);
+      else if (key == "trace.cv_task_seconds")
+        spec.trace.cv_task_seconds = std::stod(value);
+      else if (key == "trace.mean_cores_per_task")
+        spec.trace.mean_cores_per_task = std::stod(value);
+      else if (key == "trace.memory_per_core_gib")
+        spec.trace.memory_per_core_gib = std::stod(value);
+      else if (key == "trace.accelerated_fraction")
+        spec.trace.accelerated_fraction = std::stod(value);
+      else if (key == "trace.user_count")
+        spec.trace.user_count = std::stoull(value);
+      else if (key == "trace.fragmentation_factor")
+        spec.trace.fragmentation_factor = std::stod(value);
+      else if (key == "job_limit") spec.job_limit = std::stoull(value);
+      else if (key == "impossible_job") spec.impossible_job = std::stoi(value) != 0;
+      else if (key == "policy") spec.policy = value;
+      else if (key == "retry") spec.retry = std::stoi(value) != 0;
+      else if (key == "max_retries") spec.max_retries = std::stoull(value);
+      else if (key == "scavenging") spec.scavenging = std::stoi(value) != 0;
+      else if (key == "failures_enabled")
+        spec.failures_enabled = std::stoi(value) != 0;
+      else if (key == "failure.mode")
+        spec.failure.mode = static_cast<failures::CorrelationMode>(std::stoi(value));
+      else if (key == "failure.failures_per_machine_day")
+        spec.failure.failures_per_machine_day = std::stod(value);
+      else if (key == "failure.mean_repair_seconds")
+        spec.failure.mean_repair_seconds = std::stod(value);
+      else if (key == "failure.cv_repair")
+        spec.failure.cv_repair = std::stod(value);
+      else if (key == "failure.mean_burst_size")
+        spec.failure.mean_burst_size = std::stod(value);
+      else if (key == "failure.weibull_shape")
+        spec.failure.weibull_shape = std::stod(value);
+      else if (key == "failure_limit") spec.failure_limit = std::stoull(value);
+      else if (key == "flap_count") spec.flap_count = std::stoull(value);
+      else if (key == "horizon") spec.horizon = std::stoll(value);
+      // Unknown keys are ignored for forward compatibility.
+    } catch (const std::invalid_argument&) {
+      throw std::invalid_argument("repro line " + std::to_string(line_no) +
+                                  ": malformed value for '" + key + "'");
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("repro line " + std::to_string(line_no) +
+                                  ": value out of range for '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace mcs::check

@@ -1,0 +1,127 @@
+// Deterministic scenario fuzzing for the scheduling stack (mcs_check).
+//
+// FoundationDB-style simulation testing, scoped to this repository: a seed
+// fully determines a scenario — job DAG shapes, arrival bursts, a
+// heterogeneous machine floor, mid-run machine crash/restart through
+// failures::FailureModel, and autoscaler-style drain/power flapping — and
+// each scenario runs in its own fresh Simulator under the invariant oracle
+// (check/oracle.hpp). A batch of seeds fans across parallel::ThreadPool
+// with SplitMix64 substreams (exp::run_sweep), and per-seed digests merge
+// in flat grid order, so the batch summary is bit-identical at any
+// MCS_THREADS and any single seed replays to the exact same trace.
+//
+// The seed is expanded in two stages: seed -> ScenarioSpec (a concrete,
+// serializable parameter record) -> materialized scenario. The shrinker
+// (check/shrink.hpp) operates on the spec, and every sub-model draws from
+// its own substream of the spec seed, so shrinking one dimension (fewer
+// jobs, fewer failure events) never perturbs the others.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "failures/failure_model.hpp"
+#include "parallel/thread_pool.hpp"
+#include "workload/trace.hpp"
+
+namespace mcs::check {
+
+/// Everything a scenario run depends on, as plain serializable data.
+/// `make_spec` randomizes these from a seed; the shrinker mutates them;
+/// `to_text`/`from_text` round-trip them losslessly for repro files.
+struct ScenarioSpec {
+  std::uint64_t seed = 1;  ///< master seed; sub-models use substreams of it
+
+  // Machine floor.
+  std::size_t racks = 2;
+  std::size_t per_rack = 4;
+  bool heterogeneous = false;   ///< per-rack speed/capacity spread
+  double accel_fraction = 0.0;  ///< fraction of machines with accelerators
+
+  // Workload (trace substream). job_limit truncates the generated trace so
+  // the shrinker can drop jobs without changing the survivors.
+  workload::TraceConfig trace;
+  std::size_t job_limit = static_cast<std::size_t>(-1);
+  bool impossible_job = false;  ///< append a job no machine can ever fit
+
+  // Engine.
+  std::string policy = "fcfs";
+  bool retry = true;
+  std::size_t max_retries = 4;
+  bool scavenging = false;
+
+  // Failures (failure substream); failure_limit truncates the trace.
+  bool failures_enabled = false;
+  failures::FailureModelConfig failure;
+  std::size_t failure_limit = static_cast<std::size_t>(-1);
+
+  // Autoscaler-style flapping (flap substream): pairs of drain+undrain or
+  // power-off+restore events at random times on random machines.
+  std::size_t flap_count = 0;
+
+  sim::SimTime horizon = 2 * sim::kHour;
+};
+
+/// Expands a seed into a randomized scenario spec (pure function).
+[[nodiscard]] ScenarioSpec make_spec(std::uint64_t seed);
+
+/// Lossless text round-trip (key=value lines; doubles at full precision).
+[[nodiscard]] std::string to_text(const ScenarioSpec& spec);
+/// Parses `to_text` output (unknown keys ignored, '#' comments skipped).
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] ScenarioSpec from_text(const std::string& text);
+
+/// Outcome of one scenario run under the oracle.
+struct SeedRunResult {
+  std::uint64_t seed = 0;
+  bool ok = true;
+  std::string violation;  ///< oracle message when !ok
+  std::uint64_t events = 0;
+  std::uint64_t transitions = 0;  ///< engine transitions observed
+  std::uint64_t checks = 0;       ///< oracle sweeps performed
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;  ///< finished normally
+  std::size_t jobs_abandoned = 0;
+  std::size_t tasks_killed = 0;
+  std::uint64_t digest = 0;  ///< order-sensitive hash of the run's trace
+};
+
+/// Runs one materialized scenario to quiescence under the oracle. Never
+/// throws for oracle violations — they are reported in the result.
+[[nodiscard]] SeedRunResult run_spec(const ScenarioSpec& spec);
+
+/// make_spec + run_spec for a raw seed value.
+[[nodiscard]] SeedRunResult run_seed(std::uint64_t seed);
+
+/// The substream seed for seed index `i` of a batch (exp::substream_seed
+/// of the base; `mcs_check --seed I` replays exactly batch index I).
+[[nodiscard]] std::uint64_t seed_for_index(std::uint64_t base_seed,
+                                           std::size_t index);
+
+struct FuzzOptions {
+  std::size_t seeds = 100;
+  std::uint64_t base_seed = 1;
+  /// Pool to fan out on; parallel::default_pool() when null.
+  parallel::ThreadPool* pool = nullptr;
+};
+
+struct FuzzReport {
+  std::size_t seeds_run = 0;
+  std::vector<std::size_t> failing_indices;  ///< batch indices that violated
+  std::vector<SeedRunResult> failures;       ///< same order as indices
+  std::uint64_t summary_digest = 0;  ///< per-seed digests merged in order
+  std::uint64_t total_events = 0;
+  std::uint64_t total_transitions = 0;
+  std::uint64_t total_checks = 0;
+  std::size_t total_completed = 0;
+  std::size_t total_abandoned = 0;
+  std::size_t total_tasks_killed = 0;
+};
+
+/// Fans `opt.seeds` scenarios across the pool; deterministic at any thread
+/// count (one Simulator per seed, digests merged in flat order).
+[[nodiscard]] FuzzReport run_fuzz(const FuzzOptions& opt);
+
+}  // namespace mcs::check

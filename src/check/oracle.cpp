@@ -1,0 +1,316 @@
+#include "check/oracle.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mcs::check {
+
+InvariantChecker::InvariantChecker(sim::Simulator& sim,
+                                   const infra::Datacenter& dc,
+                                   Options options)
+    : sim_(sim), dc_(dc), options_(options) {}
+
+InvariantChecker::~InvariantChecker() { detach(); }
+
+void InvariantChecker::attach(sched::ExecutionEngine& engine) {
+  engine_ = &engine;
+  engine.set_observer(this);
+  sim_.set_hook(this);
+  last_event_at_ = sim_.now();
+  shadow_drain_.assign(dc_.machine_count(), 0);
+  for (infra::MachineId id = 0; id < dc_.machine_count(); ++id) {
+    shadow_drain_[id] = engine.is_draining(id) ? 1 : 0;
+  }
+}
+
+void InvariantChecker::detach() {
+  if (engine_ != nullptr) {
+    if (engine_->observer() == this) engine_->set_observer(nullptr);
+    engine_ = nullptr;
+  }
+  if (sim_.hook() == this) sim_.set_hook(nullptr);
+}
+
+void InvariantChecker::fail(const char* invariant, const char* where,
+                            const std::string& detail) const {
+  std::ostringstream msg;
+  msg << "ORACLE VIOLATION [" << invariant << "] after '" << where
+      << "' at t=" << sim_.now() << "us: " << detail;
+  throw OracleViolation(msg.str());
+}
+
+void InvariantChecker::on_event(sim::SimTime at, std::uint64_t executed) {
+  // I7: the kernel's clock never runs backwards.
+  if (at < last_event_at_) {
+    std::ostringstream msg;
+    msg << "ORACLE VIOLATION [I7 monotonicity] event " << executed
+        << " executes at t=" << at << "us after t=" << last_event_at_
+        << "us";
+    throw OracleViolation(msg.str());
+  }
+  last_event_at_ = at;
+}
+
+void InvariantChecker::on_event_end(sim::SimTime, std::uint64_t) {
+  if (engine_ != nullptr) verify(*engine_, "event-end");
+}
+
+void InvariantChecker::on_transition(const sched::ExecutionEngine& engine,
+                                     sched::EngineTransition t,
+                                     infra::MachineId machine) {
+  ++transitions_;
+  const char* where = sched::to_string(t);
+  switch (t) {
+    case sched::EngineTransition::kDrained:
+      if (machine < shadow_drain_.size()) shadow_drain_[machine] = 1;
+      break;
+    case sched::EngineTransition::kUndrained:
+      if (machine < shadow_drain_.size()) shadow_drain_[machine] = 0;
+      break;
+    case sched::EngineTransition::kTaskStarted:
+      // I5: new placements never target draining or unusable machines.
+      // Valid even mid-event: the *target* of a fresh placement must be
+      // healthy regardless of what else the event is still unwinding.
+      if (engine.is_draining(machine)) {
+        fail("I5 placement", where,
+             "task started on draining machine " + std::to_string(machine));
+      }
+      if (!dc_.machine(machine).usable()) {
+        fail("I5 placement", where,
+             "task started on unusable machine " + std::to_string(machine));
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void InvariantChecker::verify(const sched::ExecutionEngine& e,
+                              const char* where) {
+  ++checks_;
+
+  // I1: job conservation. completed_ holds finished *and* abandoned jobs.
+  if (e.submitted_ != e.completed_.size() + e.jobs_.live_count()) {
+    fail("I1 conservation", where,
+         "submitted=" + std::to_string(e.submitted_) +
+             " != completed=" + std::to_string(e.completed_.size()) +
+             " + live=" + std::to_string(e.jobs_.live_count()));
+  }
+
+  // Flatten per-job task-state marks: offsets over all slots (dead slots
+  // get zero width), one byte per task. Bit 0 = ready, bit 1 = running.
+  const std::uint32_t job_slots = e.jobs_.size();
+  task_offsets_.assign(job_slots + 1, 0);
+  for (std::uint32_t j = 0; j < job_slots; ++j) {
+    const std::uint32_t width =
+        e.jobs_.live(j)
+            ? static_cast<std::uint32_t>(e.jobs_[j].job.tasks.size())
+            : 0;
+    task_offsets_[j + 1] = task_offsets_[j] + width;
+  }
+  task_marks_.assign(task_offsets_[job_slots], 0);
+
+  // I1/I3 per live job: remaining and dependency recounts.
+  e.jobs_.for_each([&](std::uint32_t, const auto& jr) {
+    const std::size_t n = jr.job.tasks.size();
+    std::size_t done_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (jr.done[i] != 0) ++done_count;
+    }
+    if (jr.remaining != n - done_count) {
+      fail("I1 conservation", where,
+           "job " + std::to_string(jr.job.id) + ": remaining=" +
+               std::to_string(jr.remaining) + " but tasks-done=" +
+               std::to_string(n - done_count));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (jr.done[i] != 0) continue;
+      std::uint32_t undone_deps = 0;
+      for (std::size_t d : jr.job.tasks[i].deps) {
+        if (jr.done[d] == 0) ++undone_deps;
+      }
+      if (jr.missing_deps[i] != undone_deps) {
+        fail("I3 dependencies", where,
+             "job " + std::to_string(jr.job.id) + " task " +
+                 std::to_string(i) + ": missing_deps=" +
+                 std::to_string(jr.missing_deps[i]) + " but recount=" +
+                 std::to_string(undone_deps));
+      }
+    }
+  });
+
+  // I2: ready entries reference live jobs, runnable tasks, and no task is
+  // ready twice.
+  for (const sched::ReadyTask& rt : e.ready_) {
+    if (rt.job_slot >= job_slots || !e.jobs_.live(rt.job_slot)) {
+      fail("I2 task-partition", where,
+           "ready entry references dead job slot " +
+               std::to_string(rt.job_slot));
+    }
+    const auto& jr = e.jobs_[rt.job_slot];
+    if (rt.task_index >= jr.job.tasks.size()) {
+      fail("I2 task-partition", where, "ready task index out of range");
+    }
+    if (jr.done[rt.task_index] != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " is ready but done");
+    }
+    if (jr.missing_deps[rt.task_index] != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) +
+               " is ready with unmet dependencies");
+    }
+    std::uint8_t& mark = task_marks_[task_offsets_[rt.job_slot] +
+                                     static_cast<std::uint32_t>(rt.task_index)];
+    if ((mark & 1u) != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " is ready twice");
+    }
+    mark |= 1u;
+  }
+
+  // I2/I5: running slots reference live jobs and usable machines; no task
+  // runs twice or is both ready and running.
+  held_cores_.assign(dc_.machine_count(), 0.0);
+  held_mem_.assign(dc_.machine_count(), 0.0);
+  held_acc_.assign(dc_.machine_count(), 0.0);
+  held_count_.assign(dc_.machine_count(), 0);
+  e.running_.for_each([&](std::uint32_t, const auto& rt) {
+    if (rt.job_slot >= job_slots || !e.jobs_.live(rt.job_slot)) {
+      fail("I2 task-partition", where,
+           "running slot references dead job slot " +
+               std::to_string(rt.job_slot));
+    }
+    const auto& jr = e.jobs_[rt.job_slot];
+    if (rt.task_index >= jr.job.tasks.size()) {
+      fail("I2 task-partition", where, "running task index out of range");
+    }
+    if (jr.done[rt.task_index] != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " is running but done");
+    }
+    if (rt.machine >= dc_.machine_count()) {
+      fail("I5 placement", where, "running task on unknown machine");
+    }
+    if (!dc_.machine(rt.machine).usable()) {
+      fail("I5 placement", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " runs on unusable machine " +
+               std::to_string(rt.machine));
+    }
+    if (rt.expected_end < rt.start) {
+      fail("I7 monotonicity", where, "running task ends before it starts");
+    }
+    std::uint8_t& mark = task_marks_[task_offsets_[rt.job_slot] +
+                                     rt.task_index];
+    if ((mark & 2u) != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " is running twice");
+    }
+    if ((mark & 1u) != 0) {
+      fail("I2 task-partition", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " is both ready and running");
+    }
+    mark |= 2u;
+    held_cores_[rt.machine] += rt.held.cores;
+    held_mem_[rt.machine] += rt.held.memory_gib;
+    held_acc_[rt.machine] += rt.held.accelerators;
+    ++held_count_[rt.machine];
+  });
+
+  // I4: per-machine capacity sanity (and exclusive-allocation accounting).
+  const double eps = options_.epsilon;
+  for (infra::MachineId id = 0; id < dc_.machine_count(); ++id) {
+    const infra::Machine& m = dc_.machine(id);
+    const infra::ResourceVector& used = m.used();
+    const infra::ResourceVector& cap = m.capacity();
+    if (used.cores < -eps || used.memory_gib < -eps ||
+        used.accelerators < -eps) {
+      fail("I4 capacity", where,
+           "machine " + std::to_string(id) + " has negative used resources");
+    }
+    if (used.cores > cap.cores + eps ||
+        used.memory_gib > cap.memory_gib + eps ||
+        used.accelerators > cap.accelerators + eps) {
+      fail("I4 capacity", where,
+           "machine " + std::to_string(id) + " used exceeds capacity");
+    }
+    if (options_.exclusive_allocation && m.usable()) {
+      if (std::abs(used.cores - held_cores_[id]) > eps ||
+          std::abs(used.memory_gib - held_mem_[id]) > eps ||
+          std::abs(used.accelerators - held_acc_[id]) > eps) {
+        fail("I4 capacity", where,
+             "machine " + std::to_string(id) +
+                 ": used does not match the engine's held resources (cores " +
+                 std::to_string(used.cores) + " vs " +
+                 std::to_string(held_cores_[id]) + ")");
+      }
+      if (m.live_allocations() != held_count_[id]) {
+        fail("I4 capacity", where,
+             "machine " + std::to_string(id) + ": " +
+                 std::to_string(m.live_allocations()) +
+                 " live allocations but the engine holds " +
+                 std::to_string(held_count_[id]) + " running tasks");
+      }
+      // Exactly zero, not within eps: fractional demands must not leave
+      // floating-point residue behind once a machine is idle — 1e-16
+      // leftover cores starve exactly-full-machine demands forever (the
+      // full_machine_fp_residue repro).
+      if (held_count_[id] == 0 &&
+          (used.cores != 0.0 || used.memory_gib != 0.0 ||
+           used.accelerators != 0.0)) {
+        fail("I4 capacity", where,
+             "machine " + std::to_string(id) +
+                 " is idle but used is not exactly zero (cores residue " +
+                 std::to_string(used.cores) + ")");
+      }
+    }
+    // I6: only drain()/undrain() move the drain set — crashes and repairs
+    // must never flip a bit.
+    const bool draining = e.is_draining(id);
+    if (draining != (shadow_drain_[id] != 0)) {
+      fail("I6 drain-shadow", where,
+           "machine " + std::to_string(id) + " drain bit is " +
+               (draining ? "set" : "clear") + " but the oracle's shadow is " +
+               (shadow_drain_[id] != 0 ? "set" : "clear"));
+    }
+  }
+}
+
+std::string InvariantChecker::quiescence_report(
+    const sched::ExecutionEngine& e) const {
+  std::ostringstream out;
+  out << e.ready_.size() << " ready, " << e.running_.live_count()
+      << " running, " << (e.submitted_ - e.completed_.size())
+      << " jobs open;";
+  std::size_t shown = 0;
+  for (const sched::ReadyTask& rt : e.ready_) {
+    if (shown++ == 4) {
+      out << " ...";
+      break;
+    }
+    const auto& jr = e.jobs_[rt.job_slot];
+    const infra::ResourceVector& d = jr.job.tasks[rt.task_index].demand;
+    out << " [job " << jr.job.id << " task " << rt.task_index << " demand {"
+        << d.cores << "c " << d.memory_gib << "g " << d.accelerators
+        << "a}]";
+  }
+  out << " machines:";
+  for (infra::MachineId id = 0; id < dc_.machine_count(); ++id) {
+    const infra::Machine& m = dc_.machine(id);
+    const char* state = m.usable() ? "up" : "down";
+    out << " " << id << "=" << state
+        << (e.is_draining(id) ? "/draining" : "") << "{"
+        << m.available().cores << "c " << m.available().memory_gib << "g "
+        << m.available().accelerators << "a}";
+  }
+  return out.str();
+}
+
+}  // namespace mcs::check

@@ -38,19 +38,29 @@ void Machine::allocate(const ResourceVector& r) {
     throw std::logic_error("Machine::allocate: does not fit on " + name_);
   }
   used_ += r;
+  ++live_allocations_;
 }
 
 void Machine::release(const ResourceVector& r) {
+  if (live_allocations_ == 0) {
+    throw std::logic_error("Machine::release: over-release on " + name_);
+  }
   ResourceVector next = used_ - r;
-  // Allow tiny negative residue from floating point accumulation.
+  // Allow tiny residue from floating point accumulation in either
+  // direction: clamp negatives to zero and snap near-zero positives to
+  // zero. Positive residue is the dangerous kind — 1e-16 leftover cores
+  // make an exactly-full-machine demand unschedulable forever.
   constexpr double kEps = 1e-9;
   if (next.cores < -kEps || next.memory_gib < -kEps ||
       next.accelerators < -kEps) {
     throw std::logic_error("Machine::release: over-release on " + name_);
   }
-  next.cores = std::max(next.cores, 0.0);
-  next.memory_gib = std::max(next.memory_gib, 0.0);
-  next.accelerators = std::max(next.accelerators, 0.0);
+  next.cores = next.cores < kEps ? 0.0 : next.cores;
+  next.memory_gib = next.memory_gib < kEps ? 0.0 : next.memory_gib;
+  next.accelerators = next.accelerators < kEps ? 0.0 : next.accelerators;
+  --live_allocations_;
+  // The last holder left: whatever remains is pure accumulation error.
+  if (live_allocations_ == 0) next = ResourceVector{};
   used_ = next;
 }
 
@@ -76,11 +86,13 @@ void Machine::set_state(MachineState s) { state_ = s; }
 void Machine::fail() {
   state_ = MachineState::kFailed;
   used_ = ResourceVector{};
+  live_allocations_ = 0;
 }
 
 void Machine::repair() {
   state_ = MachineState::kOperational;
   used_ = ResourceVector{};
+  live_allocations_ = 0;
 }
 
 }  // namespace mcs::infra

@@ -82,8 +82,19 @@ class Machine {
   /// Claims resources; throws std::logic_error when they do not fit.
   void allocate(const ResourceVector& r);
 
-  /// Returns resources; throws std::logic_error on over-release.
+  /// Returns resources; throws std::logic_error on over-release. When the
+  /// last live allocation is released, `used()` snaps back to exactly zero
+  /// — fractional demands leave floating-point residue under repeated
+  /// allocate/release, and a residue of 1e-16 cores is enough to starve a
+  /// full-machine task forever (found by mcs_check, seed shrunk into
+  /// tests/repros/full_machine_fp_residue.repro).
   void release(const ResourceVector& r);
+
+  /// Allocations currently held (allocate() minus release(); reset by
+  /// fail()/repair()). Zero implies used() is exactly zero.
+  [[nodiscard]] std::uint32_t live_allocations() const {
+    return live_allocations_;
+  }
 
   /// Core utilization in [0, 1].
   [[nodiscard]] double utilization() const;
@@ -105,6 +116,7 @@ class Machine {
   std::string name_;
   ResourceVector capacity_;
   ResourceVector used_;
+  std::uint32_t live_allocations_ = 0;
   double speed_factor_;
   PowerModel power_;
   MachineState state_ = MachineState::kOperational;

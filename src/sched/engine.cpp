@@ -8,6 +8,21 @@
 
 namespace mcs::sched {
 
+const char* to_string(EngineTransition t) {
+  switch (t) {
+    case EngineTransition::kJobSubmitted: return "job-submitted";
+    case EngineTransition::kJobArrived: return "job-arrived";
+    case EngineTransition::kJobCompleted: return "job-completed";
+    case EngineTransition::kJobAbandoned: return "job-abandoned";
+    case EngineTransition::kTaskStarted: return "task-started";
+    case EngineTransition::kTaskFinished: return "task-finished";
+    case EngineTransition::kTasksKilled: return "tasks-killed";
+    case EngineTransition::kDrained: return "drained";
+    case EngineTransition::kUndrained: return "undrained";
+  }
+  return "?";
+}
+
 ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
                                  std::unique_ptr<AllocationPolicy> policy,
                                  EngineConfig config)
@@ -70,6 +85,7 @@ void ExecutionEngine::submit(workload::Job job) {
   id_to_slot_.emplace(id, slot);
   ++submitted_;
   sim_.schedule_at(at, [this, slot] { arrive(slot); });
+  notify(EngineTransition::kJobSubmitted);
 }
 
 void ExecutionEngine::submit_all(std::vector<workload::Job> jobs) {
@@ -135,6 +151,7 @@ void ExecutionEngine::arrive(std::uint32_t job_slot) {
   }
   record_series_point();
   kick();
+  notify(EngineTransition::kJobArrived);
 }
 
 // mcs-lint: hot
@@ -165,6 +182,7 @@ void ExecutionEngine::drain(infra::MachineId id) {
   const std::size_t word = id >> 6;
   if (word >= draining_bits_.size()) draining_bits_.resize(word + 1, 0);
   draining_bits_[word] |= std::uint64_t{1} << (id & 63);
+  notify(EngineTransition::kDrained, id);
 }
 void ExecutionEngine::undrain(infra::MachineId id) {
   const std::size_t word = id >> 6;
@@ -172,6 +190,7 @@ void ExecutionEngine::undrain(infra::MachineId id) {
     draining_bits_[word] &= ~(std::uint64_t{1} << (id & 63));
   }
   kick();
+  notify(EngineTransition::kUndrained, id);
 }
 bool ExecutionEngine::is_draining(infra::MachineId id) const {
   const std::size_t word = id >> 6;
@@ -327,6 +346,7 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
   task.completion = sim_.schedule_at(end, [this, key, gen] {
     finish_task(key, gen);
   });
+  notify(EngineTransition::kTaskStarted, machine_id);
   return true;
 }
 
@@ -366,6 +386,7 @@ void ExecutionEngine::finish_task(std::uint32_t key, std::uint32_t gen) {
   }
   record_series_point();
   kick();
+  notify(EngineTransition::kTaskFinished, rt.machine);
 }
 
 void ExecutionEngine::on_machine_failed(infra::MachineId id) {
@@ -393,6 +414,7 @@ void ExecutionEngine::on_machine_failed(infra::MachineId id) {
   }
   record_series_point();
   kick();
+  notify(EngineTransition::kTasksKilled, id);
 }
 
 void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
@@ -432,6 +454,8 @@ void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
   }
   id_to_slot_.erase(jr.job.id);
   jobs_.release(job_slot);
+  notify(abandoned ? EngineTransition::kJobAbandoned
+                   : EngineTransition::kJobCompleted);
 }
 
 bool ExecutionEngine::all_done() const {

@@ -30,7 +30,47 @@
 #include "sim/simulator.hpp"
 #include "workload/task.hpp"
 
+namespace mcs::check {
+class InvariantChecker;  // friend: the oracle reads engine internals
+}
+
 namespace mcs::sched {
+
+class ExecutionEngine;
+
+/// State transitions reported to an installed EngineObserver. Every kind is
+/// reported *after* the transition's state changes are fully applied, so an
+/// observer sees only consistent states.
+enum class EngineTransition : std::uint8_t {
+  kJobSubmitted,   ///< submit() accepted a job (arrival event armed)
+  kJobArrived,     ///< arrival processed: ranks stamped, roots made ready
+  kJobCompleted,   ///< last task finished; stats recorded
+  kJobAbandoned,   ///< retry budget exceeded or demand unsatisfiable
+  kTaskStarted,    ///< a ready task was placed on a machine
+  kTaskFinished,   ///< a running task completed; successors unlocked
+  kTasksKilled,    ///< a machine failure killed its running tasks
+  kDrained,        ///< drain(machine)
+  kUndrained,      ///< undrain(machine)
+};
+
+[[nodiscard]] const char* to_string(EngineTransition t);
+
+/// Observation hook for correctness harnesses (the invariant oracle in
+/// src/check/oracle.hpp derives from this). The default null observer
+/// costs one predicted branch per transition, cheap enough to stay
+/// compiled into every build — release binaries included.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+  /// `machine` identifies the machine involved (kTaskStarted, kTasksKilled,
+  /// kDrained, kUndrained); kNoMachine otherwise.
+  virtual void on_transition(const ExecutionEngine& engine,
+                             EngineTransition t, infra::MachineId machine) = 0;
+};
+
+/// Sentinel for transitions with no associated machine.
+inline constexpr infra::MachineId kNoMachine =
+    static_cast<infra::MachineId>(-1);
 
 /// Memory-scavenging option (Uta et al. [118], challenge C7): a task whose
 /// memory does not fit locally may borrow remote memory for a runtime
@@ -97,6 +137,12 @@ class ExecutionEngine {
   /// Re-evaluates the schedule (call after repairing/booting machines).
   void kick();
 
+  /// Installs (or clears, with nullptr) the transition observer — the
+  /// invariant-oracle hook. The observer must outlive the engine or be
+  /// cleared before the engine is destroyed.
+  void set_observer(EngineObserver* observer) { observer_ = observer; }
+  [[nodiscard]] EngineObserver* observer() const { return observer_; }
+
   // --- state & metrics -------------------------------------------------------
 
   [[nodiscard]] bool all_done() const;
@@ -147,6 +193,8 @@ class ExecutionEngine {
   [[nodiscard]] double busy_core_seconds() const { return busy_core_seconds_; }
 
  private:
+  friend class mcs::check::InvariantChecker;
+
   /// Per-job state, recycled through the slot pool: the vectors keep their
   /// capacity across job churn, so re-initializing them with assign() in
   /// submit() allocates nothing once warmed up.
@@ -188,6 +236,11 @@ class ExecutionEngine {
   void complete_job(std::uint32_t job_slot, bool abandoned);
   [[nodiscard]] std::uint32_t intern_user(const std::string& name);
   void record_series_point();
+  /// Reports a fully-applied transition to the installed observer (if any).
+  // mcs-lint: hot
+  void notify(EngineTransition t, infra::MachineId machine = kNoMachine) {
+    if (observer_ != nullptr) observer_->on_transition(*this, t, machine);
+  }
 
   sim::Simulator& sim_;
   infra::Datacenter& dc_;
@@ -216,6 +269,7 @@ class ExecutionEngine {
   metrics::StepSeries demand_;
   metrics::StepSeries supply_;
   bool schedule_pending_ = false;
+  EngineObserver* observer_ = nullptr;
 
   // Scratch buffers reused across scheduling rounds (capacity persists, so
   // rebuilding the per-round view allocates nothing once warmed up).

@@ -207,6 +207,25 @@ class EventHandle {
   std::uint32_t gen_ = 0;
 };
 
+/// Observation hook for correctness harnesses (src/check): notified after
+/// the kernel commits to an event (clock advanced, stale entries skipped)
+/// and before its callback runs. The default null hook costs one predicted
+/// branch per event on the kernel's hot path — cheap enough to stay
+/// compiled into every build (the check layer's ratchet relies on that).
+class SimHook {
+ public:
+  virtual ~SimHook() = default;
+  /// `at` is the event's (committed) execution time == now(); `executed`
+  /// counts this event. Fires before the event callback runs.
+  /// Implementations must not mutate the simulator.
+  virtual void on_event(SimTime at, std::uint64_t executed) = 0;
+  /// Fires after the event callback returns — the quiescent point where
+  /// model state must be fully consistent again (a single event may apply
+  /// several nested transitions; invariants hold at its end, not midway).
+  /// Not called if the callback throws.
+  virtual void on_event_end(SimTime at, std::uint64_t executed) = 0;
+};
+
 /// The discrete-event engine. Owns the virtual clock and the event queue.
 class Simulator {
  public:
@@ -279,6 +298,11 @@ class Simulator {
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
+
+  /// Installs (or clears, with nullptr) the observation hook. The hook must
+  /// outlive the simulator or be cleared before it is destroyed.
+  void set_hook(SimHook* hook) { hook_ = hook; }
+  [[nodiscard]] SimHook* hook() const { return hook_; }
 
  private:
   // Heap entries are small PODs; the (heavy) callback stays put in its slot
@@ -391,6 +415,7 @@ class Simulator {
     ++s.gen;  // invalidate outstanding handles before user code runs
     now_ = e.at;
     ++executed_;
+    if (hook_ != nullptr) hook_->on_event(e.at, executed_);
     // Invoke in place: slot storage is address-stable, so user code inside
     // the callback can schedule freely without moving the running closure.
     // The slot is not on the free list yet, so it cannot be re-armed until
@@ -406,6 +431,7 @@ class Simulator {
       }
     } guard{this, &s, e.slot};
     s.fn();
+    if (hook_ != nullptr) hook_->on_event_end(e.at, executed_);
     return true;
   }
   [[nodiscard]] bool entry_live(const Entry& e) const {
@@ -423,6 +449,7 @@ class Simulator {
   std::uint32_t slot_count_ = 0;     // slots ever handed out
   std::uint32_t slot_capacity_ = 0;  // slots constructed across blocks
   std::uint32_t free_head_ = kNoSlot;
+  SimHook* hook_ = nullptr;
 };
 
 }  // namespace mcs::sim

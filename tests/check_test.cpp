@@ -1,0 +1,181 @@
+// Tests for the oracle & fuzzing layer (src/check): the invariant oracle
+// must pass clean runs and catch planted corruption; scenario specs must
+// round-trip through their text form; the fuzzer must be bit-identical at
+// any thread count with single-seed replays matching their batch cell; and
+// the shrinker must leave passing specs alone.
+#include <gtest/gtest.h>
+
+#include "check/fuzz.hpp"
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+#include "metrics/stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sched/engine.hpp"
+#include "workload/task.hpp"
+
+namespace mcs::check {
+namespace {
+
+infra::Datacenter make_dc(std::size_t machines) {
+  infra::Datacenter dc("dc", "eu");
+  dc.add_uniform_racks(1, machines, infra::ResourceVector{4.0, 16.0, 0.0},
+                       1.0);
+  return dc;
+}
+
+InvariantChecker::Options exclusive() {
+  InvariantChecker::Options o;
+  o.exclusive_allocation = true;
+  return o;
+}
+
+TEST(OracleTest, CleanRunPassesAndCounts) {
+  auto dc = make_dc(2);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  for (workload::JobId id = 1; id <= 8; ++id) {
+    engine.submit(workload::make_bag_of_tasks(id, 4, 30.0));
+  }
+  EXPECT_NO_THROW(sim.run_until());
+  EXPECT_NO_THROW(oracle.verify(engine, "end-of-run"));
+  EXPECT_TRUE(engine.all_done());
+  EXPECT_GT(oracle.checks(), 0u);
+  EXPECT_GT(oracle.transitions(), 0u);
+}
+
+TEST(OracleTest, ForeignAllocationBreaksExclusiveAccounting) {
+  // In exclusive mode the engine must be the only allocator; claiming
+  // resources behind its back must trip I4 on the next sweep.
+  auto dc = make_dc(2);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 2, 30.0));
+  sim.schedule_at(5 * sim::kSecond,
+                  [&] { dc.machine(0).allocate({1.0, 1.0, 0.0}); });
+  EXPECT_THROW(sim.run_until(), OracleViolation);
+}
+
+TEST(OracleTest, SilentMachineFailureBreaksPlacementInvariant) {
+  // Failing a machine without telling the engine leaves its running
+  // tasks pointing at an unusable machine — I5 must fire at the next
+  // event boundary.
+  auto dc = make_dc(1);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 2, 30.0));
+  sim.schedule_at(5 * sim::kSecond, [&] { dc.machine(0).fail(); });
+  EXPECT_THROW(sim.run_until(), OracleViolation);
+}
+
+TEST(OracleTest, UnobservedDrainBreaksShadow) {
+  // Drain applied while the oracle is not observing: its shadow goes
+  // stale, and the next explicit sweep must report I6.
+  auto dc = make_dc(2);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.set_observer(nullptr);  // simulate a missed notification
+  engine.drain(0);
+  EXPECT_THROW(oracle.verify(engine, "stale-shadow"), OracleViolation);
+}
+
+TEST(OracleTest, DetachRestoresNullHooks) {
+  auto dc = make_dc(1);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  {
+    InvariantChecker oracle(sim, dc);
+    oracle.attach(engine);
+    EXPECT_EQ(engine.observer(), &oracle);
+    EXPECT_EQ(sim.hook(), &oracle);
+  }  // destructor detaches
+  EXPECT_EQ(engine.observer(), nullptr);
+  EXPECT_EQ(sim.hook(), nullptr);
+}
+
+TEST(FuzzSpecTest, TextRoundTripPreservesBehavior) {
+  for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const ScenarioSpec spec = make_spec(seed);
+    const ScenarioSpec parsed = from_text(to_text(spec));
+    const SeedRunResult a = run_spec(spec);
+    const SeedRunResult b = run_spec(parsed);
+    EXPECT_EQ(a.digest, b.digest) << "seed " << seed;
+    EXPECT_EQ(a.events, b.events) << "seed " << seed;
+    EXPECT_EQ(to_text(spec), to_text(parsed)) << "seed " << seed;
+  }
+}
+
+TEST(FuzzSpecTest, FromTextRejectsMalformedLines) {
+  EXPECT_THROW(from_text("not a key value line"), std::invalid_argument);
+  EXPECT_THROW(from_text("racks=banana"), std::invalid_argument);
+  // Comments and unknown keys are fine (forward compatibility).
+  EXPECT_NO_THROW(from_text("# comment\nfuture_knob=3\nracks=2"));
+}
+
+TEST(FuzzTest, SeedRunsAreReproducible) {
+  const SeedRunResult a = run_seed(123);
+  const SeedRunResult b = run_seed(123);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.transitions, b.transitions);
+}
+
+TEST(FuzzTest, BatchDigestIsThreadCountInvariant) {
+  parallel::ThreadPool one(1);
+  parallel::ThreadPool four(4);
+  FuzzOptions opt;
+  opt.seeds = 24;
+  opt.base_seed = 9;
+  opt.pool = &one;
+  const FuzzReport a = run_fuzz(opt);
+  opt.pool = &four;
+  const FuzzReport b = run_fuzz(opt);
+  EXPECT_EQ(a.summary_digest, b.summary_digest);
+  EXPECT_EQ(a.total_events, b.total_events);
+  EXPECT_EQ(a.seeds_run, 24u);
+  EXPECT_TRUE(a.failing_indices.empty())
+      << a.failures.front().violation;
+}
+
+TEST(FuzzTest, SingleSeedReplayMatchesBatchCell) {
+  // `mcs_check --seed I` must rerun exactly the scenario the batch ran at
+  // index I: the batch summary digest recomputed from per-index replays
+  // must match run_fuzz's.
+  parallel::ThreadPool pool(2);
+  FuzzOptions opt;
+  opt.seeds = 6;
+  opt.base_seed = 5;
+  opt.pool = &pool;
+  const FuzzReport report = run_fuzz(opt);
+
+  metrics::Digest recomputed;
+  for (std::size_t i = 0; i < opt.seeds; ++i) {
+    const SeedRunResult r = run_seed(seed_for_index(opt.base_seed, i));
+    recomputed.add_u64(r.seed);
+    recomputed.add_u64(r.digest);
+  }
+  EXPECT_EQ(recomputed.value(), report.summary_digest);
+}
+
+TEST(ShrinkTest, PassingSpecIsReturnedUnshrunk) {
+  ScenarioSpec spec = make_spec(1);
+  const ShrinkResult r = shrink(spec);
+  EXPECT_FALSE(r.failing);
+  EXPECT_TRUE(r.result.ok);
+  EXPECT_EQ(r.attempts, 1u);
+  EXPECT_EQ(to_text(r.spec), to_text(spec));
+}
+
+}  // namespace
+}  // namespace mcs::check

@@ -1,0 +1,186 @@
+// Engine fault paths under the invariant oracle (PR 4): machine crashes
+// while tasks run must requeue-or-abandon per the retry budget without
+// ever violating job conservation, and a crash/repair cycle during a
+// drain must not resurrect (or clear) the drain bit — only drain() and
+// undrain() may move it. Every scenario runs with check::InvariantChecker
+// attached, so the full invariant set is re-verified at each event
+// boundary, not just the final assertions.
+#include <gtest/gtest.h>
+
+#include "check/oracle.hpp"
+#include "sched/engine.hpp"
+#include "workload/task.hpp"
+
+namespace mcs::sched {
+namespace {
+
+infra::Datacenter make_dc(std::size_t machines, double cores,
+                          double memory_gib) {
+  infra::Datacenter dc("dc", "eu");
+  dc.add_uniform_racks(1, machines,
+                       infra::ResourceVector{cores, memory_gib, 0.0}, 1.0);
+  return dc;
+}
+
+check::InvariantChecker::Options exclusive() {
+  check::InvariantChecker::Options o;
+  o.exclusive_allocation = true;
+  return o;
+}
+
+TEST(EngineFaultTest, CrashWithRetryBudgetRequeuesAndConserves) {
+  // Two machines, one 4-task job split across them. Crash machine 0 while
+  // its tasks run: those tasks are requeued (budget allows) and finish on
+  // machine 1; nothing is lost or double-counted.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.max_retries = 2;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 1u);
+  const JobStats& s = engine.completed()[0];
+  EXPECT_FALSE(s.abandoned);
+  EXPECT_EQ(s.task_failures, 2u);
+  EXPECT_EQ(engine.tasks_killed(), 2u);
+  EXPECT_GT(oracle.checks(), 0u);
+}
+
+TEST(EngineFaultTest, CrashPastRetryBudgetAbandonsWithoutLeaks) {
+  // Retries disabled: the first crash abandons the job. Conservation must
+  // hold throughout (submitted == live + completed at every transition —
+  // the oracle checks this at each event end) and the floor must come out
+  // empty: the abandoned job's other running task is killed with it.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.retry_failed_tasks = false;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_TRUE(engine.completed()[0].abandoned);
+  EXPECT_EQ(engine.running_count(), 0u);
+  EXPECT_EQ(engine.ready_count(), 0u);
+  for (infra::MachineId id = 0; id < dc.machine_count(); ++id) {
+    EXPECT_EQ(dc.machine(id).live_allocations(), 0u) << "machine " << id;
+  }
+}
+
+TEST(EngineFaultTest, RetryBudgetBoundaryIsPerTask) {
+  // max_retries=1 on a single 1-core machine with repeated crashes: the
+  // first crash consumes the task's budget, the second abandons. The
+  // job's failure count must reflect both kills.
+  auto dc = make_dc(1, 1.0, 4.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.max_retries = 1;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 1, 100.0));
+  for (int i = 1; i <= 2; ++i) {
+    sim.schedule_at(i * 10 * sim::kSecond, [&] {
+      dc.machine(0).fail();
+      engine.on_machine_failed(0);
+      dc.machine(0).repair();
+      engine.kick();
+    });
+  }
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_TRUE(engine.completed()[0].abandoned);
+  EXPECT_EQ(engine.completed()[0].task_failures, 2u);
+}
+
+TEST(EngineFaultTest, CrashDuringDrainDoesNotMoveDrainBit) {
+  // Drain a machine whose task is still running, then crash and repair it
+  // mid-drain. The drain bit must survive both (the oracle's I6 shadow
+  // verifies this at every event boundary): a repair must not resurrect
+  // the machine into the placement set until undrain() is called.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs(), {});
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+  sim.schedule_at(5 * sim::kSecond, [&] { engine.drain(0); });
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.schedule_at(20 * sim::kSecond, [&] {
+    dc.machine(0).repair();
+    engine.kick();
+    // Repair must not clear the drain: the machine stays out of the
+    // placement set (I5 would fire if anything started here).
+    EXPECT_TRUE(engine.is_draining(0));
+  });
+  sim.schedule_at(300 * sim::kSecond, [&] {
+    EXPECT_TRUE(engine.is_draining(0));
+    engine.undrain(0);
+  });
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  EXPECT_FALSE(engine.is_draining(0));
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_FALSE(engine.completed()[0].abandoned);
+}
+
+TEST(EngineFaultTest, CrashOfDrainingIdleMachineStaysDrained) {
+  // Crash a machine that is draining and already idle: nothing to kill,
+  // but the drain bit must still be exactly where drain() left it after
+  // the failure and the repair.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs(), {});
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.drain(0);
+  engine.submit(workload::make_bag_of_tasks(1, 2, 50.0));
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    ASSERT_TRUE(engine.idle(0));  // drained before arrival: never used
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+    dc.machine(0).repair();
+    engine.kick();
+  });
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  EXPECT_TRUE(engine.is_draining(0));
+  EXPECT_EQ(engine.tasks_killed(), 0u);
+}
+
+}  // namespace
+}  // namespace mcs::sched

@@ -55,6 +55,79 @@ TEST(AccumulatorTest, CvIsScaleFree) {
   EXPECT_NEAR(a.cv(), b.cv(), 1e-12);
 }
 
+TEST(AccumulatorTest, MergeEmptyIsIdentityBothWays) {
+  Accumulator filled;
+  for (double x : {1.0, 2.0, 3.0}) filled.add(x);
+  const double mean_before = filled.mean();
+  const double var_before = filled.variance();
+
+  Accumulator empty;
+  filled.merge(empty);  // rhs empty: nothing changes
+  EXPECT_EQ(filled.count(), 3u);
+  EXPECT_DOUBLE_EQ(filled.mean(), mean_before);
+  EXPECT_DOUBLE_EQ(filled.variance(), var_before);
+
+  Accumulator target;  // lhs empty: adopts rhs wholesale
+  target.merge(filled);
+  EXPECT_EQ(target.count(), 3u);
+  EXPECT_DOUBLE_EQ(target.mean(), mean_before);
+  EXPECT_DOUBLE_EQ(target.variance(), var_before);
+  EXPECT_DOUBLE_EQ(target.min(), 1.0);
+  EXPECT_DOUBLE_EQ(target.max(), 3.0);
+
+  Accumulator both_a, both_b;
+  both_a.merge(both_b);  // both empty: still empty and safe
+  EXPECT_EQ(both_a.count(), 0u);
+  EXPECT_DOUBLE_EQ(both_a.mean(), 0.0);
+}
+
+TEST(AccumulatorTest, MergeOfSingletonsMatchesDirectFeed) {
+  // Size-1 partials stress the Chan et al. update (n-1 denominators):
+  // merging eight singletons must equal adding the eight values directly.
+  const double xs[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  Accumulator direct;
+  Accumulator merged;
+  for (double x : xs) {
+    direct.add(x);
+    Accumulator one;
+    one.add(x);
+    EXPECT_EQ(one.count(), 1u);
+    EXPECT_DOUBLE_EQ(one.variance(), 0.0);  // n-1 guard on a single sample
+    merged.merge(one);
+  }
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_DOUBLE_EQ(merged.mean(), direct.mean());
+  EXPECT_NEAR(merged.variance(), direct.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.min(), direct.min());
+  EXPECT_DOUBLE_EQ(merged.max(), direct.max());
+  EXPECT_DOUBLE_EQ(merged.quantile(0.5), direct.quantile(0.5));
+}
+
+TEST(DigestTest, ZeroRecordDigestIsStableBasis) {
+  // A digest that never saw a record must equal the FNV-1a offset basis
+  // (and its hex form must be the 16-digit format the determinism script
+  // diffs) — merging it into another digest must still fold its length
+  // guard, so empty-merge is deliberately NOT a no-op.
+  Digest empty;
+  EXPECT_EQ(empty.value(), 1469598103934665603ull);
+  EXPECT_EQ(empty.hex().size(), 16u);
+
+  Digest a, b;
+  a.add_u64(7);
+  const std::uint64_t before = a.value();
+  a.merge(b);
+  EXPECT_NE(a.value(), before);  // length-guarded: empty child is recorded
+
+  // Same records + same merge shape => same value (what the sweep relies
+  // on); a reordering of records changes it (order sensitivity).
+  Digest c, d;
+  c.add_u64(7);
+  c.merge(Digest{});
+  EXPECT_EQ(a.value(), c.value());
+  d.add_u64(7);
+  EXPECT_NE(d.value(), a.value());
+}
+
 TEST(StatsTest, PearsonPerfectAndAnti) {
   const std::vector<double> x = {1, 2, 3, 4, 5};
   const std::vector<double> y = {2, 4, 6, 8, 10};

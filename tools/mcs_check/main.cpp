@@ -1,0 +1,215 @@
+// mcs_check CLI — deterministic simulation fuzzing under invariant oracles.
+//
+//   mcs_check [options]
+//     --seeds N       batch size (default 100)
+//     --base B        base seed for the batch (default 1)
+//     --threads N     worker threads (default: MCS_THREADS env, else cores)
+//     --seed I        replay batch index I alone and print its full trace
+//                     digest + spec (bit-identical to index I of the batch)
+//     --replay FILE   run a repro file written by --shrink (or by hand)
+//     --shrink I      shrink failing batch index I to a minimal repro file
+//     --out FILE      where --shrink writes the repro (default
+//                     mcs_check_repro_<index>.repro)
+//     --digest        print only `summary <16-hex>` (for determinism diffs)
+//     --print-spec I  print the generated spec for batch index I and exit
+//
+// Exit code: 0 = no violations, 1 = violations found (or replayed scenario
+// fails), 2 = usage error. The batch summary digest is bit-identical at any
+// --threads value; `--seed I` reruns exactly the scenario the batch ran.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/fuzz.hpp"
+#include "check/shrink.hpp"
+#include "metrics/stats.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using mcs::check::FuzzOptions;
+using mcs::check::FuzzReport;
+using mcs::check::ScenarioSpec;
+using mcs::check::SeedRunResult;
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--seeds N] [--base B] [--threads N] [--seed I]\n"
+               "       [--replay FILE] [--shrink I [--out FILE]] [--digest]\n"
+               "       [--print-spec I]\n";
+  return 2;
+}
+
+std::string hex16(std::uint64_t v) {
+  std::ostringstream out;
+  out << std::hex << std::nouppercase;
+  out.width(16);
+  out.fill('0');
+  out << v;
+  return out.str();
+}
+
+void print_result(const SeedRunResult& r) {
+  std::cout << "seed " << r.seed << ": " << (r.ok ? "ok" : "VIOLATION")
+            << " events=" << r.events << " transitions=" << r.transitions
+            << " checks=" << r.checks << " jobs=" << r.jobs_submitted
+            << " completed=" << r.jobs_completed
+            << " abandoned=" << r.jobs_abandoned
+            << " killed=" << r.tasks_killed << " digest=" << hex16(r.digest)
+            << "\n";
+  if (!r.ok) std::cout << "  " << r.violation << "\n";
+}
+
+int run_replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "mcs_check: cannot open repro file: " << path << "\n";
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  ScenarioSpec spec;
+  try {
+    spec = mcs::check::from_text(text.str());
+  } catch (const std::exception& ex) {
+    std::cerr << "mcs_check: " << path << ": " << ex.what() << "\n";
+    return 2;
+  }
+  const SeedRunResult r = mcs::check::run_spec(spec);
+  print_result(r);
+  return r.ok ? 0 : 1;
+}
+
+int run_shrink(std::uint64_t base_seed, std::size_t index,
+               const std::string& out_path) {
+  const std::uint64_t seed = mcs::check::seed_for_index(base_seed, index);
+  mcs::check::ShrinkResult shrunk =
+      mcs::check::shrink(mcs::check::make_spec(seed));
+  if (!shrunk.failing) {
+    std::cout << "index " << index << " (seed " << seed
+              << ") passes; nothing to shrink\n";
+    return 0;
+  }
+  const std::string path =
+      out_path.empty() ? "mcs_check_repro_" + std::to_string(index) + ".repro"
+                       : out_path;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "mcs_check: cannot write repro file: " << path << "\n";
+    return 2;
+  }
+  out << "# mcs_check minimal reproducer (replay: mcs_check --replay "
+      << path << ")\n"
+      << "# shrunk from base=" << base_seed << " index=" << index
+      << " in " << shrunk.attempts << " runs (" << shrunk.accepted
+      << " accepted)\n"
+      << "# " << shrunk.result.violation << "\n"
+      << mcs::check::to_text(shrunk.spec);
+  std::cout << "index " << index << " (seed " << seed << ") shrunk after "
+            << shrunk.attempts << " runs -> " << path << "\n";
+  print_result(shrunk.result);
+  return 1;  // a shrunken repro means the scenario fails
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t seeds = 100;
+  std::uint64_t base_seed = 1;
+  std::size_t threads = 0;  // 0 => MCS_THREADS env, else hardware
+  bool digest_only = false;
+  bool have_single = false;
+  std::size_t single_index = 0;
+  bool have_shrink = false;
+  std::size_t shrink_index = 0;
+  bool have_print_spec = false;
+  std::size_t print_spec_index = 0;
+  std::string replay_path;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::uint64_t& value) {
+      if (i + 1 >= argc) return false;
+      try {
+        value = std::stoull(argv[++i]);
+      } catch (const std::exception&) {
+        return false;
+      }
+      return true;
+    };
+    std::uint64_t v = 0;
+    if (arg == "--seeds" && next(v)) {
+      seeds = static_cast<std::size_t>(v);
+    } else if (arg == "--base" && next(v)) {
+      base_seed = v;
+    } else if (arg == "--threads" && next(v)) {
+      threads = static_cast<std::size_t>(v);
+    } else if (arg == "--seed" && next(v)) {
+      have_single = true;
+      single_index = static_cast<std::size_t>(v);
+    } else if (arg == "--shrink" && next(v)) {
+      have_shrink = true;
+      shrink_index = static_cast<std::size_t>(v);
+    } else if (arg == "--print-spec" && next(v)) {
+      have_print_spec = true;
+      print_spec_index = static_cast<std::size_t>(v);
+    } else if (arg == "--replay" && i + 1 < argc) {
+      replay_path = argv[++i];
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--digest") {
+      digest_only = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_path.empty()) return run_replay(replay_path);
+  if (have_print_spec) {
+    std::cout << mcs::check::to_text(mcs::check::make_spec(
+        mcs::check::seed_for_index(base_seed, print_spec_index)));
+    return 0;
+  }
+  if (have_shrink) return run_shrink(base_seed, shrink_index, out_path);
+  if (have_single) {
+    const SeedRunResult r = mcs::check::run_seed(
+        mcs::check::seed_for_index(base_seed, single_index));
+    print_result(r);
+    return r.ok ? 0 : 1;
+  }
+
+  mcs::parallel::ThreadPool pool(threads);
+  FuzzOptions opt;
+  opt.seeds = seeds;
+  opt.base_seed = base_seed;
+  opt.pool = &pool;
+  const FuzzReport report = mcs::check::run_fuzz(opt);
+
+  if (digest_only) {
+    std::cout << "summary " << hex16(report.summary_digest) << "\n";
+  } else {
+    std::cout << "mcs_check: " << report.seeds_run << " seeds, "
+              << report.total_events << " events, "
+              << report.total_transitions << " transitions, "
+              << report.total_checks << " oracle sweeps\n"
+              << "  jobs completed=" << report.total_completed
+              << " abandoned=" << report.total_abandoned
+              << " tasks killed=" << report.total_tasks_killed << "\n"
+              << "  summary digest " << hex16(report.summary_digest) << "\n";
+    for (std::size_t i = 0; i < report.failures.size(); ++i) {
+      std::cout << "FAIL index " << report.failing_indices[i] << " ";
+      print_result(report.failures[i]);
+    }
+    if (report.failures.empty()) {
+      std::cout << "  no violations\n";
+    } else {
+      std::cout << report.failures.size()
+                << " violating seed(s); shrink with --shrink <index>\n";
+    }
+  }
+  return report.failures.empty() ? 0 : 1;
+}
