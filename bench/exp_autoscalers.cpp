@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "autoscale/autoscaler.hpp"
+#include "exp/obs_harness.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "metrics/stats.hpp"
@@ -36,9 +37,11 @@ struct CellResult {
   double cost = 0.0;
   double mean_slowdown = 0.0;
   double p95_slowdown = 0.0;
+  exp::ObsCapture obs;
 };
 
-CellResult run_cell(const std::string& name, std::uint64_t trace_seed) {
+CellResult run_cell(const std::string& name, std::uint64_t trace_seed,
+                    const exp::SweepPoint& p, const exp::SweepCli& cli) {
   sim::Rng rng(trace_seed);
   workload::TraceConfig trace;
   trace.job_count = 90;
@@ -55,10 +58,15 @@ CellResult run_cell(const std::string& name, std::uint64_t trace_seed) {
   config.max_machines = 48;
   config.provisioning.boot_delay = 60 * sim::kSecond;
   config.provisioning.price_per_machine_hour = 0.20;
+  exp::CellObs cellobs(cli);
+  obs::Registry cell_registry;  // autoscale + engine instruments land here
+  config.tracer = cellobs.tracer();
+  config.registry = cellobs.enabled() ? &cell_registry : nullptr;
   const auto r = autoscale::run_autoscaled(
       dc, std::move(jobs), autoscale::make_autoscaler(name), config);
 
   CellResult out;
+  out.obs = cellobs.capture(config.registry, p.scenario == 0 && p.rep == 0);
   out.accuracy_under_norm = r.elasticity.accuracy_under_norm;
   out.accuracy_over_norm = r.elasticity.accuracy_over_norm;
   out.timeshare_under = r.elasticity.timeshare_under;
@@ -92,8 +100,13 @@ int main(int argc, char** argv) {
       names.size(), opt, [&](const exp::SweepPoint& p) {
         // Trace seed depends on the rep only: every autoscaler sees the
         // same job stream within a replication (paired comparison).
-        return run_cell(names[p.scenario], exp::substream_seed(seed, p.rep));
+        return run_cell(names[p.scenario], exp::substream_seed(seed, p.rep),
+                        p, cli);
       });
+
+  exp::ObsAggregate obs_agg;
+  for (const CellResult& cell : cells) obs_agg.fold(cell.obs);
+  if (!obs_agg.report(cli, std::cout)) return 1;
 
   if (cli.digest) {
     metrics::Digest digest;

@@ -12,6 +12,7 @@
 #include <algorithm>
 #include <iostream>
 
+#include "exp/obs_harness.hpp"
 #include "exp/sweep.hpp"
 #include "failures/failure_model.hpp"
 #include "metrics/report.hpp"
@@ -55,11 +56,13 @@ struct CellResult {
   double jobs_abandoned = 0.0;
   double mean_slowdown = 0.0;
   double p95_slowdown = 0.0;
+  exp::ObsCapture obs;  ///< workload-impact run's trace/metrics capture
 };
 
-CellResult run_cell(failures::CorrelationMode mode, std::uint64_t cell_seed,
-                    std::uint64_t workload_seed) {
+CellResult run_cell(failures::CorrelationMode mode, const exp::SweepPoint& p,
+                    std::uint64_t workload_seed, const exp::SweepCli& cli) {
   CellResult out;
+  const std::uint64_t cell_seed = p.seed;
 
   // Part 1: characterize the 14-day failure trace, including the
   // availability tail — the fraction of time with >= 25% of the floor
@@ -112,6 +115,8 @@ CellResult run_cell(failures::CorrelationMode mode, std::uint64_t cell_seed,
     dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
     sim::Simulator sim;
     sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+    exp::CellObs cellobs(cli);
+    engine.set_tracer(cellobs.tracer());
 
     sim::Rng wrng(workload_seed);
     workload::TraceConfig trace;
@@ -129,10 +134,13 @@ CellResult run_cell(failures::CorrelationMode mode, std::uint64_t cell_seed,
     auto events =
         failures::generate_failure_trace(dc, config, 2 * sim::kDay, frng);
     failures::FailureInjector injector(sim, dc, events);
+    injector.attach_observability(cellobs.tracer(), &engine.registry());
     injector.arm([&](infra::MachineId id) { engine.on_machine_failed(id); },
                  [&](infra::MachineId) { engine.kick(); });
     sim.run_until();
 
+    out.obs = cellobs.capture(&engine.registry(),
+                              p.scenario == 0 && p.rep == 0);
     const auto r = sched::summarize_run(engine, dc);
     out.tasks_killed = static_cast<double>(engine.tasks_killed());
     out.jobs_abandoned = static_cast<double>(r.abandoned);
@@ -160,8 +168,12 @@ int main(int argc, char** argv) {
         // job stream within a replication (paired comparison).
         const std::uint64_t workload_seed =
             exp::substream_seed(seed + 1, p.rep);
-        return run_cell(kModes[p.scenario], p.seed, workload_seed);
+        return run_cell(kModes[p.scenario], p, workload_seed, cli);
       });
+
+  exp::ObsAggregate obs_agg;
+  for (const CellResult& cell : cells) obs_agg.fold(cell.obs);
+  if (!obs_agg.report(cli, std::cout)) return 1;
 
   if (cli.digest) {
     metrics::Digest digest;

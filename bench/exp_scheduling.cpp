@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 
+#include "exp/obs_harness.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/report.hpp"
 #include "metrics/stats.hpp"
@@ -113,11 +114,13 @@ struct PolicyRow {
 /// One replication: the full policy set + portfolio on one substream trace.
 struct CellResult {
   std::vector<PolicyRow> rows;  ///< policy_names() order, then portfolio
+  exp::ObsCapture obs;          ///< portfolio run's trace/metrics capture
 };
 
-CellResult run_cell(const Regime& regime, std::uint64_t trace_seed) {
+CellResult run_cell(const Regime& regime, const exp::SweepPoint& p,
+                    const exp::SweepCli& cli) {
   CellResult cell;
-  sim::Rng rng(trace_seed);
+  sim::Rng rng(p.seed);
   const auto jobs = workload::generate_trace(regime.trace, rng);
   for (const std::string& name : policy_names()) {
     auto dc = make_dc(regime.heterogeneous);
@@ -133,6 +136,8 @@ CellResult run_cell(const Regime& regime, std::uint64_t trace_seed) {
     auto dc = make_dc(regime.heterogeneous);
     sim::Simulator sim;
     sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+    exp::CellObs cellobs(cli);
+    engine.set_tracer(cellobs.tracer());
     engine.submit_all(jobs);
     sched::PortfolioScheduler portfolio(sim, dc, engine,
                                         sched::default_portfolio(),
@@ -140,6 +145,8 @@ CellResult run_cell(const Regime& regime, std::uint64_t trace_seed) {
     portfolio.start();
     sim.run_until();
     const auto r = sched::summarize_run(engine, dc);
+    cell.obs = cellobs.capture(&engine.registry(),
+                               p.scenario == 0 && p.rep == 0);
     PolicyRow row;
     row.mean_slowdown = r.mean_slowdown;
     row.p95_slowdown = r.p95_slowdown;
@@ -167,8 +174,15 @@ int main(int argc, char** argv) {
 
   const auto cells = exp::run_sweep<CellResult>(
       regimes.size(), opt, [&](const exp::SweepPoint& p) {
-        return run_cell(regimes[p.scenario], p.seed);
+        return run_cell(regimes[p.scenario], p, cli);
       });
+
+  // Observability rider: fold per-cell captures in flat grid order so the
+  // printed `trace digest` line is bit-identical at any MCS_THREADS (the
+  // obs.determinism contract).
+  exp::ObsAggregate obs_agg;
+  for (const CellResult& cell : cells) obs_agg.fold(cell.obs);
+  if (!obs_agg.report(cli, std::cout)) return 1;
 
   if (cli.digest) {
     // Per-cell digests merged in flat grid order: bit-identical at any

@@ -7,6 +7,7 @@
 
 #include "exp/sweep.hpp"
 #include "metrics/elasticity.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sched/engine.hpp"
 #include "sim/arrival.hpp"
@@ -112,6 +113,39 @@ void BM_EngineThroughput(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_EngineThroughput);
+
+void BM_EngineThroughputTraced(benchmark::State& state) {
+  // BM_EngineThroughput with the observability layer switched ON: a
+  // 64Ki-event Tracer attached via set_tracer, so every job arrival /
+  // task start / span lands in the ring. The delta vs BM_EngineThroughput
+  // is the enabled-tracing overhead budget (DESIGN.md §11); with no
+  // tracer attached the cost is one null check per emission site.
+  sim::Rng rng(7);
+  workload::TraceConfig tc;
+  tc.job_count = 512;
+  tc.arrival_rate_per_hour = 40000.0;
+  tc.mean_tasks_per_job = 8.0;
+  tc.mean_task_seconds = 120.0;
+  tc.cv_task_seconds = 1.5;
+  const auto jobs = workload::generate_trace(tc, rng);
+  for (auto _ : state) {
+    infra::Datacenter dc("bm-dc", "eu");
+    dc.add_uniform_racks(4, 8, infra::ResourceVector{8.0, 32.0, 0.0}, 1.0);
+    sim::Simulator sim;
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+    obs::Tracer tracer(1 << 16);
+    engine.set_tracer(&tracer);
+    engine.submit_all(jobs);
+    sim.run_until();
+    if (engine.jobs_submitted() != jobs.size()) {
+      state.SkipWithError("jobs lost");
+    }
+    benchmark::DoNotOptimize(tracer.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineThroughputTraced);
 
 void BM_SweepScaling(benchmark::State& state) {
   // Wall-clock scaling of exp::run_sweep: 16 independent scheduling

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Trace-digest determinism check (the obs.determinism gate; DESIGN.md §11).
+#
+# Runs each given sweep binary with `--reps 2 --trace <tmp>` twice at
+# MCS_THREADS=1 and twice at MCS_THREADS=8 and requires all four printed
+# `trace digest <16-hex>` lines to agree, plus byte-identical exemplar
+# Chrome trace files. The trace digest folds every cell's event ring
+# (timestamps, seqs, payloads, name tables) and the merged instrument
+# registry is derived from the same cells — so this is the standing check
+# that the observability layer itself is a pure function of the scenario
+# seeds, independent of thread count and wall clock.
+#
+# Usage: scripts/check_trace_determinism.sh /path/to/exp_scheduling \
+#            [/path/to/other_sweep ...] [-- --reps N]
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+  echo "usage: $0 /path/to/sweep_exp [...]" >&2
+  exit 2
+fi
+
+reps=2
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+for exe in "$@"; do
+  if [[ ! -x "${exe}" ]]; then
+    echo "usage: $0 /path/to/sweep_exp [...]" >&2
+    exit 2
+  fi
+  name="$(basename "${exe}")"
+  declare -a digests=()
+  first_trace=""
+  for run in 1:a 1:b 8:a 8:b; do
+    threads="${run%%:*}"
+    tag="${run##*:}"
+    trace="${tmpdir}/${name}.t${threads}${tag}.json"
+    out="$(MCS_THREADS=${threads} "${exe}" --reps "${reps}" --trace "${trace}")"
+    d="$(printf '%s\n' "${out}" | sed -n 's/^trace digest //p')"
+    if [[ -z "${d}" ]]; then
+      echo "FAIL: ${name} printed no 'trace digest' line" >&2
+      exit 1
+    fi
+    echo "${name} MCS_THREADS=${threads} (${tag}): ${d}"
+    digests+=("${d}")
+    if [[ -z "${first_trace}" ]]; then
+      first_trace="${trace}"
+    elif ! cmp -s "${first_trace}" "${trace}"; then
+      echo "FAIL: ${name} exemplar trace files differ byte-wise" >&2
+      exit 1
+    fi
+  done
+  for d in "${digests[@]:1}"; do
+    if [[ "${d}" != "${digests[0]}" ]]; then
+      echo "FAIL: ${name} trace digests diverge across repeats/thread counts" >&2
+      exit 1
+    fi
+  done
+  unset digests
+done
+
+echo "OK: trace digests and exemplar traces bit-identical across repeats and thread counts"

@@ -268,6 +268,28 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
 
   engine.submit_all(std::move(jobs));
 
+  // Observability: decision instants + demand/supply/target counter
+  // samples into the tracer; tick/scale tallies into the registry.
+  obs::Tracer* tracer = config.tracer;
+  engine.set_tracer(tracer);
+  obs::NameId n_decision{}, n_demand{}, n_supply{}, n_target{};
+  if (tracer != nullptr) {
+    n_decision = tracer->intern("autoscale.decision");
+    n_demand = tracer->intern("autoscale.demand_machines");
+    n_supply = tracer->intern("autoscale.supply_machines");
+    n_target = tracer->intern("autoscale.target_machines");
+  }
+  obs::Counter* ctr_ticks = nullptr;
+  obs::Counter* ctr_ups = nullptr;
+  obs::Counter* ctr_downs = nullptr;
+  obs::Gauge* g_target = nullptr;
+  if (config.registry != nullptr) {
+    ctr_ticks = &config.registry->counter("autoscale.ticks");
+    ctr_ups = &config.registry->counter("autoscale.scale_ups");
+    ctr_downs = &config.registry->counter("autoscale.scale_downs");
+    g_target = &config.registry->gauge("autoscale.target_machines");
+  }
+
   AutoscaleRunResult result;
   result.autoscaler = autoscaler->name();
   metrics::StepSeries demand_machines_series;
@@ -297,7 +319,25 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
     const std::size_t target = std::clamp(autoscaler->decide(ctx),
                                           config.min_machines,
                                           config.max_machines);
+    const std::size_t supply_before = pool.active();
     pool.set_target(target);
+    if (tracer != nullptr) {
+      tracer->instant(sim.now(), n_decision, 0,
+                      static_cast<std::int64_t>(target),
+                      static_cast<std::int64_t>(supply_before));
+      tracer->counter(sim.now(), n_demand,
+                      static_cast<std::int64_t>(std::llround(demand_m)));
+      tracer->counter(sim.now(), n_supply,
+                      static_cast<std::int64_t>(supply_before));
+      tracer->counter(sim.now(), n_target,
+                      static_cast<std::int64_t>(target));
+    }
+    if (ctr_ticks != nullptr) {
+      ctr_ticks->add();
+      if (target > supply_before) ctr_ups->add();
+      if (target < supply_before) ctr_downs->add();
+      g_target->set(static_cast<double>(target));
+    }
     ++result.ticks;
     if (!engine.all_done()) {
       sim.schedule_after(config.interval, *tick_holder);
@@ -316,6 +356,9 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
     result.avg_machines = pool.supply_series().time_average(0, horizon);
   }
   result.cost = pool.cost();
+  // Hand the engine's lifecycle instruments to the caller's registry so
+  // one registry holds the whole run's telemetry.
+  if (config.registry != nullptr) config.registry->merge(engine.registry());
   return result;
 }
 

@@ -89,6 +89,14 @@ struct AutoscaleRunConfig {
   sched::ProvisioningConfig provisioning;
   /// Allocation policy for the engine ("" = FCFS).
   std::string allocation_policy;
+  /// Observability (DESIGN.md §11), both optional: the tracer receives the
+  /// engine's lifecycle events plus per-tick `autoscale.decision` instants
+  /// and demand/supply/target counter samples; the registry receives
+  /// autoscale.ticks / scale_ups / scale_downs counters and the
+  /// target-machines gauge (merged with the engine's own instruments when
+  /// the caller passes `&engine.registry()`-style shared registries).
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
 };
 
 struct AutoscaleRunResult {

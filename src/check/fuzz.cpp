@@ -8,6 +8,7 @@
 #include "check/oracle.hpp"
 #include "exp/sweep.hpp"
 #include "metrics/stats.hpp"
+#include "obs/export.hpp"
 #include "sched/engine.hpp"
 #include "sim/random.hpp"
 
@@ -165,6 +166,14 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   InvariantChecker oracle(sim, dc, oracle_options);
   oracle.attach(engine);
 
+  // Flight recorder (DESIGN.md §11): a small ring of the most recent
+  // lifecycle events rides along on every fuzz run. On a violation its
+  // dump lands next to the shrunken repro; its digest is folded into the
+  // per-seed digest either way, so the thread-count-invariance gate also
+  // covers the tracing layer.
+  obs::Tracer recorder(/*capacity=*/512);
+  engine.set_tracer(&recorder);
+
   // The injector outlives run_until (its events capture `this`).
   std::vector<failures::FailureEvent> failure_trace;
   if (spec.failures_enabled) {
@@ -176,6 +185,7 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
     }
   }
   failures::FailureInjector injector(sim, dc, failure_trace);
+  injector.attach_observability(&recorder, &engine.registry());
 
   try {
     engine.submit_all(materialize_jobs(spec));
@@ -227,6 +237,7 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
     result.ok = false;
     result.violation = std::string("EXCEPTION: ") + ex.what();
   }
+  if (!result.ok) result.trace_dump = obs::dump_to_string(recorder);
 
   result.events = sim.executed();
   result.transitions = oracle.transitions();
@@ -257,6 +268,11 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
     digest.add_u64(static_cast<std::uint64_t>(j.task_failures));
     digest.add_double(j.slowdown);
   }
+  // The observability layer is part of the determinism contract: fold the
+  // flight-recorder ring digest and the instrument registry too, so any
+  // thread-count-dependent tracing/metrics bug fails the fuzz gates.
+  digest.add_u64(recorder.digest());
+  engine.registry().fold_digest(digest);
   result.digest = digest.value();
   return result;
 }

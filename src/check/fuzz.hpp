@@ -78,6 +78,9 @@ struct SeedRunResult {
   std::uint64_t seed = 0;
   bool ok = true;
   std::string violation;  ///< oracle message when !ok
+  /// Flight-recorder dump (obs::write_dump text) of the last events before
+  /// the violation; empty when ok. mcs_check writes it next to the repro.
+  std::string trace_dump;
   std::uint64_t events = 0;
   std::uint64_t transitions = 0;  ///< engine transitions observed
   std::uint64_t checks = 0;       ///< oracle sweeps performed

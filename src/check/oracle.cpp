@@ -90,9 +90,9 @@ void InvariantChecker::verify(const sched::ExecutionEngine& e,
   ++checks_;
 
   // I1: job conservation. completed_ holds finished *and* abandoned jobs.
-  if (e.submitted_ != e.completed_.size() + e.jobs_.live_count()) {
+  if (e.jobs_submitted() != e.completed_.size() + e.jobs_.live_count()) {
     fail("I1 conservation", where,
-         "submitted=" + std::to_string(e.submitted_) +
+         "submitted=" + std::to_string(e.jobs_submitted()) +
              " != completed=" + std::to_string(e.completed_.size()) +
              " + live=" + std::to_string(e.jobs_.live_count()));
   }
@@ -287,7 +287,7 @@ std::string InvariantChecker::quiescence_report(
     const sched::ExecutionEngine& e) const {
   std::ostringstream out;
   out << e.ready_.size() << " ready, " << e.running_.live_count()
-      << " running, " << (e.submitted_ - e.completed_.size())
+      << " running, " << (e.jobs_submitted() - e.completed_.size())
       << " jobs open;";
   std::size_t shown = 0;
   for (const sched::ReadyTask& rt : e.ready_) {

@@ -1,0 +1,62 @@
+#include "exp/obs_harness.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace mcs::exp {
+
+CellObs::CellObs(const SweepCli& cli, std::size_t ring) {
+  if (cli.trace() || cli.metrics) tracer_.emplace(ring);
+}
+
+ObsCapture CellObs::capture(const obs::Registry* registry, bool exemplar) {
+  ObsCapture c;
+  if (!tracer_.has_value()) return c;
+  c.trace_digest = tracer_->digest();
+  if (registry != nullptr) {
+    c.registry = std::make_shared<obs::Registry>();
+    c.registry->merge(*registry);
+  }
+  if (exemplar) {
+    c.exemplar = std::make_shared<obs::TraceDump>(obs::snapshot(*tracer_));
+  }
+  return c;
+}
+
+void ObsAggregate::fold(const ObsCapture& capture) {
+  digest_.add_u64(capture.trace_digest);
+  if (capture.registry != nullptr) merged_.merge(*capture.registry);
+  if (capture.exemplar != nullptr && exemplar_ == nullptr) {
+    exemplar_ = capture.exemplar;
+  }
+}
+
+bool ObsAggregate::report(const SweepCli& cli, std::ostream& out) const {
+  if (!cli.trace() && !cli.metrics) return true;
+  bool ok = true;
+  if (cli.trace()) {
+    if (exemplar_ != nullptr) {
+      std::ofstream file(cli.trace_path);
+      if (file) {
+        obs::write_chrome_trace(file, *exemplar_);
+        out << "trace written to " << cli.trace_path << " ("
+            << exemplar_->events.size() << " events";
+        if (exemplar_->dropped > 0) {
+          out << ", " << exemplar_->dropped << " dropped";
+        }
+        out << ")\n";
+      } else {
+        out << "trace: cannot write " << cli.trace_path << "\n";
+        ok = false;
+      }
+    }
+    out << "trace digest " << metrics::hex16(trace_digest()) << "\n";
+  }
+  if (cli.metrics) {
+    out << "-- metrics (all cells merged) --\n";
+    merged_.print(out);
+  }
+  return ok;
+}
+
+}  // namespace mcs::exp

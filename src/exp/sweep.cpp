@@ -43,6 +43,18 @@ SweepCli parse_sweep_cli(int argc, const char* const* argv) {
       cli.threads = parse_count(arg, i + 1 < argc ? argv[++i] : nullptr);
     } else if (arg.rfind("--threads=", 0) == 0) {
       cli.threads = parse_count("--threads", arg.c_str() + 10);
+    } else if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--trace: missing file path");
+      }
+      cli.trace_path = argv[++i];
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      cli.trace_path = arg.substr(8);
+      if (cli.trace_path.empty()) {
+        throw std::invalid_argument("--trace: missing file path");
+      }
+    } else if (arg == "--metrics") {
+      cli.metrics = true;
     }
   }
   if (cli.reps == 0) cli.reps = 1;

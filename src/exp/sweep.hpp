@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "parallel/thread_pool.hpp"
@@ -82,11 +83,17 @@ std::vector<R> run_sweep(std::size_t scenarios, const SweepOptions& opt,
 /// Shared command-line vocabulary of the exp_* sweep binaries:
 /// `--reps N` (replications per scenario), `--digest` (print only a
 /// 16-hex-digit digest line for determinism checks), `--threads N`
-/// (override pool size; 0 = MCS_THREADS/hardware).
+/// (override pool size; 0 = MCS_THREADS/hardware), `--trace FILE`
+/// (write a Chrome trace_event JSON of the exemplar cell to FILE, plus a
+/// `trace digest <16-hex>` line over *all* cells), `--metrics` (print the
+/// merged instrument registry after the tables).
 struct SweepCli {
   std::size_t reps = 1;
   bool digest = false;
   std::size_t threads = 0;
+  std::string trace_path;  ///< empty = tracing off
+  bool metrics = false;
+  [[nodiscard]] bool trace() const { return !trace_path.empty(); }
 };
 
 /// Parses the flags above; unknown arguments are ignored so binaries can

@@ -96,6 +96,17 @@ FailureInjector::FailureInjector(sim::Simulator& sim, infra::Datacenter& dc,
                                  std::vector<FailureEvent> trace)
     : sim_(sim), dc_(dc), trace_(std::move(trace)) {}
 
+void FailureInjector::attach_observability(obs::Tracer* tracer,
+                                           obs::Registry* registry) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    n_fail_ = tracer_->intern("machine.fail");
+    n_repair_ = tracer_->intern("machine.repair");
+  }
+  injected_ = registry != nullptr ? &registry->counter("failures.injected")
+                                  : &own_injected_;
+}
+
 void FailureInjector::arm(FailureCallback on_failure,
                           FailureCallback on_repair) {
   for (const FailureEvent& event : trace_) {
@@ -107,12 +118,16 @@ void FailureInjector::arm(FailureCallback on_failure,
         infra::Machine& m = dc_.machine(id);
         if (m.state() == infra::MachineState::kFailed) continue;  // already down
         m.fail();
-        ++injected_;
+        injected_->add();
+        if (tracer_ != nullptr) tracer_->instant(sim_.now(), n_fail_, id);
         if (on_failure) on_failure(id);
         sim_.schedule_after(event.downtime, [this, id, on_repair] {
           infra::Machine& mm = dc_.machine(id);
           if (mm.state() == infra::MachineState::kFailed) {
             mm.repair();
+            if (tracer_ != nullptr) {
+              tracer_->instant(sim_.now(), n_repair_, id);
+            }
             if (on_repair) on_repair(id);
           }
         });

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "infra/topology.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -83,13 +85,28 @@ class FailureInjector {
   /// it to re-evaluate). Either may be empty.
   void arm(FailureCallback on_failure, FailureCallback on_repair = {});
 
-  [[nodiscard]] std::size_t injected_failures() const { return injected_; }
+  /// Hooks the injector into the observability layer (DESIGN.md §11):
+  /// `machine.fail` / `machine.repair` instants land in `tracer` and the
+  /// injected-failure tally moves to `registry`'s "failures.injected"
+  /// counter (so sweep merges aggregate it). Either may be nullptr; call
+  /// before arm().
+  void attach_observability(obs::Tracer* tracer, obs::Registry* registry);
+
+  [[nodiscard]] std::size_t injected_failures() const {
+    return static_cast<std::size_t>(injected_->value());
+  }
 
  private:
   sim::Simulator& sim_;
   infra::Datacenter& dc_;
   std::vector<FailureEvent> trace_;
-  std::size_t injected_ = 0;
+  /// The tally is an obs::Counter so attach_observability can repoint it
+  /// into a shared registry; standalone injectors count into own_injected_.
+  obs::Counter own_injected_;
+  obs::Counter* injected_ = &own_injected_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::NameId n_fail_{};
+  obs::NameId n_repair_{};
 };
 
 }  // namespace mcs::failures

@@ -90,6 +90,69 @@ double Accumulator::quantile(double q) const {
   return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
 }
 
+Histogram Accumulator::histogram() const {
+  if (!keep_samples_) {
+    throw std::logic_error("Accumulator::histogram without sample retention");
+  }
+  Histogram h;
+  for (double x : samples_) h.record(x);
+  return h;
+}
+
+std::size_t Histogram::bucket_of(double v) {
+  if (!(v > 0.0)) return 0;  // <= 0, NaN, and -inf all land in bucket 0
+  int exp = 0;
+  std::frexp(v, &exp);  // v = frac * 2^exp, frac in [0.5, 1)
+  // [1, 2) has exp == 1 → shift so it maps to kZeroExponentBucket.
+  const int b = exp - 1 + kZeroExponentBucket;
+  if (b < 1) return 1;  // positive but below range: first finite bucket
+  if (b >= static_cast<int>(kBuckets)) return kBuckets - 1;
+  return static_cast<std::size_t>(b);
+}
+
+double Histogram::bucket_floor(std::size_t b) {
+  if (b == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(b) - kZeroExponentBucket);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) bins_[i] += other.bins_[i];
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (0-based, nearest-rank style).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += bins_[b];
+    if (seen > rank) {
+      // Geometric midpoint of [floor, 2*floor); bucket 0 reports 0.
+      const double lo = bucket_floor(b);
+      const double mid = lo == 0.0 ? 0.0 : lo * 1.5;
+      return std::min(std::max(mid, min_), max_);
+    }
+  }
+  return max_;
+}
+
 void Digest::add_bytes(const void* data, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
   for (std::size_t i = 0; i < len; ++i) {
@@ -110,16 +173,17 @@ void Digest::merge(const Digest& child) {
   add_bytes(&v, sizeof(v));
 }
 
-std::string Digest::hex() const {
+std::string hex16(std::uint64_t v) {
   static constexpr char kDigits[] = "0123456789abcdef";
   std::string out(16, '0');
-  std::uint64_t v = h_;
   for (std::size_t i = 16; i-- > 0;) {
     out[i] = kDigits[v & 0xf];
     v >>= 4;
   }
   return out;
 }
+
+std::string Digest::hex() const { return hex16(h_); }
 
 double pearson(const std::vector<double>& a, const std::vector<double>& b) {
   if (a.size() != b.size() || a.size() < 2) return 0.0;

@@ -12,6 +12,8 @@
 
 namespace mcs::metrics {
 
+class Histogram;
+
 /// Streaming accumulator: O(1) memory for mean/variance (Welford),
 /// plus optional sample retention for quantiles.
 class Accumulator {
@@ -47,6 +49,11 @@ class Accumulator {
 
   [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
 
+  /// Bins the retained samples through Histogram::record — the one binning
+  /// implementation — so accumulator-derived and instrument-recorded
+  /// histograms always agree. Requires keep_samples.
+  [[nodiscard]] class Histogram histogram() const;
+
  private:
   bool keep_samples_;
   std::size_t n_ = 0;
@@ -57,6 +64,68 @@ class Accumulator {
   double max_ = 0.0;
   mutable std::vector<double> samples_;
   mutable bool sorted_ = true;
+};
+
+/// Fixed-bin log-bucketed histogram (HDR-style): 64 power-of-two buckets
+/// over the value's binary exponent, plus exact count/sum/min/max. This is
+/// the *single* binning implementation in the repository — the obs layer's
+/// histogram instruments (src/obs/registry.hpp) wrap this class and
+/// Accumulator::histogram() bins retained samples through the same
+/// record() path, so bucket boundaries can never drift apart.
+///
+/// record() is allocation-free (the bins are a fixed array) and therefore
+/// legal inside `// mcs-lint: hot` functions. merge() adds bin counts —
+/// exactly associative for the integer state (bins, count) and for sums of
+/// exactly-representable values.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+  /// Bucket index for a value: 0 holds v <= 0 and subnormal magnitudes;
+  /// otherwise floor(log2(v)) shifted so bucket kZeroExponentBucket holds
+  /// [1, 2). Values beyond the range clamp to the first/last bucket.
+  static constexpr int kZeroExponentBucket = 32;
+  [[nodiscard]] static std::size_t bucket_of(double v);
+  /// Inclusive-exclusive value range [lo, hi) covered by bucket b (bucket 0
+  /// reports [0, smallest bound); the last bucket's hi is +infinity).
+  [[nodiscard]] static double bucket_floor(std::size_t b);
+
+  /// Records one observation. Allocation-free.
+  // mcs-lint: hot
+  void record(double v) {
+    ++bins_[bucket_of(v)];
+    ++count_;
+    sum_ += v;
+    if (count_ == 1) {
+      min_ = max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+  }
+
+  /// Adds another histogram's bins/count/sum/min/max into this one.
+  /// Associative: (a+b)+c and a+(b+c) hold identical integer state.
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const { return count_ == 0 ? 0.0 : min_; }
+  [[nodiscard]] double max() const { return count_ == 0 ? 0.0 : max_; }
+  [[nodiscard]] const std::uint64_t* bins() const { return bins_; }
+  [[nodiscard]] std::uint64_t bin(std::size_t b) const { return bins_[b]; }
+
+  /// Bucket-resolution quantile estimate, q in [0,1]: walks the bins and
+  /// returns the geometric midpoint of the bucket holding the q-th
+  /// observation (clamped to the recorded min/max).
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::uint64_t bins_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 /// Order-sensitive FNV-1a digest over a stream of values, with a merge
@@ -81,6 +150,9 @@ class Digest {
   std::uint64_t h_ = 1469598103934665603ull;  // FNV-1a offset basis
   std::uint64_t fed_ = 0;                     // values fed (length guard)
 };
+
+/// 16 lowercase hex digits of an arbitrary u64 (the digest line format).
+[[nodiscard]] std::string hex16(std::uint64_t v);
 
 /// Pearson correlation of two equal-length series; 0 if degenerate.
 [[nodiscard]] double pearson(const std::vector<double>& a,

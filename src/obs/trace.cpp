@@ -1,0 +1,64 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace mcs::obs {
+
+const char* to_string(Phase p) {
+  switch (p) {
+    case Phase::kInstant: return "instant";
+    case Phase::kComplete: return "complete";
+    case Phase::kCounter: return "counter";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("Tracer: capacity must be positive");
+  }
+  ring_.resize(capacity);
+}
+
+NameId Tracer::intern(std::string_view name) {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<NameId>(i);
+  }
+  if (names_.size() > static_cast<std::size_t>(
+                          std::numeric_limits<NameId>::max())) {
+    throw std::length_error("Tracer: name table full");
+  }
+  names_.emplace_back(name);
+  return static_cast<NameId>(names_.size() - 1);
+}
+
+void Tracer::snapshot(std::vector<TraceEvent>& out) const {
+  out.clear();
+  const std::size_t n = size();
+  out.reserve(n);
+  // The ring holds the last `n` records; oldest first is seq order, which
+  // we recover by copying from the wrap point.
+  const std::size_t cap = ring_.size();
+  const std::size_t head = static_cast<std::size_t>(total_ % cap);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = n < cap ? i : (head + i) % cap;
+    out.push_back(ring_[idx]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.at != y.at) return x.at < y.at;
+              return x.seq < y.seq;
+            });
+}
+
+std::uint64_t Tracer::digest() const {
+  // One digest implementation for live tracers and parsed dump files.
+  // (Qualified call: the free-function snapshot, not the member.)
+  return trace_digest(::mcs::obs::snapshot(*this));
+}
+
+}  // namespace mcs::obs

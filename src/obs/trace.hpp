@@ -1,0 +1,154 @@
+// Deterministic simulated-time tracing (the "Operate & Observe" layer of
+// the Fig. 3 reference architecture).
+//
+// obs::Tracer records spans and instant events into a fixed-capacity ring
+// buffer keyed by (sim_time, record_seq). All timestamps are simulated
+// microseconds taken from the caller's sim::Simulator clock — never the
+// wall clock (mcs_lint rule D1 applies to this directory) — so a trace is
+// a pure function of the scenario seed: re-running the same cell yields a
+// bit-identical ring, and sweeps that merge per-cell trace digests in flat
+// grid order are bit-identical at MCS_THREADS=1 and 8.
+//
+// Hot-path contract (DESIGN.md §11): the ring is sized once at
+// construction and record() paths write into it without allocating —
+// names are interned to dense NameIds during setup (intern() is the only
+// allocating call), so emitting from `// mcs-lint: hot` functions is legal
+// under rule H2. When the ring is full the oldest events are overwritten
+// (flight-recorder semantics): `dropped()` reports how many.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mcs::obs {
+
+/// Dense id for an interned event name (Tracer::intern).
+using NameId = std::uint16_t;
+
+/// Chrome trace_event phases this layer emits: an instant marker, a
+/// complete span (start + duration), or a counter sample.
+enum class Phase : std::uint8_t {
+  kInstant = 0,
+  kComplete = 1,
+  kCounter = 2,
+};
+
+[[nodiscard]] const char* to_string(Phase p);
+
+/// One ring entry. `at` is the event's simulated time (span start for
+/// kComplete); `seq` is the global record sequence number, which breaks
+/// ties among same-instant events with the total order they were applied
+/// in — sorting by (at, seq) reconstructs a deterministic timeline.
+struct TraceEvent {
+  sim::SimTime at = 0;
+  std::uint64_t seq = 0;
+  std::int64_t dur = 0;  ///< span duration in µs (kComplete only)
+  std::int64_t a = 0;    ///< payload: job id / counter value / kill count
+  std::int64_t b = 0;    ///< payload: task index / extra detail
+  std::uint32_t track = 0;  ///< timeline lane (machine id, or 0)
+  NameId name = 0;
+  Phase phase = Phase::kInstant;
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+class Tracer {
+ public:
+  /// Ring capacity is fixed at construction; all record-path storage is
+  /// allocated here.
+  explicit Tracer(std::size_t capacity = 4096);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Interns a name to a dense id (returns the existing id on repeat).
+  /// Setup path only — allocates; call before the simulation runs.
+  NameId intern(std::string_view name);
+
+  /// Records an instant event. Allocation-free.
+  // mcs-lint: hot
+  void instant(sim::SimTime at, NameId name, std::uint32_t track = 0,
+               std::int64_t a = 0, std::int64_t b = 0) {
+    TraceEvent& e = next_slot();
+    e.at = at;
+    e.dur = 0;
+    e.a = a;
+    e.b = b;
+    e.track = track;
+    e.name = name;
+    e.phase = Phase::kInstant;
+  }
+
+  /// Records a complete span [start, start+dur). Allocation-free.
+  // mcs-lint: hot
+  void complete(sim::SimTime start, sim::SimTime dur, NameId name,
+                std::uint32_t track = 0, std::int64_t a = 0,
+                std::int64_t b = 0) {
+    TraceEvent& e = next_slot();
+    e.at = start;
+    e.dur = dur;
+    e.a = a;
+    e.b = b;
+    e.track = track;
+    e.name = name;
+    e.phase = Phase::kComplete;
+  }
+
+  /// Records a counter sample (value `v` at time `at`). Allocation-free.
+  // mcs-lint: hot
+  void counter(sim::SimTime at, NameId name, std::int64_t v) {
+    TraceEvent& e = next_slot();
+    e.at = at;
+    e.dur = 0;
+    e.a = v;
+    e.b = 0;
+    e.track = 0;
+    e.name = name;
+    e.phase = Phase::kCounter;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+  /// Events recorded over the tracer's lifetime (including overwritten).
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Events lost to ring wrap-around (flight-recorder overwrite).
+  [[nodiscard]] std::uint64_t dropped() const {
+    return total_ > ring_.size() ? total_ - ring_.size() : 0;
+  }
+  /// Events currently retained in the ring.
+  [[nodiscard]] std::size_t size() const {
+    return total_ < ring_.size() ? static_cast<std::size_t>(total_)
+                                 : ring_.size();
+  }
+
+  [[nodiscard]] const std::string& name(NameId id) const { return names_[id]; }
+  [[nodiscard]] const std::vector<std::string>& names() const { return names_; }
+
+  /// Copies the retained events into `out` sorted by (at, seq) — the
+  /// deterministic timeline order. Export path; allocates freely.
+  void snapshot(std::vector<TraceEvent>& out) const;
+
+  /// Order-sensitive digest of the sorted timeline plus the name table
+  /// (the value trace-determinism gates compare across thread counts).
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Forgets all recorded events (capacity and interned names survive).
+  void clear() { total_ = 0; }
+
+ private:
+  // mcs-lint: hot
+  TraceEvent& next_slot() {
+    TraceEvent& e = ring_[static_cast<std::size_t>(total_ % ring_.size())];
+    e.seq = total_++;
+    return e;
+  }
+
+  std::vector<TraceEvent> ring_;
+  std::vector<std::string> names_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcs::obs

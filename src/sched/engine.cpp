@@ -28,6 +28,33 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
                                  EngineConfig config)
     : sim_(sim), dc_(dc), policy_(std::move(policy)), config_(config) {
   if (!policy_) throw std::invalid_argument("ExecutionEngine: null policy");
+  // Register the engine's instruments once; hot paths record through the
+  // cached pointers (an instrument update is a single integer add, the
+  // same cost as the raw tally members these replaced).
+  ctr_submitted_ = &registry_.counter("jobs.submitted");
+  ctr_completed_ = &registry_.counter("jobs.completed");
+  ctr_abandoned_ = &registry_.counter("jobs.abandoned");
+  ctr_tasks_started_ = &registry_.counter("tasks.started");
+  ctr_tasks_finished_ = &registry_.counter("tasks.finished");
+  ctr_tasks_killed_ = &registry_.counter("tasks.killed");
+  ctr_tasks_scavenged_ = &registry_.counter("tasks.scavenged");
+  h_job_wait_s_ = &registry_.histogram("job.wait_seconds");
+  h_job_response_s_ = &registry_.histogram("job.response_seconds");
+  h_job_slowdown_ = &registry_.histogram("job.slowdown");
+  h_task_runtime_s_ = &registry_.histogram("task.runtime_seconds");
+}
+
+void ExecutionEngine::set_tracer(obs::Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ == nullptr) return;
+  tn_.job_arrived = tracer_->intern("job.arrived");
+  tn_.job = tracer_->intern("job");
+  tn_.job_abandoned = tracer_->intern("job.abandoned");
+  tn_.task_start = tracer_->intern("task.start");
+  tn_.task = tracer_->intern("task");
+  tn_.tasks_killed = tracer_->intern("tasks.killed");
+  tn_.drain = tracer_->intern("drain");
+  tn_.undrain = tracer_->intern("undrain");
 }
 
 std::uint32_t ExecutionEngine::intern_user(const std::string& name) {
@@ -83,7 +110,7 @@ void ExecutionEngine::submit(workload::Job job) {
 
   const sim::SimTime at = jr.job.submit_time;
   id_to_slot_.emplace(id, slot);
-  ++submitted_;
+  ctr_submitted_->add();
   sim_.schedule_at(at, [this, slot] { arrive(slot); });
   notify(EngineTransition::kJobSubmitted);
 }
@@ -151,6 +178,11 @@ void ExecutionEngine::arrive(std::uint32_t job_slot) {
   }
   record_series_point();
   kick();
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), tn_.job_arrived, 0,
+                     static_cast<std::int64_t>(jr.job.id),
+                     static_cast<std::int64_t>(n));
+  }
   notify(EngineTransition::kJobArrived);
 }
 
@@ -182,6 +214,7 @@ void ExecutionEngine::drain(infra::MachineId id) {
   const std::size_t word = id >> 6;
   if (word >= draining_bits_.size()) draining_bits_.resize(word + 1, 0);
   draining_bits_[word] |= std::uint64_t{1} << (id & 63);
+  if (tracer_ != nullptr) tracer_->instant(sim_.now(), tn_.drain, id);
   notify(EngineTransition::kDrained, id);
 }
 void ExecutionEngine::undrain(infra::MachineId id) {
@@ -190,6 +223,7 @@ void ExecutionEngine::undrain(infra::MachineId id) {
     draining_bits_[word] &= ~(std::uint64_t{1} << (id & 63));
   }
   kick();
+  if (tracer_ != nullptr) tracer_->instant(sim_.now(), tn_.undrain, id);
   notify(EngineTransition::kUndrained, id);
 }
 bool ExecutionEngine::is_draining(infra::MachineId id) const {
@@ -310,7 +344,7 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
       if (borrowed_fraction <= config_.scavenging.max_borrow_fraction) {
         held.memory_gib = local;
         runtime_multiplier = 1.0 + config_.scavenging.penalty * borrowed_fraction;
-        ++tasks_scavenged_;
+        ctr_tasks_scavenged_->add();
       } else {
         return false;
       }
@@ -346,6 +380,12 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
   task.completion = sim_.schedule_at(end, [this, key, gen] {
     finish_task(key, gen);
   });
+  ctr_tasks_started_->add();
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), tn_.task_start, machine_id,
+                     static_cast<std::int64_t>(rt.job),
+                     static_cast<std::int64_t>(rt.task_index));
+  }
   notify(EngineTransition::kTaskStarted, machine_id);
   return true;
 }
@@ -364,11 +404,18 @@ void ExecutionEngine::finish_task(std::uint32_t key, std::uint32_t gen) {
   const double core_seconds =
       rt.held.cores * sim::to_seconds(sim_.now() - rt.start);
   busy_core_seconds_ += core_seconds;
+  ctr_tasks_finished_->add();
+  h_task_runtime_s_->record(sim::to_seconds(sim_.now() - rt.start));
 
   JobSlot& jr = jobs_[rt.job_slot];
   user_usage_[jr.user_id] += core_seconds;
   jr.done[rt.task_index] = 1;
   --jr.remaining;
+  if (tracer_ != nullptr) {
+    tracer_->complete(rt.start, sim_.now() - rt.start, tn_.task, rt.machine,
+                      static_cast<std::int64_t>(jr.job.id),
+                      static_cast<std::int64_t>(rt.task_index));
+  }
 
   // Unlock successors via the CSR list (O(out-degree)).
   for (std::uint32_t k = jr.succ_offsets[rt.task_index];
@@ -393,12 +440,14 @@ void ExecutionEngine::on_machine_failed(infra::MachineId id) {
   // The machine has already dropped its allocations via Machine::fail().
   // Index-order scan is safe against removals: complete_job(abandoned)
   // only marks other running slots dead, which the live() check skips.
+  std::int64_t killed_here = 0;
   for (std::uint32_t key = 0; key < running_.size(); ++key) {
     if (!running_.live(key) || running_[key].machine != id) continue;
     const RunningSlot rt = running_[key];
     running_.release(key);
     sim_.cancel(rt.completion);
-    ++tasks_killed_;
+    ctr_tasks_killed_->add();
+    ++killed_here;
 
     if (!jobs_.live(rt.job_slot)) continue;  // job already completed/abandoned
     JobSlot& jr = jobs_[rt.job_slot];
@@ -414,6 +463,9 @@ void ExecutionEngine::on_machine_failed(infra::MachineId id) {
   }
   record_series_point();
   kick();
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_.now(), tn_.tasks_killed, id, killed_here);
+  }
   notify(EngineTransition::kTasksKilled, id);
 }
 
@@ -433,6 +485,20 @@ void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
   stats.tasks = jr.job.tasks.size();
   stats.task_failures = jr.failures;
   stats.abandoned = abandoned;
+  if (abandoned) {
+    ctr_abandoned_->add();
+  } else {
+    ctr_completed_->add();
+    h_job_wait_s_->record(stats.wait_seconds);
+    h_job_response_s_->record(stats.response_seconds);
+    h_job_slowdown_->record(stats.slowdown);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->complete(stats.submit, stats.finish - stats.submit,
+                      abandoned ? tn_.job_abandoned : tn_.job, 0,
+                      static_cast<std::int64_t>(stats.id),
+                      static_cast<std::int64_t>(stats.tasks));
+  }
   completed_.push_back(std::move(stats));
 
   if (abandoned) {

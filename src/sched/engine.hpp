@@ -26,6 +26,8 @@
 #include "core/slot_pool.hpp"
 #include "infra/topology.hpp"
 #include "metrics/elasticity.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sched/allocation.hpp"
 #include "sim/simulator.hpp"
 #include "workload/task.hpp"
@@ -143,18 +145,41 @@ class ExecutionEngine {
   void set_observer(EngineObserver* observer) { observer_ = observer; }
   [[nodiscard]] EngineObserver* observer() const { return observer_; }
 
+  /// Installs (or clears, with nullptr) a flight-recorder tracer: the
+  /// engine emits job/task lifecycle, kill, and drain events into it in
+  /// simulated time (DESIGN.md §11). Independent of the observer slot so
+  /// the invariant oracle and a tracer can ride the same run. The tracer
+  /// must outlive the engine or be cleared first; event names are interned
+  /// at install time so the emit paths stay allocation-free.
+  void set_tracer(obs::Tracer* tracer);
+  [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
   // --- state & metrics -------------------------------------------------------
 
   [[nodiscard]] bool all_done() const;
-  [[nodiscard]] std::size_t jobs_submitted() const { return submitted_; }
+  [[nodiscard]] std::size_t jobs_submitted() const {
+    return static_cast<std::size_t>(ctr_submitted_->value());
+  }
   [[nodiscard]] std::size_t jobs_completed() const { return completed_.size(); }
   [[nodiscard]] const std::vector<JobStats>& completed() const { return completed_; }
   [[nodiscard]] std::size_t ready_count() const { return ready_.size(); }
   [[nodiscard]] std::size_t running_count() const {
     return running_.live_count();
   }
-  [[nodiscard]] std::size_t tasks_killed() const { return tasks_killed_; }
-  [[nodiscard]] std::size_t tasks_scavenged() const { return tasks_scavenged_; }
+  [[nodiscard]] std::size_t tasks_killed() const {
+    return static_cast<std::size_t>(ctr_tasks_killed_->value());
+  }
+  [[nodiscard]] std::size_t tasks_scavenged() const {
+    return static_cast<std::size_t>(ctr_tasks_scavenged_->value());
+  }
+
+  /// The engine's metric instruments (jobs.submitted/completed/abandoned,
+  /// tasks.started/finished/killed/scavenged counters; job wait/response/
+  /// slowdown and task runtime histograms). Always present — the old
+  /// ad-hoc tally members are these counters now — and mergeable across
+  /// engines via obs::Registry::merge in flat sweep order.
+  [[nodiscard]] const obs::Registry& registry() const { return registry_; }
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
 
   /// Demand (cores wanted by ready+running tasks) and supply (cores of
   /// usable, non-draining machines) step series for elasticity metrics.
@@ -262,14 +287,34 @@ class ExecutionEngine {
   std::vector<double> user_usage_;  ///< core-seconds, indexed by user id
 
   std::vector<JobStats> completed_;
-  std::size_t submitted_ = 0;
-  std::size_t tasks_killed_ = 0;
-  std::size_t tasks_scavenged_ = 0;
   double busy_core_seconds_ = 0.0;
   metrics::StepSeries demand_;
   metrics::StepSeries supply_;
   bool schedule_pending_ = false;
   EngineObserver* observer_ = nullptr;
+
+  /// Instruments (registered in the constructor; recorded through cached
+  /// pointers on the hot path — no name lookups after setup).
+  obs::Registry registry_;
+  obs::Counter* ctr_submitted_ = nullptr;
+  obs::Counter* ctr_completed_ = nullptr;
+  obs::Counter* ctr_abandoned_ = nullptr;
+  obs::Counter* ctr_tasks_started_ = nullptr;
+  obs::Counter* ctr_tasks_finished_ = nullptr;
+  obs::Counter* ctr_tasks_killed_ = nullptr;
+  obs::Counter* ctr_tasks_scavenged_ = nullptr;
+  metrics::Histogram* h_job_wait_s_ = nullptr;
+  metrics::Histogram* h_job_response_s_ = nullptr;
+  metrics::Histogram* h_job_slowdown_ = nullptr;
+  metrics::Histogram* h_task_runtime_s_ = nullptr;
+
+  /// Flight recorder (optional) + names interned at set_tracer time.
+  obs::Tracer* tracer_ = nullptr;
+  struct TraceNames {
+    obs::NameId job_arrived{}, job{}, job_abandoned{}, task_start{}, task{},
+        tasks_killed{}, drain{}, undrain{};
+  };
+  TraceNames tn_;
 
   // Scratch buffers reused across scheduling rounds (capacity persists, so
   // rebuilding the per-round view allocates nothing once warmed up).

@@ -225,6 +225,55 @@ TEST(LintH2, AllowCommentSuppresses) {
       findings_for("src/sim/simulator.cpp", code, Rule::kH2).empty());
 }
 
+TEST(LintH2, FlagsResizeInHotFunction) {
+  // resize can reallocate just like push_back; a prior reserve on the same
+  // receiver (fixed upper bound) is the sanctioned pattern.
+  const std::string code = R"cpp(
+    // mcs-lint: hot
+    void grow(std::vector<int>& out, std::size_t n) {
+      out.resize(n);
+    }
+  )cpp";
+  const auto hits = findings_for("src/obs/trace.cpp", code, Rule::kH2);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4);
+
+  const std::string reserved = R"cpp(
+    // mcs-lint: hot
+    void grow(std::vector<int>& out, std::size_t n) {
+      out.reserve(n);
+      out.resize(n);
+    }
+  )cpp";
+  EXPECT_TRUE(findings_for("src/obs/trace.cpp", reserved, Rule::kH2).empty());
+}
+
+TEST(LintH2, ObsRecordPathsAreCovered) {
+  // src/obs/ is a hot directory: H1 fires on std::function there, and the
+  // obs record-path idiom (fixed ring + counter bump) stays H2-clean under
+  // the hot marker — the guarantee the DESIGN.md §11 overhead budget
+  // depends on.
+  const std::string h1 = "std::function<void()> cb;\n";
+  EXPECT_EQ(findings_for("src/obs/registry.cpp", h1, Rule::kH1).size(), 1u);
+
+  const std::string record = R"cpp(
+    // mcs-lint: hot
+    void record(std::uint64_t* bins, std::size_t b, long* count) {
+      ++bins[b];
+      ++*count;
+    }
+  )cpp";
+  EXPECT_TRUE(findings_for("src/obs/registry.hpp", record, Rule::kH2).empty());
+
+  const std::string bad = R"cpp(
+    // mcs-lint: hot
+    void record(std::vector<long>& samples, long v) {
+      samples.push_back(v);
+    }
+  )cpp";
+  EXPECT_EQ(findings_for("src/obs/registry.hpp", bad, Rule::kH2).size(), 1u);
+}
+
 // ---- S1: mutable static state -----------------------------------------------
 
 TEST(LintS1, FlagsMutableStatics) {

@@ -303,5 +303,222 @@ TEST(ReportTest, BannerAndKv) {
   EXPECT_NE(s.find("seed: 42"), std::string::npos);
 }
 
+TEST(TableTest, RowlessTablePrintsHeaderOnly) {
+  Table t({"col-a", "col-b"});
+  EXPECT_EQ(t.rows(), 0u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("col-a"), std::string::npos);
+  EXPECT_NE(s.find("col-b"), std::string::npos);
+  // Top rule + header + separator rule + bottom rule, no row lines.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 4);
+}
+
+TEST(TableTest, ColumnsWidenToWidestCell) {
+  Table t({"x"});
+  t.add_row({"a-very-wide-cell"});
+  t.add_row({"s"});
+  const std::string s = t.to_string();
+  // Every line of the frame must span the widest cell.
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t width = 0;
+  while (std::getline(lines, line)) {
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width);
+  }
+  EXPECT_GT(width, std::string("a-very-wide-cell").size());
+}
+
+TEST(TableTest, PrintAndToStringAgree) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  t.print(os);
+  EXPECT_EQ(os.str(), t.to_string());
+}
+
+// ---- elasticity edge cases --------------------------------------------------
+
+TEST(ElasticityTest, EmptySeriesActAsZeroDemandAndSupply) {
+  StepSeries empty;
+  StepSeries supply;
+  supply.append(0, 4.0);
+  // No demand at all: everything provisioned is waste, nothing is unmet.
+  const auto over = elasticity_report(empty, supply, 0, kHour);
+  EXPECT_DOUBLE_EQ(over.accuracy_under, 0.0);
+  EXPECT_DOUBLE_EQ(over.accuracy_over, 4.0);
+  EXPECT_DOUBLE_EQ(over.timeshare_under, 0.0);
+  EXPECT_DOUBLE_EQ(over.timeshare_over, 1.0);
+  EXPECT_DOUBLE_EQ(over.avg_demand, 0.0);
+  // No supply at all: all demand is unmet for the whole horizon.
+  StepSeries demand;
+  demand.append(0, 2.0);
+  const auto under = elasticity_report(demand, empty, 0, kHour);
+  EXPECT_DOUBLE_EQ(under.accuracy_under, 2.0);
+  EXPECT_DOUBLE_EQ(under.timeshare_under, 1.0);
+  EXPECT_EQ(under.adaptations, 0u);
+  // Risk is fully realized when starved the entire horizon.
+  EXPECT_GT(operational_risk(under), 0.0);
+  EXPECT_LE(operational_risk(under), 1.0);
+}
+
+TEST(ElasticityTest, SingleSampleSeriesHoldsForWholeHorizon) {
+  StepSeries demand, supply;
+  demand.append(0, 3.0);
+  supply.append(0, 3.0);
+  const auto r = elasticity_report(demand, supply, 0, kHour);
+  EXPECT_DOUBLE_EQ(r.accuracy_under, 0.0);
+  EXPECT_DOUBLE_EQ(r.accuracy_over, 0.0);
+  EXPECT_DOUBLE_EQ(r.avg_demand, 3.0);
+  EXPECT_DOUBLE_EQ(r.avg_supply, 3.0);
+  EXPECT_EQ(r.adaptations, 0u);
+  EXPECT_DOUBLE_EQ(r.jitter_per_hour, 0.0);
+}
+
+TEST(StepSeriesTest, TimeAverageOfEmptyOrDegenerateWindowIsZero) {
+  StepSeries s;
+  EXPECT_DOUBLE_EQ(s.time_average(0, kHour), 0.0);
+  s.append(0, 5.0);
+  EXPECT_DOUBLE_EQ(s.time_average(kHour, kHour), 0.0);  // zero-width window
+}
+
+TEST(AccumulatorTest, MergeOfDisjointWindowsMatchesDirectFeed) {
+  // Two accumulators covering disjoint sample windows must merge into the
+  // same state as one accumulator that saw everything (the sweep contract:
+  // per-cell partials folded in flat order).
+  Accumulator lo, hi, all;
+  for (double x : {1.0, 2.0, 3.0}) {
+    lo.add(x);
+    all.add(x);
+  }
+  for (double x : {100.0, 200.0}) {
+    hi.add(x);
+    all.add(x);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), all.count());
+  EXPECT_DOUBLE_EQ(lo.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(lo.mean(), all.mean());
+  EXPECT_NEAR(lo.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(lo.min(), 1.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 200.0);
+  EXPECT_DOUBLE_EQ(lo.median(), all.median());
+}
+
+// ---- Histogram (the single binning implementation) --------------------------
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Non-positive and degenerate values land in bucket 0.
+  EXPECT_EQ(Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(-3.0), 0u);
+  // [1, 2) is the anchor bucket.
+  const auto anchor = static_cast<std::size_t>(Histogram::kZeroExponentBucket);
+  EXPECT_EQ(Histogram::bucket_of(1.0), anchor);
+  EXPECT_EQ(Histogram::bucket_of(1.999), anchor);
+  EXPECT_EQ(Histogram::bucket_of(2.0), anchor + 1);
+  EXPECT_EQ(Histogram::bucket_of(0.5), anchor - 1);
+  // bucket_floor inverts bucket_of at bucket starts.
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(anchor), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(anchor + 3), 8.0);
+  EXPECT_DOUBLE_EQ(Histogram::bucket_floor(0), 0.0);
+  // Extremes clamp instead of indexing out of range.
+  EXPECT_EQ(Histogram::bucket_of(1e308), Histogram::kBuckets - 1);
+  EXPECT_GE(Histogram::bucket_of(1e-300), 1u);
+}
+
+TEST(HistogramTest, RecordTracksExactStats) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  for (double v : {1.0, 3.0, 9.0, 27.0}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 27.0);
+  // Quantiles are bucket-resolution but must stay within [min, max].
+  for (double q : {0.0, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.quantile(q), h.min());
+    EXPECT_LE(h.quantile(q), h.max());
+  }
+}
+
+TEST(HistogramTest, MergeIsAssociativeOnIntegerState) {
+  // (a+b)+c and a+(b+c) must agree bin-for-bin — the property that lets
+  // sweeps merge per-cell histograms in any grouping, as long as the
+  // ordering contract for floating min/max/sum is respected. Integer
+  // values keep the sums exactly representable.
+  auto fill = [](Histogram& h, int lo, int hi) {
+    for (int v = lo; v < hi; ++v) h.record(v);
+  };
+  Histogram a1, b1, c1;
+  fill(a1, 1, 50);
+  fill(b1, 50, 120);
+  fill(c1, 120, 300);
+  Histogram a2, b2, c2;
+  fill(a2, 1, 50);
+  fill(b2, 50, 120);
+  fill(c2, 120, 300);
+
+  // left: (a+b)+c
+  a1.merge(b1);
+  a1.merge(c1);
+  // right: a+(b+c)
+  b2.merge(c2);
+  a2.merge(b2);
+
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_DOUBLE_EQ(a1.sum(), a2.sum());
+  EXPECT_DOUBLE_EQ(a1.min(), a2.min());
+  EXPECT_DOUBLE_EQ(a1.max(), a2.max());
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(a1.bin(b), a2.bin(b)) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(a1.quantile(0.5), a2.quantile(0.5));
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram h, empty;
+  h.record(4.0);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.min(), 4.0);
+  Histogram h2;
+  h2.merge(h);  // empty absorbing non-empty adopts its min/max
+  EXPECT_EQ(h2.count(), 1u);
+  EXPECT_DOUBLE_EQ(h2.min(), 4.0);
+  EXPECT_DOUBLE_EQ(h2.max(), 4.0);
+}
+
+TEST(HistogramTest, AccumulatorExportUsesSameBinning) {
+  // Satellite contract: Accumulator::histogram() goes through
+  // Histogram::record, so the two paths can never disagree on binning.
+  Accumulator acc(true);
+  Histogram direct;
+  for (double v : {0.25, 1.0, 1.5, 2.0, 7.0, 300.0, 0.0}) {
+    acc.add(v);
+    direct.record(v);
+  }
+  const Histogram via = acc.histogram();
+  EXPECT_EQ(via.count(), direct.count());
+  EXPECT_DOUBLE_EQ(via.sum(), direct.sum());
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(via.bin(b), direct.bin(b));
+  }
+}
+
+TEST(HistogramTest, AccumulatorExportWithoutSamplesThrows) {
+  Accumulator acc(false);
+  acc.add(1.0);
+  EXPECT_THROW((void)acc.histogram(), std::logic_error);
+}
+
+TEST(StatsTest, Hex16FormatsFixedWidth) {
+  EXPECT_EQ(hex16(0), "0000000000000000");
+  EXPECT_EQ(hex16(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(hex16(~0ull), "ffffffffffffffff");
+}
+
 }  // namespace
 }  // namespace mcs::metrics

@@ -1,0 +1,367 @@
+// Tests for the deterministic observability layer (src/obs): tracer ring
+// semantics, dump round-trips, digest stability, instrument registry
+// merge/digest behavior, and the engine/injector emission integration.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "failures/failure_model.hpp"
+#include "obs/export.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sched/engine.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mcs;
+
+// ---- Tracer ring ------------------------------------------------------------
+
+TEST(Tracer, InternDeduplicatesAndResolves) {
+  obs::Tracer t(16);
+  const auto a = t.intern("task");
+  const auto b = t.intern("job");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("task"), a);
+  EXPECT_EQ(t.name(a), "task");
+  EXPECT_EQ(t.names().size(), 2u);
+}
+
+TEST(Tracer, RecordsAndSnapshotsInTimeOrder) {
+  obs::Tracer t(16);
+  const auto n = t.intern("e");
+  // Recorded out of time order; snapshot must sort by (at, seq).
+  t.instant(300, n);
+  t.instant(100, n);
+  t.complete(200, 50, n, /*track=*/7, /*a=*/1, /*b=*/2);
+  std::vector<obs::TraceEvent> out;
+  t.snapshot(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].at, 100);
+  EXPECT_EQ(out[1].at, 200);
+  EXPECT_EQ(out[1].dur, 50);
+  EXPECT_EQ(out[1].track, 7u);
+  EXPECT_EQ(out[2].at, 300);
+  EXPECT_EQ(t.total(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, SameInstantEventsKeepRecordOrderViaSeq) {
+  obs::Tracer t(8);
+  const auto n = t.intern("e");
+  t.instant(500, n, 0, /*a=*/1);
+  t.instant(500, n, 0, /*a=*/2);
+  t.instant(500, n, 0, /*a=*/3);
+  std::vector<obs::TraceEvent> out;
+  t.snapshot(out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].a, 1);
+  EXPECT_EQ(out[1].a, 2);
+  EXPECT_EQ(out[2].a, 3);
+  EXPECT_LT(out[0].seq, out[1].seq);
+  EXPECT_LT(out[1].seq, out[2].seq);
+}
+
+TEST(Tracer, RingOverwritesOldestFlightRecorderStyle) {
+  obs::Tracer t(4);
+  const auto n = t.intern("e");
+  for (int i = 0; i < 10; ++i) {
+    t.instant(i * 10, n, 0, /*a=*/i);
+  }
+  EXPECT_EQ(t.total(), 10u);
+  EXPECT_EQ(t.size(), 4u);
+  EXPECT_EQ(t.dropped(), 6u);
+  std::vector<obs::TraceEvent> out;
+  t.snapshot(out);
+  ASSERT_EQ(out.size(), 4u);
+  // The last 4 records survive.
+  EXPECT_EQ(out[0].a, 6);
+  EXPECT_EQ(out[3].a, 9);
+}
+
+TEST(Tracer, ClearKeepsNamesAndCapacity) {
+  obs::Tracer t(8);
+  const auto n = t.intern("e");
+  t.instant(1, n);
+  t.clear();
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.total(), 0u);
+  EXPECT_EQ(t.capacity(), 8u);
+  EXPECT_EQ(t.name(n), "e");
+}
+
+TEST(Tracer, ZeroCapacityThrows) {
+  EXPECT_THROW(obs::Tracer t(0), std::invalid_argument);
+}
+
+TEST(Tracer, IdenticalRecordingsDigestIdentically) {
+  auto record = [](obs::Tracer& t) {
+    const auto n1 = t.intern("x");
+    const auto n2 = t.intern("y");
+    t.instant(10, n1, 1, 5);
+    t.complete(20, 7, n2, 2, 6, 7);
+    t.counter(30, n1, 42);
+  };
+  obs::Tracer a(32), b(32);
+  record(a);
+  record(b);
+  EXPECT_EQ(a.digest(), b.digest());
+  // A payload difference must change the digest.
+  obs::Tracer c(32);
+  record(c);
+  c.instant(40, c.intern("x"));
+  EXPECT_NE(a.digest(), c.digest());
+}
+
+// ---- dump round-trip & exports ----------------------------------------------
+
+TEST(TraceExport, DumpRoundTripPreservesEventsAndDigest) {
+  obs::Tracer t(16);
+  const auto n1 = t.intern("task");
+  const auto n2 = t.intern("machine.fail");
+  t.complete(100, 50, n1, 3, 7, 1);
+  t.instant(120, n2, 3);
+  t.counter(130, n1, 42);
+
+  const obs::TraceDump dump = obs::snapshot(t);
+  std::ostringstream out;
+  obs::write_dump(out, dump);
+  std::istringstream in(out.str());
+  const obs::TraceDump back = obs::read_dump(in);
+
+  EXPECT_EQ(back.names, dump.names);
+  EXPECT_EQ(back.events, dump.events);
+  EXPECT_EQ(back.dropped, dump.dropped);
+  EXPECT_EQ(back.total, dump.total);
+  EXPECT_EQ(obs::trace_digest(back), t.digest());
+}
+
+TEST(TraceExport, ReadDumpSkipsLeadingComments) {
+  obs::Tracer t(4);
+  t.instant(1, t.intern("e"));
+  std::ostringstream out;
+  out << "# flight recorder for seed 7\n\n";
+  obs::write_dump(out, obs::snapshot(t));
+  std::istringstream in(out.str());
+  EXPECT_EQ(obs::read_dump(in).events.size(), 1u);
+}
+
+TEST(TraceExport, ReadDumpRejectsMalformedInput) {
+  {
+    std::istringstream in("not-a-trace v9\n");
+    EXPECT_THROW(obs::read_dump(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("mcs-trace v1\nnames 1\n0 e\nevents 2 dropped 0 total 2\n1 0 0 0 0 0 0 0\n");
+    // Declares 2 events, provides 1.
+    EXPECT_THROW(obs::read_dump(in), std::invalid_argument);
+  }
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormedJsonShape) {
+  obs::Tracer t(8);
+  const auto n = t.intern("task");
+  t.complete(100, 50, n, 3);
+  t.instant(120, n);
+  t.counter(130, n, 9);
+  std::ostringstream out;
+  obs::write_chrome_trace(out, obs::snapshot(t));
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":50"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceExport, TimelineListsEventsInOrder) {
+  obs::Tracer t(8);
+  const auto n = t.intern("task");
+  t.instant(200, n);
+  t.complete(100, 5, n);
+  std::ostringstream out;
+  obs::write_timeline(out, obs::snapshot(t));
+  const std::string text = out.str();
+  const auto span = text.find("span");
+  const auto instant = text.find("instant");
+  ASSERT_NE(span, std::string::npos);
+  ASSERT_NE(instant, std::string::npos);
+  EXPECT_LT(span, instant);  // 100us span line precedes 200us instant line
+}
+
+// ---- Registry ---------------------------------------------------------------
+
+TEST(Registry, FindOrCreateReturnsStableReferences) {
+  obs::Registry r;
+  obs::Counter& c = r.counter("jobs");
+  c.add(2);
+  // Creating more instruments must not invalidate earlier references
+  // (deque storage contract).
+  for (int i = 0; i < 100; ++i) {
+    r.counter("c" + std::to_string(i));
+  }
+  c.add(3);
+  EXPECT_EQ(r.counter("jobs").value(), 5u);
+  EXPECT_EQ(r.size(), 101u);
+}
+
+TEST(Registry, KindMismatchThrows) {
+  obs::Registry r;
+  r.counter("x");
+  EXPECT_THROW(r.gauge("x"), std::logic_error);
+  EXPECT_THROW(r.histogram("x"), std::logic_error);
+  EXPECT_EQ(r.find_gauge("x"), nullptr);
+  EXPECT_NE(r.find_counter("x"), nullptr);
+  EXPECT_EQ(r.find_counter("absent"), nullptr);
+}
+
+TEST(Registry, MergeCreatesAndCombines) {
+  obs::Registry a, b;
+  a.counter("n").add(1);
+  a.histogram("h").record(2.0);
+  b.counter("n").add(10);
+  b.gauge("g").set(3.0);
+  b.histogram("h").record(8.0);
+  a.merge(b);
+  EXPECT_EQ(a.counter("n").value(), 11u);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 3.0);
+  EXPECT_EQ(a.histogram("h").count(), 2u);
+  EXPECT_DOUBLE_EQ(a.histogram("h").sum(), 10.0);
+}
+
+TEST(Registry, GaugeMergeTakesLastValueAndMaxOfMaxes) {
+  obs::Gauge a, b;
+  a.set(5.0);
+  a.set(2.0);  // max 5, last 2
+  b.set(4.0);  // max 4, last 4
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+  obs::Gauge unset;
+  a.merge(unset);  // merging a never-set gauge changes nothing
+  EXPECT_DOUBLE_EQ(a.value(), 4.0);
+}
+
+TEST(Registry, DigestIsOrderSensitiveAndValueSensitive) {
+  auto fill = [](obs::Registry& r, std::uint64_t n) {
+    r.counter("a").add(n);
+    r.gauge("g").set(1.0);
+    r.histogram("h").record(3.0);
+  };
+  obs::Registry r1, r2, r3;
+  fill(r1, 4);
+  fill(r2, 4);
+  fill(r3, 5);
+  metrics::Digest d1, d2, d3;
+  r1.fold_digest(d1);
+  r2.fold_digest(d2);
+  r3.fold_digest(d3);
+  EXPECT_EQ(d1.value(), d2.value());
+  EXPECT_NE(d1.value(), d3.value());
+}
+
+TEST(Registry, PrintListsInRegistrationOrder) {
+  obs::Registry r;
+  r.counter("zeta").add(1);
+  r.counter("alpha").add(2);
+  std::ostringstream out;
+  r.print(out);
+  const std::string text = out.str();
+  EXPECT_LT(text.find("zeta"), text.find("alpha"));
+}
+
+// ---- engine / injector integration ------------------------------------------
+
+workload::Job make_job(int id, sim::SimTime submit) {
+  workload::Job job;
+  job.id = id;
+  job.submit_time = submit;
+  workload::Task task;
+  task.demand = infra::ResourceVector{1.0, 1.0, 0.0};
+  task.work_seconds = 10.0;
+  job.tasks.push_back(task);
+  return job;
+}
+
+TEST(EngineObs, LifecycleEventsLandInTracerAndRegistry) {
+  infra::Datacenter dc("obs-dc", "eu");
+  dc.add_uniform_racks(1, 2, infra::ResourceVector{4, 16, 0}, 1.0);
+  sim::Simulator sim;
+  sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+  obs::Tracer tracer(256);
+  engine.set_tracer(&tracer);
+  engine.submit_all({make_job(0, 0), make_job(1, sim::kSecond)});
+  sim.run_until();
+
+  // Registry instruments replaced the old ad-hoc tallies.
+  EXPECT_EQ(engine.jobs_submitted(), 2u);
+  const auto* completed = engine.registry().find_counter("jobs.completed");
+  ASSERT_NE(completed, nullptr);
+  EXPECT_EQ(completed->value(), 2u);
+  const auto* runtime =
+      engine.registry().find_histogram("task.runtime_seconds");
+  ASSERT_NE(runtime, nullptr);
+  EXPECT_EQ(runtime->count(), 2u);
+
+  // The tracer saw job arrivals, task spans, and job spans.
+  const obs::TraceDump dump = obs::snapshot(tracer);
+  std::size_t spans = 0, instants = 0;
+  for (const auto& e : dump.events) {
+    if (e.phase == obs::Phase::kComplete) ++spans;
+    if (e.phase == obs::Phase::kInstant) ++instants;
+  }
+  EXPECT_EQ(spans, 4u);     // 2 task spans + 2 job spans
+  EXPECT_GE(instants, 4u);  // 2 arrivals + 2 task starts
+}
+
+TEST(EngineObs, TracerlessRunsBehaveIdentically) {
+  auto run = [](bool traced) {
+    infra::Datacenter dc("obs-dc", "eu");
+    dc.add_uniform_racks(1, 2, infra::ResourceVector{4, 16, 0}, 1.0);
+    sim::Simulator sim;
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
+    obs::Tracer tracer(64);
+    if (traced) engine.set_tracer(&tracer);
+    engine.submit_all({make_job(0, 0)});
+    sim.run_until();
+    return sim.now();
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FailureObs, InjectorCountsAndEmits) {
+  infra::Datacenter dc("obs-dc", "eu");
+  dc.add_uniform_racks(1, 4, infra::ResourceVector{4, 16, 0}, 1.0);
+  sim::Simulator sim;
+  obs::Tracer tracer(64);
+  obs::Registry registry;
+  std::vector<failures::FailureEvent> events(1);
+  events[0].at = 5 * sim::kSecond;
+  events[0].downtime = sim::kSecond;
+  events[0].machines = {0, 1};
+  failures::FailureInjector injector(sim, dc, events);
+  injector.attach_observability(&tracer, &registry);
+  injector.arm({}, {});
+  sim.run_until();
+
+  EXPECT_EQ(injector.injected_failures(), 2u);
+  EXPECT_EQ(registry.counter("failures.injected").value(), 2u);
+  const obs::TraceDump dump = obs::snapshot(tracer);
+  std::size_t fails = 0, repairs = 0;
+  for (const auto& e : dump.events) {
+    const std::string& name = dump.names[e.name];
+    if (name == "machine.fail") ++fails;
+    if (name == "machine.repair") ++repairs;
+  }
+  EXPECT_EQ(fails, 2u);
+  EXPECT_EQ(repairs, 2u);
+}
+
+}  // namespace

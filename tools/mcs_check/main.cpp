@@ -52,6 +52,21 @@ std::string hex16(std::uint64_t v) {
   return out.str();
 }
 
+/// Writes the flight-recorder dump of a failing run next to its repro.
+/// Returns the path on success, "" when there was nothing to write.
+std::string write_trace_dump(const SeedRunResult& r, const std::string& path) {
+  if (r.trace_dump.empty()) return "";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "mcs_check: cannot write trace dump: " << path << "\n";
+    return "";
+  }
+  out << "# flight recorder for seed " << r.seed
+      << " (convert: mcs_trace --chrome " << path << ")\n"
+      << r.trace_dump;
+  return path;
+}
+
 void print_result(const SeedRunResult& r) {
   std::cout << "seed " << r.seed << ": " << (r.ok ? "ok" : "VIOLATION")
             << " events=" << r.events << " transitions=" << r.transitions
@@ -80,6 +95,17 @@ int run_replay(const std::string& path) {
   }
   const SeedRunResult r = mcs::check::run_spec(spec);
   print_result(r);
+  if (!r.ok) {
+    // Dump into the working directory (not next to the repro, which may
+    // live in the read-only source tree).
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::string trace_path = write_trace_dump(r, base + ".trace");
+    if (!trace_path.empty()) {
+      std::cout << "flight recorder -> " << trace_path << "\n";
+    }
+  }
   return r.ok ? 0 : 1;
 }
 
@@ -110,6 +136,11 @@ int run_shrink(std::uint64_t base_seed, std::size_t index,
       << mcs::check::to_text(shrunk.spec);
   std::cout << "index " << index << " (seed " << seed << ") shrunk after "
             << shrunk.attempts << " runs -> " << path << "\n";
+  const std::string trace_path = write_trace_dump(shrunk.result,
+                                                  path + ".trace");
+  if (!trace_path.empty()) {
+    std::cout << "flight recorder -> " << trace_path << "\n";
+  }
   print_result(shrunk.result);
   return 1;  // a shrunken repro means the scenario fails
 }
@@ -203,6 +234,13 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < report.failures.size(); ++i) {
       std::cout << "FAIL index " << report.failing_indices[i] << " ";
       print_result(report.failures[i]);
+      const std::string trace_path = write_trace_dump(
+          report.failures[i], "mcs_check_fail_" +
+                                  std::to_string(report.failing_indices[i]) +
+                                  ".trace");
+      if (!trace_path.empty()) {
+        std::cout << "  flight recorder -> " << trace_path << "\n";
+      }
     }
     if (report.failures.empty()) {
       std::cout << "  no violations\n";

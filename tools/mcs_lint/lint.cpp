@@ -229,7 +229,7 @@ Markers parse_markers(const std::vector<Comment>& comments) {
 struct PathPolicy {
   bool in_src = false;
   bool d1_exempt = false;   ///< src/sim/random.* and src/parallel/
-  bool hot_dir = false;     ///< src/sim/, src/graph/, src/parallel/
+  bool hot_dir = false;     ///< src/sim/, src/graph/, src/parallel/, src/obs/
   bool s1_whitelisted = false;
 };
 
@@ -245,7 +245,7 @@ PathPolicy classify_path(const std::string& tag) {
   p.d1_exempt =
       contains(t, "src/sim/random.") || contains(t, "src/parallel/");
   p.hot_dir = contains(t, "src/sim/") || contains(t, "src/graph/") ||
-              contains(t, "src/parallel/");
+              contains(t, "src/parallel/") || contains(t, "src/obs/");
   // Deliberate process-wide singletons, reviewed in DESIGN.md: the shared
   // worker pool (parallel substrate) is the only allowed mutable static.
   p.s1_whitelisted = contains(t, "src/parallel/thread_pool.cpp");
@@ -666,7 +666,8 @@ class Analyzer {
                  toks_[i - 2].kind == TokKind::kIdent) {
         if (Scope* f = function_scope()) f->reserved.insert(toks_[i - 2].text);
       } else if (t.kind == TokKind::kIdent &&
-                 (t.text == "push_back" || t.text == "emplace_back") &&
+                 (t.text == "push_back" || t.text == "emplace_back" ||
+                  t.text == "resize") &&
                  is(i + 1, "(") && i >= 1 &&
                  (toks_[i - 1].text == "." || toks_[i - 1].text == "->")) {
         std::string receiver =

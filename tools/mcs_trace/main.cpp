@@ -1,0 +1,110 @@
+// mcs_trace — convert flight-recorder dumps to human/tool-readable forms.
+//
+// The fuzzer (mcs_check) and the exp_* harness write trace dumps in the
+// versioned text format of src/obs/export.hpp. This tool re-renders them:
+//
+//   mcs_trace <dump.trace>                 text timeline to stdout
+//   mcs_trace --timeline <dump.trace>      same, explicit
+//   mcs_trace --chrome <dump.trace>        Chrome trace_event JSON to stdout
+//   mcs_trace --chrome <dump.trace> -o f   ... to file f (open in
+//                                          chrome://tracing or Perfetto)
+//   mcs_trace --digest <dump.trace>        16-hex trace digest (the value
+//                                          folded into fuzz/sweep digests)
+//   mcs_trace --stats <dump.trace>         name table + event/drop counts
+//
+// Exit codes: 0 ok, 1 bad usage, 2 unreadable/malformed dump.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "metrics/stats.hpp"
+#include "obs/export.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: mcs_trace [--timeline|--chrome|--digest|--stats] DUMP\n"
+         "                 [-o FILE]\n"
+         "Converts an mcs-trace flight-recorder dump (see src/obs/export.hpp\n"
+         "for the format). Default mode is --timeline.\n";
+  return 1;
+}
+
+void print_stats(std::ostream& out, const mcs::obs::TraceDump& dump) {
+  out << "events " << dump.events.size() << " dropped " << dump.dropped
+      << " total " << dump.total << "\n";
+  // Per-name event counts, name-table order.
+  std::vector<std::uint64_t> counts(dump.names.size(), 0);
+  for (const auto& e : dump.events) {
+    if (e.name < counts.size()) ++counts[e.name];
+  }
+  for (std::size_t i = 0; i < dump.names.size(); ++i) {
+    out << "  " << dump.names[i] << " = " << counts[i] << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "--timeline";
+  std::string dump_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--timeline" || arg == "--chrome" || arg == "--digest" ||
+        arg == "--stats") {
+      mode = arg;
+    } else if (arg == "-o" || arg == "--out") {
+      if (i + 1 >= argc) return usage();
+      out_path = argv[++i];
+    } else if (arg == "-h" || arg == "--help") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "mcs_trace: unknown flag " << arg << "\n";
+      return usage();
+    } else if (dump_path.empty()) {
+      dump_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (dump_path.empty()) return usage();
+
+  std::ifstream in(dump_path);
+  if (!in) {
+    std::cerr << "mcs_trace: cannot read " << dump_path << "\n";
+    return 2;
+  }
+  mcs::obs::TraceDump dump;
+  try {
+    dump = mcs::obs::read_dump(in);
+  } catch (const std::exception& e) {
+    std::cerr << "mcs_trace: " << dump_path << ": " << e.what() << "\n";
+    return 2;
+  }
+
+  std::ofstream file;
+  std::ostream* out = &std::cout;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) {
+      std::cerr << "mcs_trace: cannot write " << out_path << "\n";
+      return 2;
+    }
+    out = &file;
+  }
+
+  if (mode == "--chrome") {
+    mcs::obs::write_chrome_trace(*out, dump);
+  } else if (mode == "--digest") {
+    *out << mcs::metrics::hex16(mcs::obs::trace_digest(dump)) << "\n";
+  } else if (mode == "--stats") {
+    print_stats(*out, dump);
+  } else {
+    mcs::obs::write_timeline(*out, dump);
+  }
+  return 0;
+}
