@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# The linter must obey the determinism rules it enforces: `--jobs 1` and
+# `--jobs 8` index files on different thread counts, but the merge is
+# path-ordered, so the full report (stdout, exit code, SARIF) must be
+# byte-identical. Runs over the same tree the `lint.tree` ctest gates
+# (src bench tests tools) from the repository root.
+#
+# Usage: scripts/check_lint_determinism.sh /path/to/mcs_lint [paths...]
+set -uo pipefail
+
+exe="${1:-}"
+if [[ -z "${exe}" || ! -x "${exe}" ]]; then
+  echo "usage: $0 /path/to/mcs_lint [paths...]" >&2
+  exit 2
+fi
+shift
+paths=("$@")
+if [[ ${#paths[@]} -eq 0 ]]; then
+  paths=(src bench tests tools)
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+"${exe}" --jobs 1 --sarif "${tmpdir}/j1.sarif" "${paths[@]}" \
+  > "${tmpdir}/j1.out"
+rc1=$?
+"${exe}" --jobs 8 --sarif "${tmpdir}/j8.sarif" "${paths[@]}" \
+  > "${tmpdir}/j8.out"
+rc8=$?
+
+if [[ ${rc1} -ne ${rc8} ]]; then
+  echo "FAIL: exit codes diverge (--jobs 1 -> ${rc1}, --jobs 8 -> ${rc8})" >&2
+  exit 1
+fi
+if ! diff -u "${tmpdir}/j1.out" "${tmpdir}/j8.out"; then
+  echo "FAIL: report text diverges between --jobs 1 and --jobs 8" >&2
+  exit 1
+fi
+if ! diff -u "${tmpdir}/j1.sarif" "${tmpdir}/j8.sarif"; then
+  echo "FAIL: SARIF diverges between --jobs 1 and --jobs 8" >&2
+  exit 1
+fi
+
+echo "OK: byte-identical lint output at --jobs 1 and --jobs 8 (exit ${rc1})"

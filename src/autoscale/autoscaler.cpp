@@ -65,6 +65,8 @@ class Hist final : public Autoscaler {
     const std::size_t bucket = static_cast<std::size_t>(
         (ctx.now / sim::kHour) % 24);
     auto& samples = buckets_[bucket];
+    // mcs-lint: allow(H3) — autoscaler ticks are periodic (minutes of sim
+    // time), far off the per-task path the `decide` name collides with.
     samples.push_back(ctx.demand_machines);
     if (samples.size() < 3) {
       // Cold bucket: behave like React.

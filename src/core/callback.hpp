@@ -106,6 +106,8 @@ class UniqueFunction<R(Args...)> {
       ::new (static_cast<void*>(storage_)) D(std::forward<F>(fn));
       ops_ = &inline_ops<D>;
     } else {
+      // mcs-lint: allow(H3) — small-buffer fallback: closures that fit
+      // kInlineSize (all in-tree callbacks) never reach this branch.
       *reinterpret_cast<D**>(storage_) = new D(std::forward<F>(fn));
       ops_ = &heap_ops<D>;
     }

@@ -34,6 +34,8 @@ std::string to_string(EvolutionMechanism m) {
 
 void Ecosystem::record(EvolutionMechanism m, std::string subject,
                        std::string detail) {
+  // mcs-lint: allow(H3) — evolution events are rare (topology changes, not
+  // per-task work); the log is unbounded by design.
   history_.push_back(
       EvolutionRecord{m, std::move(subject), std::move(detail), step_++});
 }

@@ -197,6 +197,8 @@ Transpose build_transpose(const Graph& g) {
   t.offsets.assign(n + 1, 0);
   for (VertexId w : g.adjacency()) ++t.offsets[w + 1];
   for (VertexId v = 0; v < n; ++v) t.offsets[v + 1] += t.offsets[v];
+  // mcs-lint: allow(H3) — building the transpose allocates its O(m) output
+  // by definition; one allocation per algorithm call, not per edge.
   t.src.resize(g.arc_count());
   std::vector<std::size_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
   for (VertexId v = 0; v < n; ++v) {

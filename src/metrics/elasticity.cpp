@@ -23,6 +23,8 @@ void StepSeries::append(sim::SimTime at, double value) {
     samples_.back().value = value;  // same-instant update wins
     return;
   }
+  // mcs-lint: allow(H3) — unbounded-by-design time series (one step per
+  // supply/demand change); amortized doubling growth.
   samples_.push_back(Sample{at, value});
 }
 

@@ -19,6 +19,8 @@ void Accumulator::add(double x) {
     max_ = std::max(max_, x);
   }
   if (keep_samples_) {
+    // mcs-lint: allow(H3) — opt-in raw-sample retention (percentiles);
+    // amortized doubling growth, accepted when keep_samples is requested.
     samples_.push_back(x);
     sorted_ = false;
   }

@@ -57,6 +57,8 @@ void ThreadPool::worker_loop() {
         error = std::current_exception();
       }
       lock.lock();
+      // mcs-lint: allow(H3) — exception path only: one entry per *failed*
+      // task; the success path never touches errors_.
       if (error) errors_.emplace_back(task, error);
       --in_flight_;
       if (next_task_ >= batch_size_ && in_flight_ == 0) {
@@ -90,6 +92,8 @@ void ThreadPool::run_tasks(std::size_t tasks,
       error = std::current_exception();
     }
     lock.lock();
+    // mcs-lint: allow(H3) — exception path only: one entry per *failed*
+    // task; the success path never touches errors_.
     if (error) errors_.emplace_back(task, error);
     --in_flight_;
   }

@@ -129,6 +129,7 @@ class OrderedPolicy final : public AllocationPolicy {
                      });
     PlannedCapacity planned(view.machines);
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
       if (auto m = pick_machine(view.machines, planned, t.demand, fit_)) {
@@ -185,6 +186,7 @@ class EasyBackfilling final : public AllocationPolicy {
 
     PlannedCapacity planned(view.machines);
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     std::size_t head_pos = 0;
 
     // Greedily start the FCFS prefix.
@@ -235,6 +237,7 @@ class EasyBackfilling final : public AllocationPolicy {
       // Sort this machine's running tasks by end time and release them
       // in order until the task fits.
       std::vector<const RunningView*> on_machine;
+      on_machine.reserve(view.running->size());
       for (const RunningView& r : *view.running) {
         if (r.machine == m->id()) on_machine.push_back(&r);
       }
@@ -288,6 +291,7 @@ class ConservativeBackfilling final : public AllocationPolicy {
     // tasks; a backfill must complete before it.
     std::map<infra::MachineId, sim::SimTime> reservation_at;
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
 
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
@@ -325,6 +329,7 @@ class ConservativeBackfilling final : public AllocationPolicy {
     for (const infra::Machine* m : view.machines) {
       if (!t.demand.fits_within(m->capacity())) continue;
       std::vector<const RunningView*> on_machine;
+      on_machine.reserve(view.running->size());
       for (const RunningView& r : *view.running) {
         if (r.machine == m->id()) on_machine.push_back(&r);
       }
@@ -367,6 +372,7 @@ class Heft final : public AllocationPolicy {
                      });
     PlannedCapacity planned(view.machines);
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
       if (!planned.may_fit_anywhere(t.demand)) continue;
@@ -405,6 +411,7 @@ class MinMin final : public AllocationPolicy {
     PlannedCapacity planned(view.machines);
     std::vector<bool> taken(view.ready->size(), false);
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     for (;;) {
       // For each unassigned task, its minimum completion time and argmin
       // machine under planned capacity.
@@ -460,11 +467,13 @@ class RandomPolicy final : public AllocationPolicy {
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     rng_.shuffle(order);
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
       if (!planned.may_fit_anywhere(t.demand)) continue;
       // Collect fitting machines, pick one uniformly.
       std::vector<infra::MachineId> options;
+      options.reserve(view.machines.size());
       for (const infra::Machine* m : view.machines) {
         if (planned.fits(m->id(), t.demand)) options.push_back(m->id());
       }

@@ -499,6 +499,8 @@ void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
                       static_cast<std::int64_t>(stats.id),
                       static_cast<std::int64_t>(stats.tasks));
   }
+  // mcs-lint: allow(H3) — one append per completed *job* (not per task);
+  // job count is unknown under open arrivals, growth is amortized.
   completed_.push_back(std::move(stats));
 
   if (abandoned) {

@@ -51,6 +51,7 @@ class PipelinePolicy final : public AllocationPolicy {
     }
 
     std::vector<Assignment> out;
+    out.reserve(view.ready->size());
     for (std::size_t idx : order) {
       CandidateSet c;
       c.task = &(*view.ready)[idx];

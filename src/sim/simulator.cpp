@@ -22,6 +22,8 @@ void Simulator::throw_time_in_past() {
 }
 
 void Simulator::grow_slots() {
+  // mcs-lint: allow(H3) — the deliberate amortized slow path: one block
+  // allocation per kSlotBlockSize slot reuses; slots themselves recycle.
   slot_blocks_.push_back(std::make_unique<Slot[]>(kSlotBlockSize));
   slot_capacity_ += static_cast<std::uint32_t>(kSlotBlockSize);
 }

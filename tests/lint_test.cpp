@@ -9,13 +9,17 @@
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
+#include "index.hpp"
 #include "lint.hpp"
 
 namespace {
 
+using mcs::lint::FileInput;
 using mcs::lint::Finding;
 using mcs::lint::Rule;
 using mcs::lint::analyze_file;
+using mcs::lint::analyze_repo;
 
 std::vector<Finding> findings_for(const std::string& tag,
                                   const std::string& code, Rule rule) {
@@ -316,6 +320,372 @@ TEST(LintS1, AllowCommentSuppresses) {
       "static int reviewed_registry_count = 0;  // mcs-lint: allow(S1)\n";
   EXPECT_TRUE(
       findings_for("src/core/registry.cpp", code, Rule::kS1).empty());
+}
+
+// ---- D3: pointer-order nondeterminism ---------------------------------------
+
+TEST(LintD3, FlagsOrderedContainerKeyedOnPointers) {
+  const std::string code = R"cpp(
+    struct Task;
+    std::map<Task*, int> retries;
+    std::set<const Task*> blocked;
+    std::map<int, Task*> by_id;
+  )cpp";
+  const auto hits = findings_for("src/sched/engine.cpp", code, Rule::kD3);
+  ASSERT_EQ(hits.size(), 2u);  // by_id keys on int: value pointers are fine
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_EQ(hits[1].line, 4);
+}
+
+TEST(LintD3, FlagsPointerSortWithoutComparator) {
+  const std::string code = R"cpp(
+    struct Task;
+    void order(std::vector<Task*>& queue) {
+      std::sort(queue.begin(), queue.end());
+    }
+    void fine(std::vector<Task*>& queue) {
+      std::sort(queue.begin(), queue.end(),
+                [](const Task* a, const Task* b) { return true; });
+    }
+    void ints(std::vector<int>& v) { std::sort(v.begin(), v.end()); }
+  )cpp";
+  const auto hits = findings_for("src/sched/engine.cpp", code, Rule::kD3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 4);
+}
+
+TEST(LintD3, PointerKeyedUnorderedFoldEscalatesFromD2) {
+  const std::string code = R"cpp(
+    struct Task;
+    std::unordered_map<Task*, int> retries;
+    int total() {
+      int sum = 0;
+      for (const auto& [k, v] : retries) sum += v;
+      return sum;
+    }
+  )cpp";
+  EXPECT_EQ(findings_for("src/sched/engine.cpp", code, Rule::kD3).size(), 1u);
+  // D3 supersedes D2 on the same loop: the hazard is the keys themselves.
+  EXPECT_TRUE(findings_for("src/sched/engine.cpp", code, Rule::kD2).empty());
+}
+
+TEST(LintD3, AllowCommentSuppresses) {
+  const std::string code =
+      "std::map<void*, int> sizes;  // mcs-lint: allow(D3)\n";
+  EXPECT_TRUE(findings_for("src/core/registry.cpp", code, Rule::kD3).empty());
+}
+
+TEST(LintMarkers, AllowAppliesThroughMultiLineCommentBlock) {
+  // NOLINTNEXTLINE-style: the justification may wrap onto further comment
+  // lines without detaching the marker from the code line below the block.
+  const std::string code =
+      "// mcs-lint: allow(D1) — a long justification that wraps\n"
+      "// onto a second comment line, and then a third one too,\n"
+      "// without detaching the marker from the statement below.\n"
+      "long stamp() { return time(nullptr); }\n";
+  EXPECT_TRUE(findings_for("src/core/x.cpp", code, Rule::kD1).empty());
+}
+
+TEST(LintMarkers, CommentBlockDoesNotLeakPastFirstCodeLine) {
+  const std::string code =
+      "// mcs-lint: allow(D1) — covers only the next statement\n"
+      "int covered() { return time(nullptr); }\n"
+      "int uncovered() { return time(nullptr); }\n";
+  const auto hits = findings_for("src/core/x.cpp", code, Rule::kD1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+}
+
+// ---- index / call graph -----------------------------------------------------
+
+TEST(LintIndex, BuildsFunctionTableWithFacts) {
+  const std::string code = R"cpp(
+    namespace demo {
+    int helper(int x) { return x + 1; }
+    struct Engine {
+      void step() {
+        helper(1);
+        notify();
+      }
+      void notify();
+    };
+    }  // namespace demo
+  )cpp";
+  const mcs::lint::FileIndex idx =
+      mcs::lint::index_file("src/sched/demo.cpp", code);
+  ASSERT_EQ(idx.functions.size(), 2u);
+  EXPECT_EQ(idx.functions[0].name, "helper");
+  EXPECT_EQ(idx.functions[1].qual, "Engine::step");
+  ASSERT_EQ(idx.functions[1].calls.size(), 2u);
+  EXPECT_EQ(idx.functions[1].calls[0].callee, "helper");
+  EXPECT_EQ(idx.functions[1].calls[1].callee, "notify");
+}
+
+TEST(LintIndex, RecordsIncludeEdges) {
+  const std::string code =
+      "#include \"sched/engine.hpp\"\n"
+      "#include <vector>\n";
+  const mcs::lint::FileIndex idx =
+      mcs::lint::index_file("src/exp/sweep.cpp", code);
+  ASSERT_EQ(idx.includes.size(), 2u);
+  EXPECT_EQ(idx.includes[0].path, "sched/engine.hpp");
+  EXPECT_FALSE(idx.includes[0].angled);
+  EXPECT_TRUE(idx.includes[1].angled);
+}
+
+TEST(LintCallGraph, LinksCallsAcrossFiles) {
+  std::vector<mcs::lint::FileIndex> files;
+  files.push_back(mcs::lint::index_file(
+      "src/sched/a.cpp", "void helper() {}\n"));
+  files.push_back(mcs::lint::index_file(
+      "src/sched/b.cpp", "void driver() { helper(); }\n"));
+  const mcs::lint::CallGraph g = mcs::lint::CallGraph::build(files);
+  ASSERT_EQ(g.nodes().size(), 2u);
+  int driver = -1;
+  for (std::size_t n = 0; n < g.nodes().size(); ++n) {
+    if (g.nodes()[n].fn->name == "driver") driver = static_cast<int>(n);
+  }
+  ASSERT_NE(driver, -1);
+  ASSERT_EQ(g.edges(static_cast<std::size_t>(driver)).size(), 1u);
+  EXPECT_EQ(g.nodes()[static_cast<std::size_t>(
+                          g.edges(static_cast<std::size_t>(driver))[0])]
+                .fn->name,
+            "helper");
+}
+
+// ---- H3: transitive hotness -------------------------------------------------
+
+std::vector<Finding> repo_findings(const std::vector<FileInput>& files,
+                                   Rule rule) {
+  std::vector<Finding> out;
+  for (Finding& f : analyze_repo(files).findings) {
+    if (f.rule == rule) out.push_back(std::move(f));
+  }
+  return out;
+}
+
+TEST(LintH3, FlagsAllocationInTransitiveCallee) {
+  // The chain crosses two files: hot root -> mid -> leaf-that-allocates.
+  const std::vector<FileInput> files = {
+      {"src/sched/root.cpp",
+       "void mid(std::vector<int>& v);\n"
+       "// mcs-lint: hot\n"
+       "void dispatch(std::vector<int>& v) { mid(v); }\n"},
+      {"src/sched/mid.cpp",
+       "void leaf(std::vector<int>& v);\n"
+       "void mid(std::vector<int>& v) { leaf(v); }\n"
+       "void leaf(std::vector<int>& v) { v.push_back(1); }\n"},
+  };
+  const auto hits = repo_findings(files, Rule::kH3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/sched/mid.cpp");
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_NE(hits[0].message.find("dispatch -> mid -> leaf"),
+            std::string::npos);
+}
+
+TEST(LintH3, HotFunctionsThemselvesAreH2Territory) {
+  const std::vector<FileInput> files = {
+      {"src/sched/root.cpp",
+       "// mcs-lint: hot\n"
+       "void dispatch(std::vector<int>& v) { v.push_back(1); }\n"},
+  };
+  // The root's own allocation is H2, not H3 — no double report.
+  EXPECT_TRUE(repo_findings(files, Rule::kH3).empty());
+  mcs::lint::RepoResult r = analyze_repo(files);
+  int h2 = 0;
+  for (const Finding& f : r.findings) h2 += f.rule == Rule::kH2;
+  EXPECT_EQ(h2, 1);
+}
+
+TEST(LintH3, AllowOnDefinitionStopsPropagation) {
+  // allow(H3) on the intermediate helper covers its whole subtree.
+  const std::vector<FileInput> files = {
+      {"src/sched/root.cpp",
+       "void mid(std::vector<int>& v);\n"
+       "// mcs-lint: hot\n"
+       "void dispatch(std::vector<int>& v) { mid(v); }\n"},
+      {"src/sched/mid.cpp",
+       "void leaf(std::vector<int>& v);\n"
+       "// mcs-lint: allow(H3) — reviewed amortized growth\n"
+       "void mid(std::vector<int>& v) { leaf(v); }\n"
+       "void leaf(std::vector<int>& v) { v.push_back(1); }\n"},
+  };
+  EXPECT_TRUE(repo_findings(files, Rule::kH3).empty());
+}
+
+TEST(LintH3, ReserveSanctionsTransitiveCallee) {
+  const std::vector<FileInput> files = {
+      {"src/sched/root.cpp",
+       "// mcs-lint: hot\n"
+       "void dispatch(std::vector<int>& v) { fill(v); }\n"
+       "void fill(std::vector<int>& v) {\n"
+       "  v.reserve(8);\n"
+       "  v.push_back(1);\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(repo_findings(files, Rule::kH3).empty());
+}
+
+// ---- D4: determinism roots --------------------------------------------------
+
+TEST(LintD4, FlagsWallClockReachableFromSweepCell) {
+  const std::vector<FileInput> files = {
+      {"bench/exp_demo.cpp",
+       "long stamp() { return time(nullptr); }\n"
+       "int main() {\n"
+       "  run_sweep(scenarios, opt, [](const SweepPoint& p) {\n"
+       "    return stamp();\n"
+       "  });\n"
+       "}\n"},
+  };
+  const auto hits = repo_findings(files, Rule::kD4);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "bench/exp_demo.cpp");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("sweep cell"), std::string::npos);
+}
+
+TEST(LintD4, EnclosingMainMayTimeTheSweep) {
+  // Wall-clock around the sweep (bench timing) is fine: only the cell
+  // lambda is a determinism root, not the enclosing main().
+  const std::vector<FileInput> files = {
+      {"bench/exp_demo.cpp",
+       "int pure(int x) { return x; }\n"
+       "int main() {\n"
+       "  auto t0 = std::chrono::steady_clock::now();\n"
+       "  run_sweep(scenarios, opt, [](const SweepPoint& p) {\n"
+       "    return pure(1);\n"
+       "  });\n"
+       "  auto t1 = std::chrono::steady_clock::now();\n"
+       "}\n"},
+  };
+  EXPECT_TRUE(repo_findings(files, Rule::kD4).empty());
+}
+
+TEST(LintD4, FlagsSimulatorCallbacks) {
+  const std::vector<FileInput> files = {
+      {"tests/sim_demo.cpp",
+       "int jitter() { return rand(); }\n"
+       "void arm(Simulator& sim) {\n"
+       "  sim.schedule_after(10, [&]() { return jitter(); });\n"
+       "}\n"},
+  };
+  const auto hits = repo_findings(files, Rule::kD4);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("simulator callback"), std::string::npos);
+}
+
+// ---- L1: layer DAG ----------------------------------------------------------
+
+TEST(LintL1, FlagsUpwardInclude) {
+  const std::vector<FileInput> files = {
+      {"src/sim/simulator.cpp",
+       "#include \"sched/engine.hpp\"\n"},
+  };
+  const auto hits = repo_findings(files, Rule::kL1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/sim/simulator.cpp");
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_NE(hits[0].message.find("`sim`"), std::string::npos);
+}
+
+TEST(LintL1, FlagsSkipLayerInclude) {
+  // core including a domain module skips every layer in between.
+  const std::vector<FileInput> files = {
+      {"src/core/nfr.cpp", "#include \"faas/platform.hpp\"\n"},
+  };
+  EXPECT_EQ(repo_findings(files, Rule::kL1).size(), 1u);
+}
+
+TEST(LintL1, FlagsModuleCycle) {
+  // sim -> metrics is a legal same-rank edge; metrics -> sim closing the
+  // loop is a cycle and must be reported exactly once.
+  const std::vector<FileInput> files = {
+      {"src/metrics/stats.cpp", "#include \"sim/simulator.hpp\"\n"},
+      {"src/sim/simulator.cpp", "#include \"metrics/stats.hpp\"\n"},
+  };
+  const auto hits = repo_findings(files, Rule::kL1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("cycle"), std::string::npos);
+}
+
+TEST(LintL1, DownwardAndSameRankEdgesAreLegal) {
+  const std::vector<FileInput> files = {
+      {"src/sched/engine.cpp",
+       "#include \"core/nfr.hpp\"\n"
+       "#include \"sim/simulator.hpp\"\n"},
+      {"src/metrics/elasticity.cpp", "#include \"sim/simulator.hpp\"\n"},
+      {"bench/exp_demo.cpp", "#include \"core/nfr.hpp\"\n"},
+  };
+  EXPECT_TRUE(repo_findings(files, Rule::kL1).empty());
+}
+
+// ---- repo analysis infrastructure -------------------------------------------
+
+TEST(LintRepo, JobCountDoesNotChangeOutput) {
+  // The analyzer obeys its own determinism rules: identical findings (and
+  // order) at any indexing thread count.
+  std::vector<FileInput> files;
+  for (int i = 0; i < 24; ++i) {
+    const std::string tag = "src/sched/f" + std::to_string(i) + ".cpp";
+    files.push_back(
+        {tag,
+         "int seed_" + std::to_string(i) + "() { return rand(); }\n"});
+  }
+  mcs::lint::RepoOptions j1;
+  j1.jobs = 1;
+  mcs::lint::RepoOptions j8;
+  j8.jobs = 8;
+  const auto a = analyze_repo(files, j1).findings;
+  const auto b = analyze_repo(files, j8).findings;
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 24u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(mcs::lint::format_finding(a[i]),
+              mcs::lint::format_finding(b[i]));
+    EXPECT_EQ(a[i].fingerprint, b[i].fingerprint);
+  }
+}
+
+TEST(LintRepo, CallgraphDotIsDeterministic) {
+  const std::vector<FileInput> files = {
+      {"src/sched/a.cpp", "void helper() {}\nvoid driver() { helper(); }\n"},
+  };
+  mcs::lint::RepoOptions opt;
+  opt.want_callgraph = true;
+  const std::string d1 = analyze_repo(files, opt).callgraph_dot;
+  const std::string d2 = analyze_repo(files, opt).callgraph_dot;
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1.find("digraph mcs_callgraph"), std::string::npos);
+  EXPECT_NE(d1.find("driver"), std::string::npos);
+}
+
+TEST(LintRepo, SarifContainsFindings) {
+  const std::vector<FileInput> files = {
+      {"src/core/nfr.cpp", "int f() { return rand(); }\n"},
+  };
+  const auto findings = analyze_repo(files).findings;
+  ASSERT_EQ(findings.size(), 1u);
+  const std::string sarif = mcs::lint::to_sarif(findings);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"D1\""), std::string::npos);
+  EXPECT_NE(sarif.find("src/core/nfr.cpp"), std::string::npos);
+}
+
+TEST(LintExplain, EveryRuleHasRationale) {
+  using mcs::lint::Rule;
+  for (Rule r : {Rule::kD1, Rule::kD2, Rule::kD3, Rule::kD4, Rule::kH1,
+                 Rule::kH2, Rule::kH3, Rule::kS1, Rule::kL1}) {
+    ASSERT_NE(mcs::lint::explain(r), nullptr);
+    EXPECT_NE(std::string(mcs::lint::explain(r)).find("Remedy"),
+              std::string::npos)
+        << mcs::lint::rule_name(r);
+  }
+  Rule parsed;
+  EXPECT_TRUE(mcs::lint::parse_rule("H3", parsed));
+  EXPECT_EQ(parsed, Rule::kH3);
+  EXPECT_FALSE(mcs::lint::parse_rule("Z9", parsed));
 }
 
 // ---- infrastructure ---------------------------------------------------------

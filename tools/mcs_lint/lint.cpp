@@ -1,747 +1,145 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
-#include <map>
-#include <set>
+#include <atomic>
+#include <cstdio>
+#include <iterator>
 #include <sstream>
+#include <thread>
+#include <utility>
+
+#include "callgraph.hpp"
+#include "index.hpp"
+#include "rules.hpp"
 
 namespace mcs::lint {
-
-namespace {
-
-// ---- lexer -----------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kPunct, kString, kChar };
-
-struct Token {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-struct Comment {
-  int line;
-  std::string text;
-};
-
-struct LexResult {
-  std::vector<Token> tokens;
-  std::vector<Comment> comments;
-};
-
-bool is_ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Multi-char operators we must not split (a `=` check that matched the
-/// first char of `==` would call every comparison a mutation).
-constexpr std::array<const char*, 24> kMultiPunct = {
-    "<<=", ">>=", "->*", "...", "::", "->", "++", "--", "<<", ">>",
-    "<=",  ">=",  "==",  "!=",  "&&", "||", "+=", "-=", "*=", "/=",
-    "%=",  "&=",  "|=",  "^="};
-
-LexResult lex(const std::string& src) {
-  LexResult out;
-  const std::size_t n = src.size();
-  std::size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // only whitespace seen so far on this line
-
-  auto peek = [&](std::size_t k) -> char {
-    return i + k < n ? src[i + k] : '\0';
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      at_line_start = true;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Preprocessor directive: skip to end of line (honoring \-continuation).
-    if (c == '#' && at_line_start) {
-      while (i < n && src[i] != '\n') {
-        if (src[i] == '\\' && peek(1) == '\n') {
-          ++line;
-          i += 2;
-          continue;
-        }
-        ++i;
-      }
-      continue;
-    }
-    at_line_start = false;
-    // Comments: collected (they carry the suppression/hot markers), never
-    // tokenized.
-    if (c == '/' && peek(1) == '/') {
-      std::size_t start = i + 2;
-      while (i < n && src[i] != '\n') ++i;
-      out.comments.push_back({line, src.substr(start, i - start)});
-      continue;
-    }
-    if (c == '/' && peek(1) == '*') {
-      const int start_line = line;
-      std::size_t start = i + 2;
-      i += 2;
-      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
-      out.comments.push_back({start_line, src.substr(start, i - start)});
-      i = std::min(n, i + 2);
-      continue;
-    }
-    if (is_ident_start(c)) {
-      std::size_t start = i;
-      while (i < n && is_ident_char(src[i])) ++i;
-      std::string word = src.substr(start, i - start);
-      // String/char literal prefixes (R"...", u8"...", L'x', ...): swallow
-      // the literal so its contents never reach the rules.
-      if (i < n && (src[i] == '"' || src[i] == '\'')) {
-        const bool is_raw = !word.empty() && word.back() == 'R';
-        static const std::set<std::string> kPrefixes = {
-            "R", "L", "u", "U", "u8", "LR", "uR", "UR", "u8R"};
-        if (kPrefixes.count(word) != 0) {
-          if (src[i] == '"' && is_raw) {
-            // Raw string: R"delim( ... )delim"
-            std::size_t d0 = i + 1;
-            std::size_t p = d0;
-            while (p < n && src[p] != '(') ++p;
-            const std::string close =
-                ")" + src.substr(d0, p - d0) + "\"";
-            std::size_t end = src.find(close, p);
-            if (end == std::string::npos) end = n;
-            for (std::size_t k = i; k < std::min(n, end); ++k) {
-              if (src[k] == '\n') ++line;
-            }
-            i = std::min(n, end + close.size());
-            out.tokens.push_back({TokKind::kString, "<raw>", line});
-            continue;
-          }
-          // Fall through to the normal literal scanner below.
-          const char quote = src[i];
-          ++i;
-          while (i < n && src[i] != quote) {
-            if (src[i] == '\\') ++i;
-            if (i < n && src[i] == '\n') ++line;
-            ++i;
-          }
-          if (i < n) ++i;
-          out.tokens.push_back(
-              {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
-          continue;
-        }
-      }
-      out.tokens.push_back({TokKind::kIdent, std::move(word), line});
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c)) ||
-        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
-      std::size_t start = i;
-      // Good enough for C++ numbers incl. 1'000, 0x1p3, 1e-9, 3.f.
-      while (i < n &&
-             (is_ident_char(src[i]) || src[i] == '\'' || src[i] == '.' ||
-              ((src[i] == '+' || src[i] == '-') &&
-               (src[i - 1] == 'e' || src[i - 1] == 'E' ||
-                src[i - 1] == 'p' || src[i - 1] == 'P')))) {
-        ++i;
-      }
-      out.tokens.push_back({TokKind::kNumber, src.substr(start, i - start),
-                            line});
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      ++i;
-      while (i < n && src[i] != quote) {
-        if (src[i] == '\\') ++i;
-        if (i < n && src[i] == '\n') ++line;
-        ++i;
-      }
-      if (i < n) ++i;
-      out.tokens.push_back(
-          {quote == '"' ? TokKind::kString : TokKind::kChar, "", line});
-      continue;
-    }
-    // Punctuation (greedy multi-char match).
-    std::string punct(1, c);
-    for (const char* op : kMultiPunct) {
-      const std::size_t len = std::char_traits<char>::length(op);
-      if (src.compare(i, len, op) == 0) {
-        punct.assign(op);
-        break;
-      }
-    }
-    i += punct.size();
-    out.tokens.push_back({TokKind::kPunct, std::move(punct), line});
-  }
-  return out;
-}
-
-// ---- markers ---------------------------------------------------------------
-
-struct Markers {
-  std::set<int> ordered_ok;             ///< lines with `mcs-lint: ordered-ok`
-  std::set<int> hot;                    ///< lines with `mcs-lint: hot`
-  std::map<int, std::set<std::string>> allow;  ///< line -> allowed rules
-};
-
-Markers parse_markers(const std::vector<Comment>& comments) {
-  Markers m;
-  for (const Comment& c : comments) {
-    const std::size_t at = c.text.find("mcs-lint:");
-    if (at == std::string::npos) continue;
-    const std::string rest = c.text.substr(at + 9);
-    if (rest.find("ordered-ok") != std::string::npos) {
-      m.ordered_ok.insert(c.line);
-    }
-    if (rest.find("hot") != std::string::npos) m.hot.insert(c.line);
-    std::size_t open = rest.find("allow(");
-    while (open != std::string::npos) {
-      const std::size_t close = rest.find(')', open);
-      if (close == std::string::npos) break;
-      std::string list = rest.substr(open + 6, close - open - 6);
-      std::string name;
-      std::istringstream split(list);
-      while (std::getline(split, name, ',')) {
-        name.erase(std::remove_if(name.begin(), name.end(), ::isspace),
-                   name.end());
-        if (!name.empty()) m.allow[c.line].insert(name);
-      }
-      open = rest.find("allow(", close);
-    }
-  }
-  return m;
-}
-
-// ---- path policy -----------------------------------------------------------
-
-struct PathPolicy {
-  bool in_src = false;
-  bool d1_exempt = false;   ///< src/sim/random.* and src/parallel/
-  bool hot_dir = false;     ///< src/sim/, src/graph/, src/parallel/, src/obs/
-  bool s1_whitelisted = false;
-};
-
-bool contains(const std::string& s, const char* needle) {
-  return s.find(needle) != std::string::npos;
-}
-
-PathPolicy classify_path(const std::string& tag) {
-  std::string t = tag;
-  if (t.rfind("./", 0) == 0) t = t.substr(2);
-  PathPolicy p;
-  p.in_src = t.rfind("src/", 0) == 0 || contains(t, "/src/");
-  p.d1_exempt =
-      contains(t, "src/sim/random.") || contains(t, "src/parallel/");
-  p.hot_dir = contains(t, "src/sim/") || contains(t, "src/graph/") ||
-              contains(t, "src/parallel/") || contains(t, "src/obs/");
-  // Deliberate process-wide singletons, reviewed in DESIGN.md: the shared
-  // worker pool (parallel substrate) is the only allowed mutable static.
-  p.s1_whitelisted = contains(t, "src/parallel/thread_pool.cpp");
-  return p;
-}
-
-// ---- analysis --------------------------------------------------------------
-
-const std::set<std::string> kUnorderedTypes = {
-    "unordered_map", "unordered_set", "unordered_multimap",
-    "unordered_multiset"};
-
-const std::set<std::string> kMutatingCalls = {
-    "push_back", "emplace_back", "emplace", "insert", "erase", "clear"};
-
-const std::set<std::string> kAssignOps = {
-    "=",  "+=", "-=", "*=", "/=", "%=",  "&=",
-    "|=", "^=", "<<=", ">>=", "++", "--"};
-
-class Analyzer {
- public:
-  Analyzer(std::string tag, const std::string& content)
-      : tag_(std::move(tag)), policy_(classify_path(tag_)) {
-    std::istringstream lines(content);
-    std::string l;
-    while (std::getline(lines, l)) lines_.push_back(std::move(l));
-    LexResult lexed = lex(content);
-    toks_ = std::move(lexed.tokens);
-    markers_ = parse_markers(lexed.comments);
-  }
-
-  std::vector<Finding> run() {
-    collect_unordered_vars();
-    if (policy_.in_src && !policy_.d1_exempt) check_d1();
-    if (policy_.in_src) check_d2();
-    if (policy_.hot_dir) check_h1();
-    check_h2_s1();  // single scope-tracking walk; S1 filtered by path inside
-    std::stable_sort(findings_.begin(), findings_.end(),
-                     [](const Finding& a, const Finding& b) {
-                       return a.line < b.line;
-                     });
-    return std::move(findings_);
-  }
-
- private:
-  // A finding is dropped when `mcs-lint: allow(RULE)` sits on its line or
-  // the line above (same convention as ordered-ok).
-  bool allowed(Rule rule, int line) const {
-    for (int l : {line, line - 1}) {
-      auto it = markers_.allow.find(l);
-      if (it != markers_.allow.end() &&
-          it->second.count(rule_name(rule)) != 0) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  void report(Rule rule, int line, std::string message) {
-    if (allowed(rule, line)) return;
-    std::string line_text =
-        line >= 1 && line <= static_cast<int>(lines_.size())
-            ? lines_[static_cast<std::size_t>(line - 1)]
-            : std::string();
-    // Collapse whitespace so reindenting doesn't churn the baseline.
-    std::string norm;
-    for (char c : line_text) {
-      if (std::isspace(static_cast<unsigned char>(c))) {
-        if (!norm.empty() && norm.back() != ' ') norm.push_back(' ');
-      } else {
-        norm.push_back(c);
-      }
-    }
-    std::uint64_t fp = fnv1a(tag_.data(), tag_.size());
-    const char* rn = rule_name(rule);
-    fp = fnv1a(rn, std::char_traits<char>::length(rn), fp);
-    fp = fnv1a(norm.data(), norm.size(), fp);
-    findings_.push_back({tag_, line, rule, std::move(message), fp});
-  }
-
-  const Token& tok(std::size_t i) const { return toks_[i]; }
-  bool is(std::size_t i, const char* text) const {
-    return i < toks_.size() && toks_[i].text == text;
-  }
-
-  /// Index of the matching closer for the opener at `i`, or toks_.size().
-  std::size_t match_forward(std::size_t i, const char* open,
-                            const char* close) const {
-    int depth = 0;
-    for (std::size_t k = i; k < toks_.size(); ++k) {
-      if (toks_[k].text == open) ++depth;
-      if (toks_[k].text == close && --depth == 0) return k;
-    }
-    return toks_.size();
-  }
-
-  // -- unordered-container variable discovery (feeds D2) --------------------
-
-  void collect_unordered_vars() {
-    for (std::size_t i = 0; i < toks_.size(); ++i) {
-      if (toks_[i].kind != TokKind::kIdent) continue;
-      const bool base_type = kUnorderedTypes.count(toks_[i].text) != 0;
-      const bool alias_type = unordered_aliases_.count(toks_[i].text) != 0;
-      if (!base_type && !alias_type) continue;
-      // `using Alias = std::unordered_map<...>` registers the alias: look
-      // back for `using X =` within a few tokens.
-      if (base_type) {
-        for (std::size_t k = (i > 6 ? i - 6 : 0); k + 2 < i; ++k) {
-          if (toks_[k].text == "using" &&
-              toks_[k + 1].kind == TokKind::kIdent &&
-              toks_[k + 2].text == "=") {
-            unordered_aliases_.insert(toks_[k + 1].text);
-          }
-        }
-      }
-      // Skip template args if present, then read the declared name.
-      std::size_t p = i + 1;
-      if (is(p, "<")) {
-        int depth = 0;
-        for (; p < toks_.size(); ++p) {
-          if (toks_[p].text == "<") ++depth;
-          else if (toks_[p].text == ">") { if (--depth == 0) { ++p; break; } }
-          else if (toks_[p].text == ">>") { depth -= 2; if (depth <= 0) { ++p; break; } }
-        }
-      }
-      while (p < toks_.size() &&
-             (toks_[p].text == "&" || toks_[p].text == "*" ||
-              toks_[p].text == "const")) {
-        ++p;
-      }
-      if (p < toks_.size() && toks_[p].kind == TokKind::kIdent &&
-          !is(p + 1, "(")) {  // `(` would make it a function return type
-        unordered_vars_.insert(toks_[p].text);
-      }
-    }
-  }
-
-  bool names_unordered(std::size_t begin, std::size_t end) const {
-    for (std::size_t k = begin; k < end; ++k) {
-      if (toks_[k].kind != TokKind::kIdent) continue;
-      if (kUnorderedTypes.count(toks_[k].text) != 0) return true;
-      if (unordered_vars_.count(toks_[k].text) != 0) return true;
-      if (unordered_aliases_.count(toks_[k].text) != 0) return true;
-    }
-    return false;
-  }
-
-  bool body_mutates(std::size_t begin, std::size_t end) const {
-    for (std::size_t k = begin; k < end; ++k) {
-      const Token& t = toks_[k];
-      if (t.kind == TokKind::kPunct && kAssignOps.count(t.text) != 0) {
-        return true;
-      }
-      if (t.kind == TokKind::kIdent && kMutatingCalls.count(t.text) != 0 &&
-          is(k + 1, "(")) {
-        return true;
-      }
-    }
-    return false;
-  }
-
-  // -- D1: ambient time & randomness ----------------------------------------
-
-  void check_d1() {
-    static const std::set<std::string> kBannedIdents = {
-        "random_device", "system_clock", "steady_clock",
-        "high_resolution_clock"};
-    for (std::size_t i = 0; i < toks_.size(); ++i) {
-      if (toks_[i].kind != TokKind::kIdent) continue;
-      const std::string& w = toks_[i].text;
-      if (kBannedIdents.count(w) != 0) {
-        report(Rule::kD1, toks_[i].line,
-               "nondeterministic source `" + w +
-                   "` outside src/sim/random.* — route randomness/time "
-                   "through sim::Rng / Simulator::now()");
-      } else if ((w == "rand" || w == "srand") && is(i + 1, "(") &&
-                 !(i > 0 && (toks_[i - 1].text == "." ||
-                             toks_[i - 1].text == "->"))) {
-        report(Rule::kD1, toks_[i].line,
-               "C `" + w + "()` is ambient global RNG — use sim::Rng");
-      } else if (w == "time" && is(i + 1, "(") &&
-                 (is(i + 2, "nullptr") || is(i + 2, "NULL") ||
-                  is(i + 2, "0")) &&
-                 !(i > 0 && (toks_[i - 1].text == "." ||
-                             toks_[i - 1].text == "->"))) {
-        report(Rule::kD1, toks_[i].line,
-               "wall-clock `time()` — use Simulator::now() virtual time");
-      }
-    }
-  }
-
-  // -- D2: order-dependent iteration over unordered containers --------------
-
-  void check_d2() {
-    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
-      if (!(toks_[i].kind == TokKind::kIdent && toks_[i].text == "for" &&
-            is(i + 1, "("))) {
-        continue;
-      }
-      const std::size_t close = match_forward(i + 1, "(", ")");
-      if (close >= toks_.size()) continue;
-      // Split the header at a top-level `:` (range-for) if present.
-      std::size_t colon = 0;
-      int depth = 0;
-      for (std::size_t k = i + 1; k < close; ++k) {
-        if (toks_[k].text == "(" || toks_[k].text == "[" ||
-            toks_[k].text == "<") {
-          ++depth;
-        } else if (toks_[k].text == ")" || toks_[k].text == "]" ||
-                   toks_[k].text == ">") {
-          --depth;
-        } else if (toks_[k].text == ":" && depth == 1) {
-          colon = k;
-          break;
-        }
-      }
-      bool unordered = false;
-      if (colon != 0) {
-        unordered = names_unordered(colon + 1, close);
-      } else {
-        // Iterator loop: `for (auto it = m.begin(); ...)` — the init
-        // section (up to the first `;`) names the container and begin().
-        std::size_t semi = close;
-        for (std::size_t k = i + 2; k < close; ++k) {
-          if (toks_[k].text == ";") { semi = k; break; }
-        }
-        bool has_begin = false;
-        for (std::size_t k = i + 2; k < semi; ++k) {
-          if (toks_[k].kind == TokKind::kIdent &&
-              (toks_[k].text == "begin" || toks_[k].text == "cbegin")) {
-            has_begin = true;
-          }
-        }
-        unordered = has_begin && names_unordered(i + 2, semi);
-      }
-      if (!unordered) continue;
-      // Locate the loop body.
-      std::size_t body_begin = close + 1;
-      std::size_t body_end;
-      if (is(body_begin, "{")) {
-        body_end = match_forward(body_begin, "{", "}");
-      } else {
-        body_end = body_begin;
-        while (body_end < toks_.size() && toks_[body_end].text != ";") {
-          ++body_end;
-        }
-      }
-      if (!body_mutates(body_begin, body_end)) continue;
-      const int line = toks_[i].line;
-      if (markers_.ordered_ok.count(line) != 0 ||
-          markers_.ordered_ok.count(line - 1) != 0) {
-        continue;
-      }
-      report(Rule::kD2, line,
-             "loop over std::unordered_* mutates/accumulates state — "
-             "iteration order is bucket order (non-deterministic across "
-             "implementations); use an ordered/insertion-ordered container "
-             "or annotate a reviewed site with `// mcs-lint: ordered-ok`");
-    }
-  }
-
-  // -- H1: std::function in hot-path files ----------------------------------
-
-  void check_h1() {
-    for (std::size_t i = 0; i + 2 < toks_.size(); ++i) {
-      if (toks_[i].text == "std" && toks_[i + 1].text == "::" &&
-          toks_[i + 2].text == "function") {
-        report(Rule::kH1, toks_[i].line,
-               "std::function in hot-path file — use sim::Callback, "
-               "core::UniqueFunction (owning) or core::FunctionRef "
-               "(borrowed)");
-      }
-    }
-  }
-
-  // -- H2 (hot functions) + S1 (mutable static state): scope walk -----------
-
-  enum class ScopeKind { kNamespace, kClass, kFunction, kBlock };
-
-  struct Scope {
-    ScopeKind kind;
-    bool hot = false;
-    std::set<std::string> reserved;  ///< receivers with a prior .reserve()
-  };
-
-  ScopeKind classify_brace(std::size_t i, bool inside_function) const {
-    if (i == 0) return ScopeKind::kBlock;
-    // Walk back over trailing function decorations to find `)` / `]`.
-    static const std::set<std::string> kSkippable = {
-        "const", "noexcept", "override", "final",    "mutable",
-        "->",    "::",       "<",       ">",         "&",
-        "*",     ",",        ":",        "constexpr", "&&"};
-    std::size_t k = i;  // token index just before `{` is k-1
-    std::size_t steps = 0;
-    while (k > 0 && steps++ < 24) {
-      const Token& t = toks_[k - 1];
-      if (t.text == ")") {
-        // Find the matching `(`, then the token before it.
-        int depth = 0;
-        std::size_t p = k - 1;
-        for (;; --p) {
-          if (toks_[p].text == ")") ++depth;
-          if (toks_[p].text == "(" && --depth == 0) break;
-          if (p == 0) break;
-        }
-        static const std::set<std::string> kControl = {
-            "if", "for", "while", "switch", "catch"};
-        if (p > 0) {
-          const Token& before = toks_[p - 1];
-          if (before.kind == TokKind::kIdent &&
-              kControl.count(before.text) != 0) {
-            return ScopeKind::kBlock;
-          }
-        }
-        return ScopeKind::kFunction;
-      }
-      if (t.text == "]") return ScopeKind::kFunction;  // captureless lambda
-      if (t.kind == TokKind::kIdent) {
-        if (t.text == "namespace") return ScopeKind::kNamespace;
-        if (t.text == "class" || t.text == "struct" || t.text == "union" ||
-            t.text == "enum") {
-          return ScopeKind::kClass;
-        }
-        if (t.text == "else" || t.text == "do" || t.text == "try") {
-          return ScopeKind::kBlock;
-        }
-        if (kSkippable.count(t.text) == 0 &&
-            !(k >= 2 && (toks_[k - 2].text == "::" ||
-                         toks_[k - 2].text == "namespace" ||
-                         toks_[k - 2].text == "class" ||
-                         toks_[k - 2].text == "struct" ||
-                         toks_[k - 2].text == "enum"))) {
-          // A bare identifier before `{` with no better evidence: keep
-          // scanning (could be `enum class X : std::uint8_t {`).
-        }
-        --k;
-        continue;
-      }
-      if (t.kind == TokKind::kPunct && kSkippable.count(t.text) != 0) {
-        --k;
-        continue;
-      }
-      // `= {`, `, {`, `( {`, `return {` ... : braced initializer.
-      return ScopeKind::kBlock;
-    }
-    return inside_function ? ScopeKind::kBlock : ScopeKind::kNamespace;
-  }
-
-  void check_h2_s1() {
-    std::vector<Scope> stack;
-    bool pending_hot = false;
-    int last_marker_line = -1;
-
-    auto inside_function = [&] {
-      for (const Scope& s : stack) {
-        if (s.kind == ScopeKind::kFunction) return true;
-      }
-      return false;
-    };
-    auto in_hot = [&] { return !stack.empty() && stack.back().hot; };
-    auto function_scope = [&]() -> Scope* {
-      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
-        if (it->kind == ScopeKind::kFunction) return &*it;
-      }
-      return nullptr;
-    };
-
-    for (std::size_t i = 0; i < toks_.size(); ++i) {
-      const Token& t = toks_[i];
-      // Arm the hot marker when we cross its line.
-      if (!markers_.hot.empty() && t.line != last_marker_line) {
-        if (markers_.hot.count(t.line) != 0 ||
-            markers_.hot.count(t.line - 1) != 0) {
-          pending_hot = true;
-          last_marker_line = t.line;
-        }
-      }
-
-      if (t.text == "{" && t.kind == TokKind::kPunct) {
-        const ScopeKind kind = classify_brace(i, inside_function());
-        Scope s;
-        s.kind = kind;
-        s.hot = (!stack.empty() && stack.back().hot);
-        if (kind == ScopeKind::kFunction && pending_hot) {
-          s.hot = true;
-          pending_hot = false;
-        }
-        stack.push_back(std::move(s));
-        continue;
-      }
-      if (t.text == "}" && t.kind == TokKind::kPunct) {
-        if (!stack.empty()) stack.pop_back();
-        continue;
-      }
-
-      // S1 — mutable static / namespace-scope state (src/ only).
-      if (policy_.in_src && !policy_.s1_whitelisted &&
-          t.kind == TokKind::kIdent &&
-          (t.text == "static" || t.text == "thread_local")) {
-        analyze_static_decl(i);
-      }
-
-      // H2 — allocation in hot code.
-      if (!in_hot()) continue;
-      if (t.kind == TokKind::kIdent && t.text == "new" &&
-          !(i > 0 && toks_[i - 1].kind == TokKind::kIdent)) {
-        report(Rule::kH2, t.line,
-               "heap allocation (`new`) in function marked `mcs-lint: hot`");
-      } else if (t.kind == TokKind::kIdent &&
-                 (t.text == "make_unique" || t.text == "make_shared") &&
-                 (is(i + 1, "(") || is(i + 1, "<"))) {
-        report(Rule::kH2, t.line,
-               "heap allocation (`" + t.text +
-                   "`) in function marked `mcs-lint: hot`");
-      } else if (t.kind == TokKind::kIdent && t.text == "reserve" &&
-                 is(i + 1, "(") && i >= 2 &&
-                 (toks_[i - 1].text == "." || toks_[i - 1].text == "->") &&
-                 toks_[i - 2].kind == TokKind::kIdent) {
-        if (Scope* f = function_scope()) f->reserved.insert(toks_[i - 2].text);
-      } else if (t.kind == TokKind::kIdent &&
-                 (t.text == "push_back" || t.text == "emplace_back" ||
-                  t.text == "resize") &&
-                 is(i + 1, "(") && i >= 1 &&
-                 (toks_[i - 1].text == "." || toks_[i - 1].text == "->")) {
-        std::string receiver =
-            i >= 2 && toks_[i - 2].kind == TokKind::kIdent ? toks_[i - 2].text
-                                                           : std::string();
-        Scope* f = function_scope();
-        const bool reserved =
-            f != nullptr && !receiver.empty() &&
-            f->reserved.count(receiver) != 0;
-        if (!reserved) {
-          report(Rule::kH2, t.line,
-                 "`" + t.text + "` without a prior `" +
-                     (receiver.empty() ? std::string("<receiver>")
-                                       : receiver) +
-                     ".reserve(...)` in this hot function — growth "
-                     "reallocates on the hot path");
-        }
-      }
-    }
-  }
-
-  /// Looks ahead from a `static` / `thread_local` keyword and reports S1
-  /// for mutable variable declarations (functions and `static const/
-  /// constexpr` are fine).
-  void analyze_static_decl(std::size_t i) {
-    bool saw_const = false;
-    // `thread_local static` / `static thread_local` — scan one joined decl.
-    std::size_t k = i + 1;
-    int angle_depth = 0;
-    for (; k < toks_.size() && k < i + 64; ++k) {
-      const Token& t = toks_[k];
-      if (t.text == "<") ++angle_depth;
-      else if (t.text == ">") --angle_depth;
-      else if (t.text == ">>") angle_depth -= 2;
-      if (angle_depth > 0) continue;
-      if (t.text == "const" || t.text == "constexpr" ||
-          t.text == "constinit" || t.text == "consteval") {
-        saw_const = true;
-      }
-      if (t.text == "class" || t.text == "struct" || t.text == "union" ||
-          t.text == "enum" || t.text == "using" || t.text == "assert") {
-        return;  // not a variable declaration
-      }
-      if (t.text == "(") return;  // function declaration/definition
-      if (t.text == ";" || t.text == "=" || t.text == "{") break;
-    }
-    if (saw_const) return;
-    report(Rule::kS1, toks_[i].line,
-           "mutable static state — shared mutable globals make runs "
-           "order- and thread-count-dependent; pass state explicitly or "
-           "whitelist a reviewed singleton");
-  }
-
-  std::string tag_;
-  PathPolicy policy_;
-  std::vector<std::string> lines_;
-  std::vector<Token> toks_;
-  Markers markers_;
-  std::set<std::string> unordered_vars_;
-  std::set<std::string> unordered_aliases_;
-  std::vector<Finding> findings_;
-};
-
-}  // namespace
 
 const char* rule_name(Rule rule) {
   switch (rule) {
     case Rule::kD1: return "D1";
     case Rule::kD2: return "D2";
+    case Rule::kD3: return "D3";
+    case Rule::kD4: return "D4";
     case Rule::kH1: return "H1";
     case Rule::kH2: return "H2";
+    case Rule::kH3: return "H3";
     case Rule::kS1: return "S1";
+    case Rule::kL1: return "L1";
   }
   return "??";
+}
+
+const char* explain(Rule rule) {
+  switch (rule) {
+    case Rule::kD1:
+      return
+          "D1 — ambient time & randomness in src/.\n"
+          "Simulation results must be pure functions of (scenario, seed).\n"
+          "std::random_device, system_clock/steady_clock/high_resolution_\n"
+          "clock, rand()/srand() and time(nullptr) read ambient machine\n"
+          "state, so two runs of the same experiment disagree and\n"
+          "bench.determinism fails. Remedy: draw randomness from sim::Rng\n"
+          "(seeded per scenario) and time from Simulator::now() virtual\n"
+          "time. src/sim/random.* (the Rng implementation) and\n"
+          "src/parallel/ (real-time pool plumbing) are exempt by design.";
+    case Rule::kD2:
+      return
+          "D2 — order-dependent iteration over std::unordered_*.\n"
+          "Bucket order is implementation-defined and changes with\n"
+          "load factor, libstdc++ version, and insertion history. A loop\n"
+          "that folds values, appends to a vector, or mutates state while\n"
+          "iterating an unordered container bakes that order into results.\n"
+          "Remedy: iterate an ordered or insertion-ordered container, or\n"
+          "sort keys first; annotate a reviewed commutative fold with\n"
+          "`// mcs-lint: ordered-ok`.";
+    case Rule::kD3:
+      return
+          "D3 — pointer-order nondeterminism.\n"
+          "Raw pointer values are ASLR-dependent: std::map/std::set keyed\n"
+          "on T*, std::sort over pointers without a comparator, and folds\n"
+          "over pointer-keyed unordered containers all produce an order\n"
+          "that changes per run even with identical seeds — unlike D2 this\n"
+          "cannot be fixed by sorting later, because the *keys themselves*\n"
+          "are addresses. Remedy: key by a stable id (task id, node index)\n"
+          "or supply a comparator over stable fields.";
+    case Rule::kD4:
+      return
+          "D4 — ambient time/randomness reachable from a deterministic\n"
+          "context (D1 made interprocedural). Sweep cells handed to\n"
+          "exp::run_sweep and callbacks handed to Simulator::schedule_at/\n"
+          "schedule_after must be pure functions of (scenario, seed) — the\n"
+          "replication + digest machinery depends on it. D4 chases the\n"
+          "call graph from those lambdas and flags any reachable wall-clock\n"
+          "or ambient-RNG observation, with the chain that gets there.\n"
+          "src/ is already covered by D1; D4 adds bench/, tests/ and\n"
+          "tools/ cell code. Remedy: use SweepPoint substream seeds and\n"
+          "Simulator::now(); `allow(D4)` on a function definition stops\n"
+          "propagation through its subtree.";
+    case Rule::kH1:
+      return
+          "H1 — std::function in hot-path files (src/sim/, src/graph/,\n"
+          "src/parallel/, src/obs/). std::function type-erases with a\n"
+          "possible heap allocation per assignment and an indirect call\n"
+          "per invocation; on event dispatch and graph kernels this is\n"
+          "measurable. Remedy: sim::Callback (small-buffer, move-only),\n"
+          "core::UniqueFunction (owning) or core::FunctionRef (borrowed).";
+    case Rule::kH2:
+      return
+          "H2 — heap allocation in functions annotated `// mcs-lint: hot`.\n"
+          "new / make_unique / make_shared, and push_back / emplace_back /\n"
+          "resize without a prior reserve on the same receiver, can\n"
+          "allocate on the critical path (event dispatch, per-edge graph\n"
+          "kernels, metric record). Remedy: preallocate in setup, reserve\n"
+          "before growth loops, or restructure; `allow(H2)` a reviewed\n"
+          "cold branch.";
+    case Rule::kH3:
+      return
+          "H3 — hotness is transitive (H2 made interprocedural).\n"
+          "A `// mcs-lint: hot` annotation covers everything the function\n"
+          "calls, not just its own body: a helper that allocates is on the\n"
+          "hot path whether or not it carries the marker. H3 walks the\n"
+          "call graph from every hot root and flags reachable allocation\n"
+          "or std::function use, reporting the call chain that makes the\n"
+          "site hot. Remedy: make the helper allocation-free, annotate it\n"
+          "hot (opting into H2 locally), or justify with `allow(H3)` —\n"
+          "which also stops propagation through that subtree (e.g. a\n"
+          "deliberately amortized growth path).";
+    case Rule::kS1:
+      return
+          "S1 — mutable static / namespace-scope state in src/.\n"
+          "Shared mutable globals make runs order- and thread-count-\n"
+          "dependent and break experiment replication. Remedy: pass state\n"
+          "explicitly (context objects); deliberate process-wide\n"
+          "singletons live in the reviewed whitelist\n"
+          "(src/parallel/thread_pool.cpp) or carry `allow(S1)`.";
+    case Rule::kL1:
+      return
+          "L1 — the DESIGN.md layer DAG, enforced on #include edges:\n"
+          "  core <- sim/metrics <- graph/parallel/infra/workload\n"
+          "       <- sched/failures/obs <- exp/check <- domains\n"
+          "An include may point only at the same or a lower layer, and\n"
+          "module-level include cycles are never legal. Upward includes\n"
+          "are how 'the simulator knows about the scheduler' erosion\n"
+          "starts; the paper's ecosystem framing depends on the kernel\n"
+          "staying domain-agnostic. Remedy: invert the dependency (inject\n"
+          "a callback / interface defined lower) or move the shared piece\n"
+          "down a layer.";
+  }
+  return nullptr;
+}
+
+bool parse_rule(const std::string& name, Rule& out) {
+  static const std::pair<const char*, Rule> kRules[] = {
+      {"D1", Rule::kD1}, {"D2", Rule::kD2}, {"D3", Rule::kD3},
+      {"D4", Rule::kD4}, {"H1", Rule::kH1}, {"H2", Rule::kH2},
+      {"H3", Rule::kH3}, {"S1", Rule::kS1}, {"L1", Rule::kL1}};
+  for (const auto& [n, r] : kRules) {
+    if (name == n) {
+      out = r;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
@@ -756,12 +154,146 @@ std::uint64_t fnv1a(const void* data, std::size_t len, std::uint64_t seed) {
 
 std::vector<Finding> analyze_file(const std::string& path_tag,
                                   const std::string& content) {
-  return Analyzer(path_tag, content).run();
+  return run_file_rules(index_file(path_tag, content));
+}
+
+RepoResult analyze_repo(const std::vector<FileInput>& files,
+                        const RepoOptions& opt) {
+  // Deterministic order: everything downstream (node ids, finding order,
+  // DOT output) is keyed off the sorted file sequence.
+  std::vector<const FileInput*> ordered;
+  ordered.reserve(files.size());
+  for (const FileInput& f : files) ordered.push_back(&f);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const FileInput* a, const FileInput* b) {
+                     return a->path < b->path;
+                   });
+
+  // Pass 1 — index every file and run the per-file rules. Each slot is
+  // written by exactly one worker; the merge below walks slots in path
+  // order, so output is byte-identical at any job count.
+  std::vector<FileIndex> indexes(ordered.size());
+  std::vector<std::vector<Finding>> file_findings(ordered.size());
+  const int jobs = std::max(1, opt.jobs);
+  auto work = [&](std::atomic<std::size_t>& next) {
+    for (std::size_t i = next.fetch_add(1); i < ordered.size();
+         i = next.fetch_add(1)) {
+      indexes[i] = index_file(ordered[i]->path, ordered[i]->content);
+      file_findings[i] = run_file_rules(indexes[i]);
+    }
+  };
+  if (jobs <= 1 || ordered.size() <= 1) {
+    std::atomic<std::size_t> next{0};
+    work(next);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> pool;
+    const int n = std::min<int>(jobs, static_cast<int>(ordered.size()));
+    pool.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) pool.emplace_back([&] { work(next); });
+    for (std::thread& t : pool) t.join();
+  }
+
+  RepoResult result;
+  for (std::vector<Finding>& fs : file_findings) {
+    result.findings.insert(result.findings.end(),
+                           std::make_move_iterator(fs.begin()),
+                           std::make_move_iterator(fs.end()));
+  }
+
+  // Pass 2 — serial: call graph + include graph over the merged index.
+  const CallGraph graph = CallGraph::build(indexes);
+  std::vector<Finding> repo = run_repo_rules(indexes, graph);
+  result.findings.insert(result.findings.end(),
+                         std::make_move_iterator(repo.begin()),
+                         std::make_move_iterator(repo.end()));
+  std::stable_sort(result.findings.begin(), result.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     const std::string ra = rule_name(a.rule);
+                     const std::string rb = rule_name(b.rule);
+                     if (ra != rb) return ra < rb;
+                     return a.message < b.message;
+                   });
+  if (opt.want_callgraph) result.callgraph_dot = graph.to_dot();
+  return result;
 }
 
 std::string format_finding(const Finding& f) {
-  return f.file + ":" + std::to_string(f.line) + ": [" +
-         rule_name(f.rule) + "] " + f.message;
+  return f.file + ":" + std::to_string(f.line) + ": [" + rule_name(f.rule) +
+         "] " + f.message;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  static const Rule kAll[] = {Rule::kD1, Rule::kD2, Rule::kD3,
+                              Rule::kD4, Rule::kH1, Rule::kH2,
+                              Rule::kH3, Rule::kS1, Rule::kL1};
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\n"
+      << "      \"name\": \"mcs_lint\",\n"
+      << "      \"informationUri\": "
+         "\"https://github.com/mcs/mcs/blob/main/DESIGN.md\",\n"
+      << "      \"rules\": [\n";
+  for (std::size_t i = 0; i < std::size(kAll); ++i) {
+    const char* text = explain(kAll[i]);
+    std::string first_line(text);
+    const std::size_t nl = first_line.find('\n');
+    if (nl != std::string::npos) first_line.resize(nl);
+    out << "        {\"id\": \"" << rule_name(kAll[i])
+        << "\", \"shortDescription\": {\"text\": \"" << json_escape(first_line)
+        << "\"}, \"fullDescription\": {\"text\": \"" << json_escape(text)
+        << "\"}}" << (i + 1 < std::size(kAll) ? "," : "") << "\n";
+  }
+  out << "      ]\n"
+      << "    }},\n"
+      << "    \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    char fp[32];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(f.fingerprint));
+    out << "      {\"ruleId\": \"" << rule_name(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(f.message)
+        << "\"}, \"partialFingerprints\": {\"mcsLint/v1\": \"" << fp
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+        << f.line << "}}}]}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n  }]\n}\n";
+  return out.str();
 }
 
 }  // namespace mcs::lint

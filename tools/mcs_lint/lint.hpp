@@ -4,29 +4,50 @@
 // bit-identical parallel kernels are protected here *by construction*: the
 // classes of regression that historically rot datacenter simulators become
 // lint findings instead of flaky-bench mysteries. No libclang — a small
-// purpose-built lexer (comments/strings stripped, scopes tracked) is enough
-// for the five rules, keeps the tool dependency-free, and lints the whole
-// tree in milliseconds.
+// purpose-built lexer plus a two-pass index (per-file symbol tables merged
+// into a repo-wide call graph and include graph) is enough for the rule
+// set, keeps the tool dependency-free, and lints the whole tree in well
+// under a second.
 //
-// Rules (see DESIGN.md "Determinism & hot-path rules" for rationale):
+// Per-file rules (pass 1; see DESIGN.md §8 for rationale):
 //   D1  wall-clock / ambient randomness (`std::random_device`, `rand()`,
 //       `time(nullptr)`, `system_clock`, `steady_clock`, ...) in src/
 //       outside src/sim/random.* and src/parallel/.
 //   D2  range-for or iterator loops over std::unordered_{map,set} whose
 //       body mutates state or accumulates results (bucket-order hazard).
 //       Suppress a reviewed site with `// mcs-lint: ordered-ok`.
+//   D3  pointer-order nondeterminism: ordered containers keyed on raw
+//       pointers, `std::sort` of a pointer container without a comparator,
+//       and unordered containers keyed on pointers whose iteration feeds a
+//       fold — all ASLR-dependent, all silently break `--digest` equality.
 //   H1  std::function in hot-path files (src/sim/, src/graph/,
-//       src/parallel/) — use sim::Callback, core::UniqueFunction, or
-//       core::FunctionRef.
+//       src/parallel/, src/obs/) — use sim::Callback, core::UniqueFunction,
+//       or core::FunctionRef.
 //   H2  heap allocation (`new`, `make_unique`/`make_shared`, `push_back`/
-//       `emplace_back` without a prior `reserve` on the same receiver in
-//       the same function) inside functions marked `// mcs-lint: hot`.
+//       `emplace_back`/`resize` without a prior `reserve` on the same
+//       receiver in the same function) inside functions marked
+//       `// mcs-lint: hot`.
 //   S1  mutable static / namespace-scope state in src/ outside the
 //       explicit whitelist (process-wide singletons must be deliberate).
 //
+// Interprocedural rules (pass 2, over the merged index):
+//   H3  hotness propagates: a function *reachable from* a `mcs-lint: hot`
+//       root through the call graph that allocates (or uses std::function)
+//       is flagged, with the full call chain in the finding.
+//   D4  D1 made transitive: ambient time/randomness reachable from a
+//       sweep cell (lambda passed to exp::run_sweep) or a simulator
+//       callback (lambda passed to schedule_at/schedule_after) — covers
+//       bench/ and tests/ code that D1's src/-only scope does not.
+//   L1  the DESIGN.md layer DAG enforced on src-internal #include edges
+//       (core <- sim/metrics <- graph/parallel/infra/workload <-
+//       sched/failures/obs <- exp/check <- domains), plus module cycles.
+//
 // Generic per-line suppression: `// mcs-lint: allow(D1)` on the finding's
-// line or the line above. `--baseline` / `--write-baseline` implement the
-// ratchet: existing debt is recorded and only *new* findings fail CI.
+// line or the line above. For H3/D4, `allow(...)` on a function's
+// definition line also stops propagation *through* that function — the
+// justification covers the subtree it guards. `--baseline` /
+// `--write-baseline` implement the ratchet: existing debt is recorded and
+// only *new* findings fail CI. This tree carries zero baseline entries.
 #pragma once
 
 #include <cstdint>
@@ -35,9 +56,14 @@
 
 namespace mcs::lint {
 
-enum class Rule { kD1, kD2, kH1, kH2, kS1 };
+enum class Rule { kD1, kD2, kD3, kD4, kH1, kH2, kH3, kS1, kL1 };
 
 [[nodiscard]] const char* rule_name(Rule rule);
+
+/// Long-form rationale + remedy text for `--explain RULE`; nullptr for an
+/// unknown rule name. `parse_rule` accepts "D1" ... "L1".
+[[nodiscard]] const char* explain(Rule rule);
+[[nodiscard]] bool parse_rule(const std::string& name, Rule& out);
 
 struct Finding {
   std::string file;  ///< path tag as given to analyze_file (repo-relative)
@@ -54,13 +80,45 @@ struct Finding {
 [[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t len,
                                   std::uint64_t seed = 1469598103934665603ull);
 
-/// Analyzes one translation unit. `path_tag` decides which rules apply
-/// (src/ vs bench/ vs tests/, hot-path directories, whitelists) and is the
-/// `file` reported in findings. Findings are sorted by line.
+/// Analyzes one translation unit with the per-file rules only (D1, D2,
+/// D3, H1, H2, S1). `path_tag` decides which rules apply (src/ vs bench/
+/// vs tests/, hot-path directories, whitelists) and is the `file`
+/// reported in findings. Findings are sorted by line.
 [[nodiscard]] std::vector<Finding> analyze_file(const std::string& path_tag,
                                                 const std::string& content);
 
+// ---- repo-wide analysis -----------------------------------------------------
+
+struct FileInput {
+  std::string path;     ///< repo-relative path tag
+  std::string content;  ///< full file contents
+};
+
+struct RepoOptions {
+  /// Files indexed on this many threads; findings are merged in path
+  /// order, so output is byte-identical at any job count (the analyzer
+  /// obeys its own determinism rules).
+  int jobs = 1;
+  bool want_callgraph = false;  ///< fill RepoResult::callgraph_dot
+};
+
+struct RepoResult {
+  /// All findings — per-file rules plus H3/D4/L1 — sorted by
+  /// (file, line, rule, message).
+  std::vector<Finding> findings;
+  std::string callgraph_dot;  ///< Graphviz DOT when requested
+};
+
+/// Two-pass repo analysis: pass 1 indexes every file (in parallel when
+/// opt.jobs > 1) and runs the per-file rules; pass 2 builds the call
+/// graph and include graph and runs H3/D4/L1.
+[[nodiscard]] RepoResult analyze_repo(const std::vector<FileInput>& files,
+                                      const RepoOptions& opt = {});
+
 /// Formats a finding as `file:line: [RULE] message`.
 [[nodiscard]] std::string format_finding(const Finding& f);
+
+/// SARIF 2.1.0 document for CI diff annotation (`--sarif FILE`).
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
 
 }  // namespace mcs::lint

@@ -1,22 +1,28 @@
 // mcs_lint CLI — see lint.hpp for the rule set.
 //
 //   mcs_lint [options] <paths...>         lint files/directories
+//     --jobs N                 index files on N threads (default 1); the
+//                              merge is path-ordered, so output is
+//                              byte-identical at any job count
 //     --baseline FILE          suppress findings recorded in FILE (ratchet)
 //     --write-baseline FILE    record current findings to FILE and exit 0
+//     --callgraph FILE         dump the repo call graph as Graphviz DOT
+//     --sarif FILE             also write findings as SARIF 2.1.0 (CI
+//                              annotation); applied *after* the baseline
+//     --explain RULE           print the rule's rationale + remedy, exit 0
 //     --fix-suppressions       append suppression comments to offending
 //                              lines in place (ordered-ok for D2,
 //                              allow(RULE) otherwise)
 //
 // Exit code: 0 = clean (after baseline), 1 = findings, 2 = usage/IO error.
 // Run from the repository root so path tags are repo-relative
-// (`build/tools/mcs_lint src bench tests`); the `lint.tree` ctest and the
-// `lint` CMake target do exactly that.
+// (`build/tools/mcs_lint src bench tests tools`); the `lint.tree` ctest
+// and the `lint` CMake target do exactly that.
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
-#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -24,6 +30,7 @@
 #include "lint.hpp"
 
 namespace fs = std::filesystem;
+using mcs::lint::FileInput;
 using mcs::lint::Finding;
 
 namespace {
@@ -68,6 +75,16 @@ std::string read_file(const std::string& path, bool& ok) {
   return buf.str();
 }
 
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    std::cerr << "mcs_lint: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
 std::string fingerprint_key(const Finding& f) {
   std::ostringstream key;
   key << mcs::lint::rule_name(f.rule) << " " << std::hex << f.fingerprint;
@@ -80,7 +97,10 @@ int main(int argc, char** argv) {
   std::vector<std::string> paths;
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string callgraph_path;
+  std::string sarif_path;
   bool fix_suppressions = false;
+  int jobs = 1;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -88,11 +108,37 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--write-baseline" && i + 1 < argc) {
       write_baseline_path = argv[++i];
+    } else if (arg == "--callgraph" && i + 1 < argc) {
+      callgraph_path = argv[++i];
+    } else if (arg == "--sarif" && i + 1 < argc) {
+      sarif_path = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      try {
+        jobs = std::stoi(argv[++i]);
+      } catch (...) {
+        jobs = 0;
+      }
+      if (jobs < 1) {
+        std::cerr << "mcs_lint: --jobs needs a positive integer\n";
+        return 2;
+      }
+    } else if (arg == "--explain" && i + 1 < argc) {
+      mcs::lint::Rule rule;
+      const std::string name = argv[++i];
+      if (!mcs::lint::parse_rule(name, rule)) {
+        std::cerr << "mcs_lint: unknown rule " << name
+                  << " (rules: D1 D2 D3 D4 H1 H2 H3 S1 L1)\n";
+        return 2;
+      }
+      std::cout << mcs::lint::explain(rule) << "\n";
+      return 0;
     } else if (arg == "--fix-suppressions") {
       fix_suppressions = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: mcs_lint [--baseline FILE] [--write-baseline "
-                   "FILE] [--fix-suppressions] <paths...>\n";
+      std::cout << "usage: mcs_lint [--jobs N] [--baseline FILE] "
+                   "[--write-baseline FILE] [--callgraph FILE] "
+                   "[--sarif FILE] [--explain RULE] [--fix-suppressions] "
+                   "<paths...>\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "mcs_lint: unknown option " << arg << "\n";
@@ -109,29 +155,34 @@ int main(int argc, char** argv) {
   bool io_ok = true;
   const std::vector<std::string> files = collect_files(paths, io_ok);
 
-  std::vector<Finding> findings;
+  std::vector<FileInput> inputs;
+  inputs.reserve(files.size());
   for (const std::string& file : files) {
-    const std::string content = read_file(file, io_ok);
-    std::vector<Finding> fs_file = mcs::lint::analyze_file(file, content);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(fs_file.begin()),
-                    std::make_move_iterator(fs_file.end()));
+    inputs.push_back({file, read_file(file, io_ok)});
   }
   if (!io_ok) return 2;
 
+  mcs::lint::RepoOptions opt;
+  opt.jobs = jobs;
+  opt.want_callgraph = !callgraph_path.empty();
+  mcs::lint::RepoResult result = mcs::lint::analyze_repo(inputs, opt);
+  std::vector<Finding>& findings = result.findings;
+
+  if (!callgraph_path.empty() &&
+      !write_file(callgraph_path, result.callgraph_dot)) {
+    return 2;
+  }
+
   if (!write_baseline_path.empty()) {
-    std::ofstream out(write_baseline_path);
-    if (!out) {
-      std::cerr << "mcs_lint: cannot write " << write_baseline_path << "\n";
-      return 2;
-    }
+    std::ostringstream out;
     out << "# mcs-lint baseline — accepted debt; burn down, never add.\n";
     for (const Finding& f : findings) {
       out << fingerprint_key(f) << " " << f.file << ":" << f.line << "\n";
     }
-    std::cout << "mcs_lint: wrote " << findings.size()
-              << " baseline entr" << (findings.size() == 1 ? "y" : "ies")
-              << " to " << write_baseline_path << "\n";
+    if (!write_file(write_baseline_path, out.str())) return 2;
+    std::cout << "mcs_lint: wrote " << findings.size() << " baseline entr"
+              << (findings.size() == 1 ? "y" : "ies") << " to "
+              << write_baseline_path << "\n";
     return 0;
   }
 
@@ -161,6 +212,11 @@ int main(int argc, char** argv) {
       fresh.push_back(std::move(f));
     }
     findings = std::move(fresh);
+  }
+
+  if (!sarif_path.empty() &&
+      !write_file(sarif_path, mcs::lint::to_sarif(findings))) {
+    return 2;
   }
 
   if (fix_suppressions) {
