@@ -55,6 +55,81 @@ void BM_EventThroughputReserved(benchmark::State& state) {
 }
 BENCHMARK(BM_EventThroughputReserved)->Arg(1 << 12)->Arg(1 << 16);
 
+void BM_EventThroughputUniform(benchmark::State& state) {
+  // Wheel-band stress: events scheduled out of order, uniformly over a
+  // ~4-second horizon. None of these can ride the monotone tail buffer —
+  // before the timing wheel every one paid an O(log n) heap sift; now they
+  // land in O(1) wheel buckets and cascade at most once per level.
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Rng rng(42);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      sim.schedule_at(rng.uniform_int(0, 1 << 22), [&fired] { ++fired; });
+    }
+    sim.run_until();
+    if (fired != events) state.SkipWithError("events lost");
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventThroughputUniform)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_EventThroughputBimodal(benchmark::State& state) {
+  // Near/far split: 90% of events in a ~1-second near band (wheel), 10%
+  // in a ~2-day far band (beyond the 2^36 µs wheel window, so they
+  // overflow to the 4-ary heap). Exercises the three-band selection loop
+  // and the wheel/heap handoff.
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Rng rng(43);
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < events; ++i) {
+      const sim::SimTime at =
+          rng.chance(0.9)
+              ? rng.uniform_int(0, 1 << 20)
+              : rng.uniform_int(sim::SimTime{1} << 37, sim::SimTime{1} << 38);
+      sim.schedule_at(at, [&fired] { ++fired; });
+    }
+    sim.run_until();
+    if (fired != events) state.SkipWithError("events lost");
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_EventThroughputBimodal)->Arg(1 << 16);
+
+void BM_CancelHeavyOutOfOrder(benchmark::State& state) {
+  // BM_CancelHeavy's out-of-order twin: uniformly scattered events with
+  // every other handle cancelled. Cancelled entries become wheel
+  // tombstones that the selection loop must cascade to level 0 and
+  // discard in (at, seq) order.
+  const auto events = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Rng rng(44);
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(events);
+    for (std::size_t i = 0; i < events; ++i) {
+      handles.push_back(
+          sim.schedule_at(rng.uniform_int(0, 1 << 22), [] {}));
+    }
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      sim.cancel(handles[i]);
+    }
+    sim.run_until();
+    if (sim.executed() != events / 2) state.SkipWithError("events lost");
+    benchmark::DoNotOptimize(sim.executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events) *
+                          state.iterations());
+}
+BENCHMARK(BM_CancelHeavyOutOfOrder)->Arg(1 << 13)->Arg(1 << 16);
+
 void BM_SelfSchedulingChain(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator sim;
@@ -113,6 +188,70 @@ void BM_EngineThroughput(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_EngineThroughput);
+
+void BM_EngineThroughput_1M(benchmark::State& state) {
+  // Million-entity ratchet (ROADMAP item 3): `machines` machines in
+  // 1024-machine racks, `jobs` single-task jobs streamed in waves of
+  // machines/64 every 120 virtual seconds, each task 30–90 s of work on a
+  // quarter core — so completions scatter out of order across a ~60 s
+  // window (timing-wheel band) while arrivals ride the monotone tail.
+  // Placement takes hit the head-of-cluster argmax constantly, which is
+  // exactly the case PlannedCapacity's incremental bound must absorb: the
+  // pre-wheel kernel recomputed an O(machines) max per take, making this
+  // benchmark infeasible at the full 1M/10M configuration.
+  const auto machines = static_cast<std::size_t>(state.range(0));
+  const auto total_jobs = static_cast<std::size_t>(state.range(1));
+  const std::size_t wave = std::max<std::size_t>(machines / 64, 1024);
+  for (auto _ : state) {
+    infra::Datacenter dc("bm-1m", "eu");
+    constexpr std::size_t kPerRack = 1024;
+    dc.add_uniform_racks((machines + kPerRack - 1) / kPerRack, kPerRack,
+                         infra::ResourceVector{8.0, 32.0, 0.0}, 1.0);
+    sim::Simulator sim;
+    sched::EngineConfig cfg;
+    // Demand/supply series sampling is O(machines) per completion — an
+    // observability feature, not engine work; at 1M machines it would
+    // dominate everything. BM_EngineThroughputTraced covers obs-on cost.
+    cfg.record_series = false;
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs(), cfg);
+    sim.reserve_events(wave * 4);
+    sim::Rng rng(7);
+    std::size_t submitted = 0;
+    workload::JobId next_id = 1;
+    std::function<void()> pump = [&] {
+      const std::size_t n = std::min(wave, total_jobs - submitted);
+      for (std::size_t i = 0; i < n; ++i) {
+        workload::Job j;
+        j.id = next_id++;
+        j.user = "u";
+        j.submit_time = sim.now();
+        workload::Task t;
+        t.work_seconds = rng.uniform(30.0, 90.0);
+        t.demand = infra::ResourceVector{0.25, 1.0, 0.0};
+        j.tasks.push_back(std::move(t));
+        engine.submit(std::move(j));
+      }
+      submitted += n;
+      if (submitted < total_jobs) {
+        sim.schedule_after(120 * sim::kSecond, pump);
+      }
+    };
+    sim.schedule_at(0, pump);
+    sim.run_until();
+    if (engine.jobs_completed() != total_jobs) {
+      state.SkipWithError("jobs lost");
+    }
+    benchmark::DoNotOptimize(engine.jobs_completed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(total_jobs) *
+                          state.iterations());
+}
+BENCHMARK(BM_EngineThroughput_1M)
+    ->ArgNames({"machines", "jobs"})
+    ->Args({1 << 14, 200000})
+    ->Args({1 << 20, 10000000})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 void BM_EngineThroughputTraced(benchmark::State& state) {
   // BM_EngineThroughput with the observability layer switched ON: a

@@ -7,13 +7,17 @@
 #   scripts/bench_baseline.sh baseline     # before a change
 #   scripts/bench_baseline.sh current      # after it
 #
-# Env: BUILD_DIR (default: build), MCS_BENCH_MIN_TIME (default: 0.2).
+# Env: BUILD_DIR (default: build), MCS_BENCH_MIN_TIME (default: 0.2),
+#      MCS_BENCH_FILTER (optional --benchmark_filter regex; use it to skip
+#      configurations that are infeasible on one side of a comparison, e.g.
+#      the full BM_EngineThroughput_1M on pre-wheel builds).
 set -euo pipefail
 
 label="${1:-current}"
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${BUILD_DIR:-${repo_root}/build}"
 min_time="${MCS_BENCH_MIN_TIME:-0.2}"
+bench_filter="${MCS_BENCH_FILTER:-}"
 out_json="${repo_root}/BENCH_micro.json"
 
 tmp_dir="$(mktemp -d)"
@@ -26,8 +30,13 @@ for bin in micro_sim micro_graph; do
     exit 1
   fi
   echo "== ${bin} =="
+  filter_args=()
+  if [[ -n "${bench_filter}" ]]; then
+    filter_args=(--benchmark_filter="${bench_filter}")
+  fi
   "${exe}" --benchmark_format=json \
            --benchmark_min_time="${min_time}" \
+           "${filter_args[@]}" \
            > "${tmp_dir}/${bin}.json"
 done
 

@@ -31,7 +31,7 @@ class PlannedCapacity {
       speed_[m->id()] = m->speed_factor();
       present_[m->id()] = 1;
     }
-    recompute_bound();
+    stale_ = kAllStale;  // first may_fit_anywhere() computes the real bound
   }
 
   [[nodiscard]] bool fits(infra::MachineId id,
@@ -40,9 +40,23 @@ class PlannedCapacity {
            r.fits_within(free_[id]);
   }
 
+  /// Incremental headroom update: O(1) per call. `max_free_` stays an exact
+  /// componentwise maximum as long as at least one machine still sits at it
+  /// (`argmax_n_` counts them — crucial on uniform fleets, where first-fit
+  /// opens a fresh argmax machine per placement and a naive "argmax shrank →
+  /// re-scan" rule would trigger an O(machines) pass each time). Only when
+  /// the *last* machine at the bound shrinks does the component go stale and
+  /// get lazily re-scanned on the next may_fit_anywhere(). Allocation-free:
+  /// reachable from the engine's hot scheduling loop (H3).
+  // mcs-lint: hot
   void take(infra::MachineId id, const infra::ResourceVector& r) {
-    free_[id] -= r;
-    recompute_bound();
+    infra::ResourceVector& f = free_[id];
+    take_component(f.cores, r.cores, max_free_.cores, argmax_n_[0],
+                   kCoresStale);
+    take_component(f.memory_gib, r.memory_gib, max_free_.memory_gib,
+                   argmax_n_[1], kMemoryStale);
+    take_component(f.accelerators, r.accelerators, max_free_.accelerators,
+                   argmax_n_[2], kAccelStale);
   }
 
   [[nodiscard]] double speed(infra::MachineId id) const { return speed_[id]; }
@@ -53,28 +67,87 @@ class PlannedCapacity {
   }
 
   /// Necessary condition for `r` to fit on *some* machine: each component
-  /// must fit within the componentwise max of free capacity.
+  /// must fit within the componentwise max of free capacity. O(1) reject
+  /// unless an argmax machine shrank since the last call (see take()).
+  // mcs-lint: hot
   [[nodiscard]] bool may_fit_anywhere(const infra::ResourceVector& r) const {
+    if (stale_ != 0) refresh_bound();
     return r.fits_within(max_free_);
   }
 
  private:
-  void recompute_bound() {
-    max_free_ = infra::ResourceVector{};
+  static constexpr unsigned kCoresStale = 1u;
+  static constexpr unsigned kMemoryStale = 2u;
+  static constexpr unsigned kAccelStale = 4u;
+  static constexpr unsigned kAllStale = 7u;
+
+  // The bound is *exact* at every read: while `count > 0` some machine's
+  // free capacity equals it (and none exceeds it), and when the count hits
+  // zero the component is re-scanned before the next read. Decisions are
+  // therefore bit-identical to an eager per-take recompute.
+  // mcs-lint: hot
+  void take_component(double& free, double delta, double& bound,
+                      std::size_t& count, unsigned stale_bit) {
+    if (delta == 0.0) return;
+    const double old = free;
+    free -= delta;
+    if (free > bound) {
+      bound = free;  // raised past the bound: this machine is the sole argmax
+      count = 1;
+    } else if (free == bound) {
+      ++count;  // released back to exactly the bound: joins the argmax set
+    } else if (old == bound) {
+      if (--count == 0) stale_ |= stale_bit;  // last argmax shrank; re-scan
+    }
+  }
+
+  /// Re-scans only the stale components (each an O(machines) pass finding
+  /// the max *and* its multiplicity). Called from const may_fit_anywhere(),
+  /// hence the mutable bound state.
+  void refresh_bound() const {
+    if ((stale_ & kCoresStale) != 0) {
+      refresh_component(max_free_.cores, argmax_n_[0],
+                        [](const infra::ResourceVector& f) { return f.cores; });
+    }
+    if ((stale_ & kMemoryStale) != 0) {
+      refresh_component(max_free_.memory_gib, argmax_n_[1],
+                        [](const infra::ResourceVector& f) {
+                          return f.memory_gib;
+                        });
+    }
+    if ((stale_ & kAccelStale) != 0) {
+      refresh_component(max_free_.accelerators, argmax_n_[2],
+                        [](const infra::ResourceVector& f) {
+                          return f.accelerators;
+                        });
+    }
+    stale_ = 0;
+  }
+
+  template <typename Get>
+  void refresh_component(double& bound, std::size_t& count, Get get) const {
+    double v = 0.0;
+    std::size_t n = 0;
     for (infra::MachineId id = 0; id < present_.size(); ++id) {
       if (present_[id] == 0) continue;
-      max_free_.cores = std::max(max_free_.cores, free_[id].cores);
-      max_free_.memory_gib = std::max(max_free_.memory_gib,
-                                      free_[id].memory_gib);
-      max_free_.accelerators = std::max(max_free_.accelerators,
-                                        free_[id].accelerators);
+      const double f = get(free_[id]);
+      if (f > v) {
+        v = f;
+        n = 1;
+      } else if (f == v) {
+        ++n;
+      }
     }
+    bound = v;
+    count = n;
   }
 
   std::vector<infra::ResourceVector> free_;
   std::vector<double> speed_;
   std::vector<std::uint8_t> present_;
-  infra::ResourceVector max_free_;
+  mutable infra::ResourceVector max_free_;
+  mutable std::size_t argmax_n_[3] = {0, 0, 0};
+  mutable unsigned stale_ = kAllStale;
 };
 
 /// Picks a machine for `demand` under the fit heuristic; returns nullopt

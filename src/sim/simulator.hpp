@@ -3,7 +3,8 @@
 // The paper (C15, §3.3 "Experimentation and simulation") argues that
 // simulation is the primary community instrument for studying computer
 // ecosystems; every subsystem in this repository runs on this kernel, so
-// its per-event cost is the floor under every experiment (E1–E12).
+// its per-event cost is the floor under every experiment (E1–E12) and the
+// ceiling on ecosystem scale (ROADMAP item 3: 1M machines / 10M jobs).
 //
 // Design choices:
 //  - Virtual time is an integer count of microseconds (SimTime). Integer time
@@ -14,17 +15,25 @@
 //    speed for this scale of model (see bench/micro_sim for throughput).
 //  - The hot path is allocation-free: callbacks use sim::Callback (inline
 //    storage for typical capturing lambdas, heap only as a fallback), and
-//    the event queue is a 4-ary implicit heap of 24-byte entries whose
-//    callbacks live in a slot table — sift operations never move closures.
-//  - Discrete-event workloads overwhelmingly schedule in nondecreasing time
-//    order, so the queue keeps a sorted-run tail buffer beside the heap:
-//    monotone schedules append in O(1) and pop in O(1); only out-of-order
-//    events pay the O(log n) heap. Execution order is identical either way.
+//    queue entries are 24-byte PODs whose callbacks live in a slot table —
+//    no queue operation ever moves a closure.
+//  - The event queue is a three-band structure ordered by the same global
+//    (at, seq) key (DESIGN.md §12):
+//      1. a sorted-run *tail buffer*: discrete-event workloads
+//         overwhelmingly schedule in nondecreasing time order, so monotone
+//         schedules append in O(1) and pop in O(1);
+//      2. a *hierarchical timing wheel* (6 levels × 64 power-of-two
+//         buckets over sim-time deltas) for the dominant near-future
+//         out-of-order band — insert, cascade, and pop are O(1);
+//      3. a 4-ary implicit *heap* kept only for far-future overflow
+//         (events beyond the wheel's ~19-hour window).
+//    Execution order is bit-identical whichever band an event lands in.
 //  - Cancellation is O(1) lazy deletion: a handle carries (slot, generation)
-//    and cancelling bumps the slot generation; stale heap entries are
-//    discarded with one array load when they surface, no hash lookups.
+//    and cancelling bumps the slot generation; stale entries are discarded
+//    with one array load when they surface, no hash lookups.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -276,14 +285,14 @@ class Simulator {
   }
   EventHandle schedule_after(SimTime delay, Callback fn);
 
-  /// Bulk reservation: pre-sizes the heap and the callback slot table for
-  /// `extra` additional pending events, so a burst of schedule_at calls
-  /// performs no reallocation.
+  /// Bulk reservation: pre-sizes the heap, the tail buffer, the wheel's
+  /// node pool, and the callback slot table for `extra` additional pending
+  /// events, so a burst of schedule_at calls performs no reallocation.
   void reserve_events(std::size_t extra);
 
   /// Cancels a pending event; returns false if it already ran or was
   /// cancelled. Cancelling is O(1): the slot generation is bumped and the
-  /// callback destroyed in place; the heap entry is discarded lazily.
+  /// callback destroyed in place; the queue entry is discarded lazily.
   bool cancel(EventHandle h);
 
   /// Runs events until the queue drains or `until` is passed. Returns the
@@ -295,7 +304,7 @@ class Simulator {
 
   /// Number of events waiting (including tombstoned ones).
   [[nodiscard]] std::size_t pending() const {
-    return heap_.size() + (tail_.size() - tail_head_);
+    return heap_.size() + (tail_.size() - tail_head_) + wheel_count_;
   }
 
   /// Total events executed since construction.
@@ -307,8 +316,9 @@ class Simulator {
   [[nodiscard]] SimHook* hook() const { return hook_; }
 
  private:
-  // Heap entries are small PODs; the (heavy) callback stays put in its slot
-  // so sift operations move 24 bytes, never a closure.
+  // Queue entries are small PODs; the (heavy) callback stays put in its
+  // slot so no queue operation — sift, wheel cascade, tail compaction —
+  // ever moves a closure.
   struct Entry {
     SimTime at;
     std::uint64_t seq;  // insertion order; breaks ties deterministically
@@ -329,6 +339,41 @@ class Simulator {
   static constexpr std::size_t kSlotBlockBits = 9;
   static constexpr std::size_t kSlotBlockSize = std::size_t{1}
                                                 << kSlotBlockBits;
+
+  // --- hierarchical timing wheel geometry (DESIGN.md §12) -------------------
+  // kWheelLevels levels of kWheelBuckets buckets. Level l buckets span
+  // 2^(6l) µs each; an event lives at the lowest level whose bucket span
+  // still separates it from the cursor — precisely: at level l such that
+  // `at` and the cursor agree on all time digits above bit 6(l+1). Events
+  // whose top digit differs (more than ~19 hours of 2^36-aligned window)
+  // overflow to the 4-ary heap.
+  static constexpr int kWheelBits = 6;
+  static constexpr std::size_t kWheelBuckets = std::size_t{1} << kWheelBits;
+  static constexpr int kWheelLevels = 6;
+  // Consumed tail-buffer prefixes are compacted once they pass half the
+  // buffer (and this floor), so long monotone runs stop holding dead
+  // entries for the whole simulation; each entry moves at most once per
+  // compaction generation, O(1) amortized per pop.
+  static constexpr std::size_t kTailCompactMin = 64;
+
+  /// Intrusive FIFO node for wheel buckets: entries chain through a pooled
+  /// node array, so cascading a bucket re-links nodes without allocating
+  /// and pops recycle nodes through a free list.
+  struct WheelNode {
+    Entry e;
+    std::uint32_t next;
+  };
+  /// One wheel bucket: an intrusive FIFO (append at tail, pop at head)
+  /// plus the (at, seq) minimum over its entries. FIFO order within a
+  /// bucket is always seq order (inserts are seq-monotone and cascades
+  /// only ever fill empty buckets, preserving source order), so a level-0
+  /// bucket pops in exact execution order with no sorting.
+  struct WheelBucket {
+    std::uint32_t head = kNoSlot;
+    std::uint32_t tail = kNoSlot;
+    SimTime min_at = 0;
+    std::uint64_t min_seq = 0;
+  };
 
   /// True when a precedes b in execution order. Compares the (at, seq)
   /// pair as one 128-bit key: `at` is never negative (schedule_at enforces
@@ -359,9 +404,26 @@ class Simulator {
     return slot_count_++;
   }
 
+  /// Wheel level for `at` relative to `cursor`: the index of the highest
+  /// 6-bit time digit in which they differ (0 when equal). Levels >=
+  /// kWheelLevels mean the event is beyond the wheel window (heap band).
+  static int wheel_level(SimTime at, SimTime cursor) {
+    const std::uint64_t x = static_cast<std::uint64_t>(at) ^
+                            static_cast<std::uint64_t>(cursor);
+    if (x == 0) return 0;
+    return (63 - std::countl_zero(x)) / kWheelBits;
+  }
+
+  [[nodiscard]] WheelBucket& wheel_bucket(int level, std::size_t idx) {
+    return wheel_[static_cast<std::size_t>(level) * kWheelBuckets + idx];
+  }
+
   /// Enqueues the entry for an armed slot and returns its handle. Entries
   /// that continue the current monotone run go to the sorted tail buffer
-  /// (O(1)); earlier-than-the-run entries fall back to the heap.
+  /// (O(1)); out-of-order entries within the wheel window go to the wheel
+  /// (O(1)); only far-future overflow pays the O(log n) heap. Not H2-hot
+  /// itself (growth is amortized, see the allow(H3) sites), but reachable
+  /// from hot callers, so everything else here stays allocation-free.
   EventHandle arm(SimTime at, std::uint32_t slot) {
     const std::uint32_t gen = slot_ref(slot).gen;
     const Entry e{at, next_seq_++, slot, gen};
@@ -374,7 +436,7 @@ class Simulator {
       // count is workload-dependent); growth is amortized doubling and
       // steady-state runs at high-water capacity.
       tail_.push_back(e);
-    } else {
+    } else if (!wheel_insert(e)) {
       // mcs-lint: allow(H3) — same amortized-growth argument as tail_.
       heap_.push_back(e);
       sift_up(heap_.size() - 1);
@@ -392,6 +454,24 @@ class Simulator {
   void grow_slots();
   void sift_up(std::size_t i);
   void pop_entry();
+  bool wheel_insert(const Entry& e);
+  void wheel_link(std::uint32_t node);
+  void wheel_advance(SimTime t);
+  bool wheel_peek(SimTime& at, std::uint64_t& seq) const;
+  Entry wheel_pop_front();
+
+  /// Compacts the consumed prefix of the tail buffer once it passes half
+  /// the buffer, so long monotone runs release dead entries instead of
+  /// holding them for the whole simulation.
+  // mcs-lint: hot
+  void maybe_compact_tail() {
+    if (tail_head_ >= kTailCompactMin && tail_head_ * 2 >= tail_.size()) {
+      tail_.erase(tail_.begin(),
+                  tail_.begin() + static_cast<std::ptrdiff_t>(tail_head_));
+      tail_head_ = 0;
+    }
+  }
+
   /// Pops and executes the next live event in (at, seq) order; returns
   /// false if the queues are exhausted or its time exceeds `until`. Stale
   /// entries met on the way are discarded. Defined inline: this is the
@@ -400,45 +480,81 @@ class Simulator {
   /// any heap allocation introduced here (rule H2).
   // mcs-lint: hot
   bool run_one(SimTime until) {
-    // Discard stale (cancelled) entries at both queue fronts, then take
-    // the earlier of the two live fronts.
-    while (tail_head_ < tail_.size() && !entry_live(tail_[tail_head_])) {
-      ++tail_head_;
-    }
-    while (!heap_.empty() && !entry_live(heap_.front())) pop_entry();
-    Entry e;
-    if (tail_head_ < tail_.size() &&
-        (heap_.empty() || earlier(tail_[tail_head_], heap_.front()))) {
-      e = tail_[tail_head_];
-      if (e.at > until) return false;
-      ++tail_head_;
-    } else {
-      if (heap_.empty() || heap_.front().at > until) return false;
-      e = heap_.front();
-      pop_entry();
-    }
-    Slot& s = slot_ref(e.slot);
-    ++s.gen;  // invalidate outstanding handles before user code runs
-    now_ = e.at;
-    ++executed_;
-    if (hook_ != nullptr) hook_->on_event(e.at, executed_);
-    // Invoke in place: slot storage is address-stable, so user code inside
-    // the callback can schedule freely without moving the running closure.
-    // The slot is not on the free list yet, so it cannot be re-armed until
-    // the guard releases it — which happens even if the callback throws.
-    struct FreeGuard {
-      Simulator* sim;
-      Slot* slot;
-      std::uint32_t index;
-      ~FreeGuard() {
-        slot->fn.reset();
-        slot->next_free = sim->free_head_;
-        sim->free_head_ = index;
+    for (;;) {
+      // Discard stale (cancelled) entries at the tail and heap fronts,
+      // then take the earliest of the three live band fronts. The wheel
+      // candidate may itself be stale — that is only discovered once its
+      // bucket cascades to level 0, whereupon we discard and reselect.
+      while (tail_head_ < tail_.size() && !entry_live(tail_[tail_head_])) {
+        ++tail_head_;
       }
-    } guard{this, &s, e.slot};
-    s.fn();
-    if (hook_ != nullptr) hook_->on_event_end(e.at, executed_);
-    return true;
+      maybe_compact_tail();
+      while (!heap_.empty() && !entry_live(heap_.front())) pop_entry();
+      enum class Src : std::uint8_t { kNone, kTail, kHeap, kWheel };
+      Src src = Src::kNone;
+      Entry e{0, 0, 0, 0};
+      if (tail_head_ < tail_.size()) {
+        e = tail_[tail_head_];
+        src = Src::kTail;
+      }
+      if (!heap_.empty() &&
+          (src == Src::kNone || earlier(heap_.front(), e))) {
+        e = heap_.front();
+        src = Src::kHeap;
+      }
+      SimTime wheel_at = 0;
+      std::uint64_t wheel_seq = 0;
+      if (wheel_count_ != 0 && wheel_peek(wheel_at, wheel_seq)) {
+        const Entry w{wheel_at, wheel_seq, 0, 0};
+        if (src == Src::kNone || earlier(w, e)) {
+          e = w;
+          src = Src::kWheel;
+        }
+      }
+      if (src == Src::kNone) return false;
+      if (e.at > until) return false;
+      if (src == Src::kWheel) {
+        // Bring the candidate's bucket down to level 0 and pop its head —
+        // the head is the bucket minimum (FIFO is seq order), so it *is*
+        // the candidate. A stale (cancelled) head is discarded and the
+        // selection rerun: remaining minima only move later.
+        wheel_advance(e.at);
+        e = wheel_pop_front();
+        if (!entry_live(e)) continue;
+      } else {
+        if (src == Src::kTail) {
+          ++tail_head_;  // compaction is checked at the next selection pass
+        } else {
+          pop_entry();
+        }
+        // The cursor only needs to track execution time while the wheel
+        // holds entries; when empty, the next wheel_insert resyncs it from
+        // now_ before leveling — skipping an out-of-line call per event.
+        if (wheel_count_ != 0) wheel_advance(e.at);
+      }
+      Slot& s = slot_ref(e.slot);
+      ++s.gen;  // invalidate outstanding handles before user code runs
+      now_ = e.at;
+      ++executed_;
+      if (hook_ != nullptr) hook_->on_event(e.at, executed_);
+      // Invoke in place: slot storage is address-stable, so user code inside
+      // the callback can schedule freely without moving the running closure.
+      // The slot is not on the free list yet, so it cannot be re-armed until
+      // the guard releases it — which happens even if the callback throws.
+      struct FreeGuard {
+        Simulator* sim;
+        Slot* slot;
+        std::uint32_t index;
+        ~FreeGuard() {
+          slot->fn.reset();
+          slot->next_free = sim->free_head_;
+          sim->free_head_ = index;
+        }
+      } guard{this, &s, e.slot};
+      s.fn();
+      if (hook_ != nullptr) hook_->on_event_end(e.at, executed_);
+      return true;
+    }
   }
   [[nodiscard]] bool entry_live(const Entry& e) const {
     return slot_ref(e.slot).gen == e.gen;
@@ -447,9 +563,23 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Entry> heap_;  // 4-ary implicit heap ordered by earlier()
+  std::vector<Entry> heap_;  // 4-ary implicit heap; far-future overflow band
   std::vector<Entry> tail_;  // sorted monotone run, consumed from tail_head_
   std::size_t tail_head_ = 0;
+  // Timing wheel state: pooled intrusive nodes, kWheelLevels × kWheelBuckets
+  // bucket headers, one occupancy bit per bucket (ctz finds the next
+  // occupied bucket in O(1)), and the cursor the level digits are relative
+  // to. The cursor trails now_ only inside run_one's selection loop; arm()
+  // resyncs it before any insert.
+  std::vector<WheelNode> wheel_nodes_;
+  std::uint32_t wheel_free_ = kNoSlot;
+  // Fixed 6×64 bucket-header array (~9 KiB): always present, so the wheel
+  // needs no lazy sizing inside hot inserts.
+  WheelBucket wheel_[static_cast<std::size_t>(kWheelLevels) * kWheelBuckets] =
+      {};
+  std::uint64_t wheel_occ_[static_cast<std::size_t>(kWheelLevels)] = {};
+  SimTime wheel_cursor_ = 0;
+  std::size_t wheel_count_ = 0;  // entries in the wheel, incl. tombstones
   // Callback storage, recycled via free list; see kSlotBlockBits above.
   std::vector<std::unique_ptr<Slot[]>> slot_blocks_;
   std::uint32_t slot_count_ = 0;     // slots ever handed out
