@@ -189,6 +189,43 @@ void BM_EngineThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineThroughput);
 
+void BM_ScoringPolicies(benchmark::State& state) {
+  // The scoring pass on a K=4 heterogeneous, gpu-sparse fleet: 3 racks of
+  // cpu-only machines plus one gpu rack, 20% of tasks accelerated. Arg(0-3)
+  // selects the NodeScorePolicy, so the per-policy cost of the scored
+  // pick_machine loop (vs the kNone legacy fast path at Arg 0) reads
+  // directly off the report. The scoring pass must stay allocation-free:
+  // mcs_lint H2/H3 gate the loop, this benchmark gates the constant factor.
+  const auto policy = static_cast<sched::NodeScorePolicy>(state.range(0));
+  state.SetLabel(sched::to_string(policy));
+  sim::Rng rng(7);
+  workload::TraceConfig tc;
+  tc.job_count = 512;
+  tc.arrival_rate_per_hour = 40000.0;
+  tc.mean_tasks_per_job = 8.0;
+  tc.mean_task_seconds = 120.0;
+  tc.cv_task_seconds = 1.5;
+  tc.accelerated_fraction = 0.2;
+  const auto jobs = workload::generate_trace(tc, rng);
+  for (auto _ : state) {
+    infra::Datacenter dc("bm-score", "eu");
+    dc.add_uniform_racks(3, 8, infra::ResourceVector{8.0, 32.0, 0.0, 10.0},
+                         1.0);
+    dc.add_uniform_racks(1, 8, infra::ResourceVector{8.0, 32.0, 4.0, 10.0},
+                         1.0);
+    sched::EngineConfig cfg;
+    cfg.placement.score = policy;
+    cfg.placement.salt = 17;
+    const auto r =
+        sched::run_workload(dc, jobs, sched::make_fcfs(), std::move(cfg));
+    if (r.jobs.size() != jobs.size()) state.SkipWithError("jobs lost");
+    benchmark::DoNotOptimize(r.mean_slowdown);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(jobs.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_ScoringPolicies)->DenseRange(0, 3);
+
 void BM_EngineThroughput_1M(benchmark::State& state) {
   // Million-entity ratchet (ROADMAP item 3): `machines` machines in
   // 1024-machine racks, `jobs` single-task jobs streamed in waves of

@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
                        /*speed_factor=*/1.0);
   metrics::print_kv(std::cout, "machines", std::to_string(dc.machine_count()));
   metrics::print_kv(std::cout, "total cores",
-                    metrics::Table::num(dc.total_capacity().cores, 0));
+                    metrics::Table::num(dc.total_capacity().cpu(), 0));
 
   // 2. Generate a workload: 200 jobs, bursty arrivals, 30% workflows.
   sim::Rng rng(seed);

@@ -254,14 +254,14 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
   pool.start_with(config.min_machines);
 
   const double cores_per_machine =
-      dc.machine_count() == 0 ? 1.0 : dc.machine(0).capacity().cores;
+      dc.machine_count() == 0 ? 1.0 : dc.machine(0).capacity().cpu();
 
   // Mean task cores: estimate from the trace.
   double total_cores = 0.0;
   std::size_t total_tasks = 0;
   for (const auto& j : jobs) {
     for (const auto& t : j.tasks) {
-      total_cores += t.demand.cores;
+      total_cores += t.demand.cpu();
       ++total_tasks;
     }
   }

@@ -24,6 +24,10 @@ constexpr std::uint64_t kDcStream = 1;
 constexpr std::uint64_t kTraceStream = 2;
 constexpr std::uint64_t kFailureStream = 3;
 constexpr std::uint64_t kFlapStream = 4;
+// New substreams for the --het profile; legacy streams never see these
+// draws, so scalar scenarios stay bit-identical.
+constexpr std::uint64_t kHetStream = 5;
+constexpr std::uint64_t kPlacementStream = 6;
 
 /// Job id for the optional never-placeable job — far above trace ids.
 constexpr workload::JobId kImpossibleJobId = 1'000'000;
@@ -39,9 +43,18 @@ infra::Datacenter materialize_dc(const ScenarioSpec& spec) {
             : 8.0;
     for (std::size_t m = 0; m < spec.per_rack; ++m) {
       const double accel = rng.uniform() < spec.accel_fraction ? 2.0 : 0.0;
-      dc.add_machine("m-" + std::to_string(r) + "-" + std::to_string(m),
-                     infra::ResourceVector{cores, cores * 4.0, accel}, speed,
-                     r);
+      // The 4th (net) dimension draws only when the knob is active, so
+      // legacy specs consume the exact same kDcStream sequence.
+      const double net = spec.net_capacity > 0.0
+                             ? spec.net_capacity * rng.uniform(0.5, 1.0)
+                             : 0.0;
+      infra::Machine& machine = dc.add_machine(
+          "m-" + std::to_string(r) + "-" + std::to_string(m),
+          infra::ResourceVector{cores, cores * 4.0, accel, net}, speed, r);
+      if (spec.zone_count > 0) {
+        dc.set_zone(machine.id(),
+                    "z" + std::to_string(r % spec.zone_count));
+      }
     }
   }
   return dc;
@@ -51,6 +64,37 @@ std::vector<workload::Job> materialize_jobs(const ScenarioSpec& spec) {
   sim::Rng rng(exp::substream_seed(spec.seed, kTraceStream));
   auto jobs = workload::generate_trace(spec.trace, rng);
   if (spec.job_limit < jobs.size()) jobs.resize(spec.job_limit);
+  // Placement/vector-demand decoration (placement substream). Runs after
+  // job_limit truncation and draws per surviving job in order, so the
+  // shrinker's job-prefix bisection keeps survivors stable.
+  if (spec.zone_count > 0 || spec.spread_fraction > 0.0 ||
+      spec.net_demand_fraction > 0.0) {
+    sim::Rng prng(exp::substream_seed(spec.seed, kPlacementStream));
+    for (workload::Job& job : jobs) {
+      if (spec.zone_count > 0 && prng.chance(spec.zone_job_fraction)) {
+        const std::size_t z = static_cast<std::size_t>(prng.uniform_int(
+            0, static_cast<std::int64_t>(spec.zone_count) - 1));
+        job.placement.zones = "z" + std::to_string(z);
+        if (spec.zone_count > 1 && prng.chance(0.3)) {
+          job.placement.zones +=
+              ",z" + std::to_string((z + 1) % spec.zone_count);
+        }
+      }
+      if (spec.spread_fraction > 0.0 && prng.chance(spec.spread_fraction)) {
+        job.placement.spread_limit = spec.spread_limit;
+      }
+      if (spec.net_demand_fraction > 0.0) {
+        for (workload::Task& task : job.tasks) {
+          if (prng.chance(spec.net_demand_fraction)) {
+            // Up to 1.25x the fleet's net scale: some tasks are only
+            // satisfiable on the best-provisioned machines, a few on none
+            // (exercising zone-aware abandonment).
+            task.demand.net() = prng.uniform(0.5, spec.net_capacity * 1.25);
+          }
+        }
+      }
+    }
+  }
   if (spec.impossible_job) {
     workload::Job job;
     job.id = kImpossibleJobId;
@@ -96,7 +140,9 @@ std::vector<Flap> materialize_flaps(const ScenarioSpec& spec,
 
 }  // namespace
 
-ScenarioSpec make_spec(std::uint64_t seed) {
+ScenarioSpec make_spec(std::uint64_t seed) { return make_spec(seed, false); }
+
+ScenarioSpec make_spec(std::uint64_t seed, bool het) {
   ScenarioSpec spec;
   spec.seed = seed;
   sim::Rng rng(exp::substream_seed(seed, kParamStream));
@@ -142,6 +188,34 @@ ScenarioSpec make_spec(std::uint64_t seed) {
 
   spec.flap_count = static_cast<std::size_t>(rng.uniform_int(0, 6));
   spec.horizon = sim::from_seconds(rng.uniform(3600.0, 3.0 * 3600.0));
+
+  if (het) {
+    // All het knobs draw from their own substream *after* the legacy
+    // draws, so a het spec's machine floor / trace / failures match the
+    // scalar spec of the same seed except where a knob explicitly applies.
+    sim::Rng h(exp::substream_seed(seed, kHetStream));
+    static constexpr const char* kScoreNames[] = {
+        "", "random-hash", "free-share-variance", "squared-min-delta"};
+    spec.score_policy = kScoreNames[h.uniform_int(0, 3)];
+    spec.score_salt = static_cast<std::uint64_t>(h.uniform_int(0, 1 << 20));
+    if (h.chance(0.5)) {
+      spec.net_capacity = h.uniform(4.0, 16.0);
+      spec.net_demand_fraction = h.uniform(0.1, 0.5);
+    }
+    if (h.chance(0.6)) {
+      spec.zone_count = static_cast<std::size_t>(h.uniform_int(2, 4));
+      spec.zone_job_fraction = h.uniform(0.2, 0.8);
+    }
+    if (h.chance(0.5)) {
+      spec.spread_fraction = h.uniform(0.2, 0.6);
+      spec.spread_limit = static_cast<std::uint32_t>(h.uniform_int(1, 3));
+    }
+    if (h.chance(0.5)) {
+      // GPU-sparse fleet: few accelerator machines, real gpu demand.
+      spec.accel_fraction = h.uniform(0.05, 0.3);
+      spec.trace.accelerated_fraction = h.uniform(0.05, 0.3);
+    }
+  }
   return spec;
 }
 
@@ -157,6 +231,8 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   config.retry_failed_tasks = spec.retry;
   config.max_retries = spec.max_retries;
   config.scavenging.enabled = spec.scavenging;
+  config.placement.score = sched::score_policy_from_string(spec.score_policy);
+  config.placement.salt = spec.score_salt;
 
   sched::ExecutionEngine engine(sim, dc, sched::make_policy(spec.policy),
                                 config);
@@ -277,7 +353,11 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   return result;
 }
 
-SeedRunResult run_seed(std::uint64_t seed) { return run_spec(make_spec(seed)); }
+SeedRunResult run_seed(std::uint64_t seed, bool het) {
+  return run_spec(make_spec(seed, het));
+}
+
+SeedRunResult run_seed(std::uint64_t seed) { return run_seed(seed, false); }
 
 std::uint64_t seed_for_index(std::uint64_t base_seed, std::size_t index) {
   // Matches exp::run_sweep's cell seeding for (scenario=index, rep=0).
@@ -290,9 +370,10 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
   sweep.base_seed = opt.base_seed;
   sweep.pool = opt.pool;
 
+  const bool het = opt.het;
   const auto results = exp::run_sweep<SeedRunResult>(
       opt.seeds, sweep,
-      [](const exp::SweepPoint& p) { return run_seed(p.seed); });
+      [het](const exp::SweepPoint& p) { return run_seed(p.seed, het); });
 
   FuzzReport report;
   report.seeds_run = results.size();
@@ -360,6 +441,14 @@ std::string to_text(const ScenarioSpec& spec) {
   out << "failure_limit=" << spec.failure_limit << "\n";
   out << "flap_count=" << spec.flap_count << "\n";
   out << "horizon=" << spec.horizon << "\n";
+  out << "score_policy=" << spec.score_policy << "\n";
+  out << "score_salt=" << spec.score_salt << "\n";
+  out << "net_capacity=" << spec.net_capacity << "\n";
+  out << "net_demand_fraction=" << spec.net_demand_fraction << "\n";
+  out << "zone_count=" << spec.zone_count << "\n";
+  out << "zone_job_fraction=" << spec.zone_job_fraction << "\n";
+  out << "spread_fraction=" << spec.spread_fraction << "\n";
+  out << "spread_limit=" << spec.spread_limit << "\n";
   return out.str();
 }
 
@@ -433,6 +522,18 @@ ScenarioSpec from_text(const std::string& text) {
       else if (key == "failure_limit") spec.failure_limit = std::stoull(value);
       else if (key == "flap_count") spec.flap_count = std::stoull(value);
       else if (key == "horizon") spec.horizon = std::stoll(value);
+      else if (key == "score_policy") spec.score_policy = value;
+      else if (key == "score_salt") spec.score_salt = std::stoull(value);
+      else if (key == "net_capacity") spec.net_capacity = std::stod(value);
+      else if (key == "net_demand_fraction")
+        spec.net_demand_fraction = std::stod(value);
+      else if (key == "zone_count") spec.zone_count = std::stoull(value);
+      else if (key == "zone_job_fraction")
+        spec.zone_job_fraction = std::stod(value);
+      else if (key == "spread_fraction")
+        spec.spread_fraction = std::stod(value);
+      else if (key == "spread_limit")
+        spec.spread_limit = static_cast<std::uint32_t>(std::stoul(value));
       // Unknown keys are ignored for forward compatibility.
     } catch (const std::invalid_argument&) {
       throw std::invalid_argument("repro line " + std::to_string(line_no) +

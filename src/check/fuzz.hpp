@@ -62,9 +62,24 @@ struct ScenarioSpec {
   std::size_t flap_count = 0;
 
   sim::SimTime horizon = 2 * sim::kHour;
+
+  // Vector/placement heterogeneity profile (het + placement substreams).
+  // Every knob defaults to inactive, so legacy seeds reproduce
+  // bit-identically; `mcs_check --het` opts a batch into drawing these.
+  std::string score_policy;          ///< "" = scalar pick_machine fast path
+  std::uint64_t score_salt = 0;      ///< random-hash tie-break salt
+  double net_capacity = 0.0;         ///< 4th-dim capacity scale; 0 = off
+  double net_demand_fraction = 0.0;  ///< fraction of tasks demanding net
+  std::size_t zone_count = 0;        ///< zones striped across racks; 0 = off
+  double zone_job_fraction = 0.0;    ///< fraction of jobs zone-constrained
+  double spread_fraction = 0.0;      ///< fraction of jobs with spread limit
+  std::uint32_t spread_limit = 0;    ///< per-machine concurrent-task cap
 };
 
-/// Expands a seed into a randomized scenario spec (pure function).
+/// Expands a seed into a randomized scenario spec (pure function). With
+/// `het` the vector/placement knobs above are drawn from their own
+/// substream on top of the legacy draws, which stay untouched.
+[[nodiscard]] ScenarioSpec make_spec(std::uint64_t seed, bool het);
 [[nodiscard]] ScenarioSpec make_spec(std::uint64_t seed);
 
 /// Lossless text round-trip (key=value lines; doubles at full precision).
@@ -96,6 +111,7 @@ struct SeedRunResult {
 [[nodiscard]] SeedRunResult run_spec(const ScenarioSpec& spec);
 
 /// make_spec + run_spec for a raw seed value.
+[[nodiscard]] SeedRunResult run_seed(std::uint64_t seed, bool het);
 [[nodiscard]] SeedRunResult run_seed(std::uint64_t seed);
 
 /// The substream seed for seed index `i` of a batch (exp::substream_seed
@@ -106,6 +122,8 @@ struct SeedRunResult {
 struct FuzzOptions {
   std::size_t seeds = 100;
   std::uint64_t base_seed = 1;
+  /// Draw the vector/placement heterogeneity knobs for every scenario.
+  bool het = false;
   /// Pool to fan out on; parallel::default_pool() when null.
   parallel::ThreadPool* pool = nullptr;
 };

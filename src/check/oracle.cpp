@@ -3,7 +3,27 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/resources.hpp"
+
 namespace mcs::check {
+
+namespace {
+
+/// True when the comma-separated zone list names `zone`. Mirrors the
+/// parsing in LabelFilterCache::mask_for but stays independent of it: the
+/// oracle re-derives placement legality from the job's declared zones.
+bool zone_list_contains(const std::string& zones, const std::string& zone) {
+  std::size_t start = 0;
+  while (start <= zones.size()) {
+    std::size_t end = zones.find(',', start);
+    if (end == std::string::npos) end = zones.size();
+    if (zones.compare(start, end - start, zone) == 0) return true;
+    start = end + 1;
+  }
+  return false;
+}
+
+}  // namespace
 
 InvariantChecker::InvariantChecker(sim::Simulator& sim,
                                    const infra::Datacenter& dc,
@@ -174,9 +194,7 @@ void InvariantChecker::verify(const sched::ExecutionEngine& e,
 
   // I2/I5: running slots reference live jobs and usable machines; no task
   // runs twice or is both ready and running.
-  held_cores_.assign(dc_.machine_count(), 0.0);
-  held_mem_.assign(dc_.machine_count(), 0.0);
-  held_acc_.assign(dc_.machine_count(), 0.0);
+  held_dims_.assign(dc_.machine_count() * core::kResourceDims, 0.0);
   held_count_.assign(dc_.machine_count(), 0);
   e.running_.for_each([&](std::uint32_t, const auto& rt) {
     if (rt.job_slot >= job_slots || !e.jobs_.live(rt.job_slot)) {
@@ -218,38 +236,71 @@ void InvariantChecker::verify(const sched::ExecutionEngine& e,
                std::to_string(rt.task_index) + " is both ready and running");
     }
     mark |= 2u;
-    held_cores_[rt.machine] += rt.held.cores;
-    held_mem_[rt.machine] += rt.held.memory_gib;
-    held_acc_[rt.machine] += rt.held.accelerators;
+    // I5: zone-constrained jobs only ever run inside their zone set, and
+    // no machine exceeds the job's anti-affinity spread limit. Recomputed
+    // from the job's declared placement, not the engine's cached masks.
+    if (!jr.job.placement.zones.empty() &&
+        !zone_list_contains(jr.job.placement.zones,
+                            dc_.zone_of(rt.machine))) {
+      fail("I5 placement", where,
+           "job " + std::to_string(jr.job.id) + " task " +
+               std::to_string(rt.task_index) + " runs on machine " +
+               std::to_string(rt.machine) + " in zone '" +
+               dc_.zone_of(rt.machine) + "' outside its allowed zones '" +
+               jr.job.placement.zones + "'");
+    }
+    if (jr.job.placement.spread_limit > 0) {
+      std::uint32_t same_machine = 0;
+      e.running_.for_each([&](std::uint32_t, const auto& other) {
+        if (other.job_slot == rt.job_slot && other.machine == rt.machine) {
+          ++same_machine;
+        }
+      });
+      if (same_machine > jr.job.placement.spread_limit) {
+        fail("I5 placement", where,
+             "job " + std::to_string(jr.job.id) + " runs " +
+                 std::to_string(same_machine) + " tasks on machine " +
+                 std::to_string(rt.machine) + " but its spread limit is " +
+                 std::to_string(jr.job.placement.spread_limit));
+      }
+    }
+    for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+      held_dims_[rt.machine * core::kResourceDims + d] += rt.held[d];
+    }
     ++held_count_[rt.machine];
   });
 
-  // I4: per-machine capacity sanity (and exclusive-allocation accounting).
+  // I4: per-machine capacity sanity (and exclusive-allocation accounting),
+  // checked in every resource dimension of the vector.
   const double eps = options_.epsilon;
   for (infra::MachineId id = 0; id < dc_.machine_count(); ++id) {
     const infra::Machine& m = dc_.machine(id);
     const infra::ResourceVector& used = m.used();
     const infra::ResourceVector& cap = m.capacity();
-    if (used.cores < -eps || used.memory_gib < -eps ||
-        used.accelerators < -eps) {
-      fail("I4 capacity", where,
-           "machine " + std::to_string(id) + " has negative used resources");
-    }
-    if (used.cores > cap.cores + eps ||
-        used.memory_gib > cap.memory_gib + eps ||
-        used.accelerators > cap.accelerators + eps) {
-      fail("I4 capacity", where,
-           "machine " + std::to_string(id) + " used exceeds capacity");
+    for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+      const char* dim = core::to_string(static_cast<core::ResourceDim>(d));
+      if (used[d] < -eps) {
+        fail("I4 capacity", where,
+             "machine " + std::to_string(id) + " has negative used " + dim);
+      }
+      if (used[d] > cap[d] + eps) {
+        fail("I4 capacity", where,
+             "machine " + std::to_string(id) + " used " + dim +
+                 " exceeds capacity (" + std::to_string(used[d]) + " > " +
+                 std::to_string(cap[d]) + ")");
+      }
     }
     if (options_.exclusive_allocation && m.usable()) {
-      if (std::abs(used.cores - held_cores_[id]) > eps ||
-          std::abs(used.memory_gib - held_mem_[id]) > eps ||
-          std::abs(used.accelerators - held_acc_[id]) > eps) {
-        fail("I4 capacity", where,
-             "machine " + std::to_string(id) +
-                 ": used does not match the engine's held resources (cores " +
-                 std::to_string(used.cores) + " vs " +
-                 std::to_string(held_cores_[id]) + ")");
+      for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+        const double held = held_dims_[id * core::kResourceDims + d];
+        if (std::abs(used[d] - held) > eps) {
+          fail("I4 capacity", where,
+               "machine " + std::to_string(id) + ": used " +
+                   core::to_string(static_cast<core::ResourceDim>(d)) +
+                   " does not match the engine's held resources (" +
+                   std::to_string(used[d]) + " vs " + std::to_string(held) +
+                   ")");
+        }
       }
       if (m.live_allocations() != held_count_[id]) {
         fail("I4 capacity", where,
@@ -258,17 +309,21 @@ void InvariantChecker::verify(const sched::ExecutionEngine& e,
                  " live allocations but the engine holds " +
                  std::to_string(held_count_[id]) + " running tasks");
       }
-      // Exactly zero, not within eps: fractional demands must not leave
-      // floating-point residue behind once a machine is idle — 1e-16
-      // leftover cores starve exactly-full-machine demands forever (the
-      // full_machine_fp_residue repro).
-      if (held_count_[id] == 0 &&
-          (used.cores != 0.0 || used.memory_gib != 0.0 ||
-           used.accelerators != 0.0)) {
-        fail("I4 capacity", where,
-             "machine " + std::to_string(id) +
-                 " is idle but used is not exactly zero (cores residue " +
-                 std::to_string(used.cores) + ")");
+      // Exactly zero, not within eps, in every dimension: fractional
+      // demands must not leave floating-point residue behind once a
+      // machine is idle — 1e-16 leftover cores starve
+      // exactly-full-machine demands forever (the full_machine_fp_residue
+      // repro).
+      if (held_count_[id] == 0) {
+        for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+          if (used[d] != 0.0) {
+            fail("I4 capacity", where,
+                 "machine " + std::to_string(id) +
+                     " is idle but used is not exactly zero (" +
+                     core::to_string(static_cast<core::ResourceDim>(d)) +
+                     " residue " + std::to_string(used[d]) + ")");
+          }
+        }
       }
     }
     // I6: only drain()/undrain() move the drain set — crashes and repairs
@@ -298,7 +353,7 @@ std::string InvariantChecker::quiescence_report(
     const auto& jr = e.jobs_[rt.job_slot];
     const infra::ResourceVector& d = jr.job.tasks[rt.task_index].demand;
     out << " [job " << jr.job.id << " task " << rt.task_index << " demand {"
-        << d.cores << "c " << d.memory_gib << "g " << d.accelerators
+        << d.cpu() << "c " << d.mem() << "g " << d.gpu()
         << "a}]";
   }
   out << " machines:";
@@ -307,8 +362,8 @@ std::string InvariantChecker::quiescence_report(
     const char* state = m.usable() ? "up" : "down";
     out << " " << id << "=" << state
         << (e.is_draining(id) ? "/draining" : "") << "{"
-        << m.available().cores << "c " << m.available().memory_gib << "g "
-        << m.available().accelerators << "a}";
+        << m.available().cpu() << "c " << m.available().mem() << "g "
+        << m.available().gpu() << "a}";
   }
   return out.str();
 }

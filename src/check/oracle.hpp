@@ -27,15 +27,20 @@
 //                    recount of its not-done dependencies (CSR unlock
 //                    bookkeeping never drifts).
 //  I4 CAPACITY       every machine's used vector is componentwise within
-//                    [0, capacity] (so planned free capacity = available()
-//                    is non-negative); in exclusive mode, used equals the
-//                    sum of resources held by this engine's running tasks,
-//                    the machine's live-allocation count matches the number
-//                    of running tasks placed on it, and an idle machine's
-//                    used vector is *exactly* zero (no FP residue).
-//  I5 PLACEMENT      every running task sits on a usable machine, and a
+//                    [0, capacity] across all core::kResourceDims
+//                    dimensions (so planned free capacity = available() is
+//                    non-negative); in exclusive mode, used equals the
+//                    per-dimension sum of resources held by this engine's
+//                    running tasks, the machine's live-allocation count
+//                    matches the number of running tasks placed on it, and
+//                    an idle machine's used vector is *exactly* zero in
+//                    every dimension (no FP residue).
+//  I5 PLACEMENT      every running task sits on a usable machine, a
 //                    kTaskStarted transition never targets a draining or
-//                    failed machine.
+//                    failed machine, every running task of a zone-
+//                    constrained job sits inside the job's zone set, and no
+//                    machine runs more tasks of one job than the job's
+//                    anti-affinity spread limit allows.
 //  I6 DRAIN SHADOW   the engine's drain bitset matches the oracle's shadow
 //                    copy, which only drain()/undrain() transitions may
 //                    move — a machine crash or repair must never flip it.
@@ -136,7 +141,10 @@ class InvariantChecker final : public sched::EngineObserver,
   // Scratch reused across sweeps (task-state partition bookkeeping).
   std::vector<std::uint32_t> task_offsets_;
   std::vector<std::uint8_t> task_marks_;
-  std::vector<double> held_cores_, held_mem_, held_acc_;
+  /// Per-machine held resources, one flat array per resource dimension
+  /// (indexed machine * kResourceDims + dim) so I4 accounting covers every
+  /// dimension of the vector, not just the three historically named ones.
+  std::vector<double> held_dims_;
   std::vector<std::uint32_t> held_count_;
 };
 

@@ -124,6 +124,40 @@ ShrinkResult shrink(const ScenarioSpec& spec, const ShrinkOptions& opt) {
         s.try_adopt(c);
       }
     }
+    // Het-profile knobs: try dropping each placement/vector dimension
+    // independently, then the scoring pass.
+    {
+      ScenarioSpec c = s.best;
+      if (c.zone_count > 0) {
+        c.zone_count = 0;
+        c.zone_job_fraction = 0.0;
+        s.try_adopt(c);
+      }
+    }
+    {
+      ScenarioSpec c = s.best;
+      if (c.spread_fraction > 0.0 || c.spread_limit > 0) {
+        c.spread_fraction = 0.0;
+        c.spread_limit = 0;
+        s.try_adopt(c);
+      }
+    }
+    {
+      ScenarioSpec c = s.best;
+      if (c.net_capacity > 0.0 || c.net_demand_fraction > 0.0) {
+        c.net_capacity = 0.0;
+        c.net_demand_fraction = 0.0;
+        s.try_adopt(c);
+      }
+    }
+    {
+      ScenarioSpec c = s.best;
+      if (!c.score_policy.empty()) {
+        c.score_policy.clear();
+        c.score_salt = 0;
+        s.try_adopt(c);
+      }
+    }
     {
       ScenarioSpec c = s.best;
       if (c.retry) {

@@ -85,8 +85,8 @@ std::optional<InstanceType> InstanceCatalog::select(
         return t.speed_factor;
       case SelectionObjective::kBestPricePerf:
         return t.price_per_hour == 0.0
-                   ? t.resources.cores * t.speed_factor
-                   : t.resources.cores * t.speed_factor / t.price_per_hour;
+                   ? t.resources.cpu() * t.speed_factor
+                   : t.resources.cpu() * t.speed_factor / t.price_per_hour;
     }
     return 0.0;
   };

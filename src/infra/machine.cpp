@@ -20,7 +20,7 @@ Machine::Machine(MachineId id, std::string name, ResourceVector capacity,
       capacity_(capacity),
       speed_factor_(speed_factor),
       power_(power) {
-  if (!capacity.nonnegative() || capacity.cores <= 0.0) {
+  if (!capacity.nonnegative() || capacity.cpu() <= 0.0) {
     throw std::invalid_argument("Machine: capacity must have positive cores");
   }
   if (speed_factor <= 0.0) {
@@ -48,16 +48,18 @@ void Machine::release(const ResourceVector& r) {
   ResourceVector next = used_ - r;
   // Allow tiny residue from floating point accumulation in either
   // direction: clamp negatives to zero and snap near-zero positives to
-  // zero. Positive residue is the dangerous kind — 1e-16 leftover cores
-  // make an exactly-full-machine demand unschedulable forever.
+  // zero, per dimension. Positive residue is the dangerous kind — 1e-16
+  // leftover cores make an exactly-full-machine demand unschedulable
+  // forever.
   constexpr double kEps = 1e-9;
-  if (next.cores < -kEps || next.memory_gib < -kEps ||
-      next.accelerators < -kEps) {
-    throw std::logic_error("Machine::release: over-release on " + name_);
+  for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+    if (next[d] < -kEps) {
+      throw std::logic_error("Machine::release: over-release on " + name_);
+    }
   }
-  next.cores = next.cores < kEps ? 0.0 : next.cores;
-  next.memory_gib = next.memory_gib < kEps ? 0.0 : next.memory_gib;
-  next.accelerators = next.accelerators < kEps ? 0.0 : next.accelerators;
+  for (std::size_t d = 0; d < core::kResourceDims; ++d) {
+    next[d] = next[d] < kEps ? 0.0 : next[d];
+  }
   --live_allocations_;
   // The last holder left: whatever remains is pure accumulation error.
   if (live_allocations_ == 0) next = ResourceVector{};
@@ -65,7 +67,7 @@ void Machine::release(const ResourceVector& r) {
 }
 
 double Machine::utilization() const {
-  return capacity_.cores == 0.0 ? 0.0 : used_.cores / capacity_.cores;
+  return capacity_.cpu() == 0.0 ? 0.0 : used_.cpu() / capacity_.cpu();
 }
 
 double Machine::power_watts() const {

@@ -1,53 +1,26 @@
 // Physical machine model: heterogeneous capacity, speed, power, state.
 //
 // Challenge C4 ("extreme heterogeneity"): infrastructure mixes CPU
-// generations, accelerators (GPU/FPGA/TPU-class), and memory sizes. Machines
-// here carry a resource vector plus a speed factor and optional accelerator
-// capability, which the scheduler and the heterogeneity experiments use.
+// generations, accelerators (GPU/FPGA/TPU-class), memory sizes, and NIC
+// speeds. Machines carry a K=4 resource vector (core::ResourceQuantities:
+// cpu/mem/gpu/net) plus a speed factor, which the scheduler's scoring pass
+// and the heterogeneity experiments use.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
 
+#include "core/resources.hpp"
+
 namespace mcs::infra {
 
 using MachineId = std::uint32_t;
 
-/// Multi-dimensional capacity. Units: cores (count), memory (GiB),
-/// accelerators (count).
-struct ResourceVector {
-  double cores = 0.0;
-  double memory_gib = 0.0;
-  double accelerators = 0.0;
-
-  [[nodiscard]] bool fits_within(const ResourceVector& cap) const {
-    return cores <= cap.cores && memory_gib <= cap.memory_gib &&
-           accelerators <= cap.accelerators;
-  }
-  [[nodiscard]] bool nonnegative() const {
-    return cores >= 0.0 && memory_gib >= 0.0 && accelerators >= 0.0;
-  }
-
-  ResourceVector& operator+=(const ResourceVector& o) {
-    cores += o.cores;
-    memory_gib += o.memory_gib;
-    accelerators += o.accelerators;
-    return *this;
-  }
-  ResourceVector& operator-=(const ResourceVector& o) {
-    cores -= o.cores;
-    memory_gib -= o.memory_gib;
-    accelerators -= o.accelerators;
-    return *this;
-  }
-  friend ResourceVector operator+(ResourceVector a, const ResourceVector& b) {
-    return a += b;
-  }
-  friend ResourceVector operator-(ResourceVector a, const ResourceVector& b) {
-    return a -= b;
-  }
-};
+/// Multi-dimensional runtime capacity/demand. Units: cpu (cores), mem
+/// (GiB), gpu (accelerator count), net (Gbps). Array-backed with named
+/// accessors — see core/resources.hpp.
+using ResourceVector = core::ResourceQuantities;
 
 /// Linear power model: idle draw plus utilization-proportional dynamic part
 /// (the standard datacenter-simulation model, e.g. CloudSim/OpenDC).
@@ -66,6 +39,11 @@ class Machine {
  public:
   Machine(MachineId id, std::string name, ResourceVector capacity,
           double speed_factor, PowerModel power = {});
+  /// Declared-shape convenience: whole-unit capacities from a fleet profile.
+  Machine(MachineId id, std::string name, core::ResourceCapacities capacity,
+          double speed_factor, PowerModel power = {})
+      : Machine(id, std::move(name), core::to_quantities(capacity),
+                speed_factor, power) {}
 
   [[nodiscard]] MachineId id() const { return id_; }
   [[nodiscard]] const std::string& name() const { return name_; }
@@ -87,7 +65,8 @@ class Machine {
   /// — fractional demands leave floating-point residue under repeated
   /// allocate/release, and a residue of 1e-16 cores is enough to starve a
   /// full-machine task forever (found by mcs_check, seed shrunk into
-  /// tests/repros/full_machine_fp_residue.repro).
+  /// tests/repros/full_machine_fp_residue.repro). The clamp/snap applies
+  /// per dimension.
   void release(const ResourceVector& r);
 
   /// Allocations currently held (allocate() minus release(); reset by

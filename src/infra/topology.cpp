@@ -16,7 +16,31 @@ Machine& Datacenter::add_machine(std::string name, ResourceVector capacity,
   machines_.push_back(std::make_unique<Machine>(id, std::move(name), capacity,
                                                 speed_factor, power));
   rack_of_.push_back(rack);
+  zone_id_of_.push_back(0);
   return *machines_.back();
+}
+
+void Datacenter::set_zone(MachineId id, const std::string& zone) {
+  if (id >= zone_id_of_.size()) throw std::out_of_range("Datacenter::set_zone");
+  const auto [it, inserted] = zone_ids_.try_emplace(
+      zone, static_cast<std::uint32_t>(zone_names_.size()));
+  if (inserted) zone_names_.push_back(zone);
+  zone_id_of_[id] = it->second;
+}
+
+const std::string& Datacenter::zone_of(MachineId id) const {
+  if (id >= zone_id_of_.size()) throw std::out_of_range("Datacenter::zone_of");
+  return zone_names_[zone_id_of_[id]];
+}
+
+std::vector<MachineId> Datacenter::zone_members(const std::string& zone) const {
+  std::vector<MachineId> out;
+  const auto it = zone_ids_.find(zone);
+  if (it == zone_ids_.end()) return out;
+  for (MachineId id = 0; id < zone_id_of_.size(); ++id) {
+    if (zone_id_of_[id] == it->second) out.push_back(id);
+  }
+  return out;
 }
 
 void Datacenter::add_uniform_racks(std::size_t racks, std::size_t per_rack,

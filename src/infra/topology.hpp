@@ -38,6 +38,13 @@ class Datacenter {
   Machine& add_machine(std::string name, ResourceVector capacity,
                        double speed_factor, std::size_t rack,
                        PowerModel power = {});
+  /// Declared-shape convenience (whole-unit capacities, C4 fleet profiles).
+  Machine& add_machine(std::string name, core::ResourceCapacities capacity,
+                       double speed_factor, std::size_t rack,
+                       PowerModel power = {}) {
+    return add_machine(std::move(name), core::to_quantities(capacity),
+                       speed_factor, rack, power);
+  }
 
   /// Convenience: builds `racks x per_rack` homogeneous machines.
   void add_uniform_racks(std::size_t racks, std::size_t per_rack,
@@ -55,6 +62,16 @@ class Datacenter {
   /// Machines in one rack (for correlated-failure injection).
   [[nodiscard]] std::vector<MachineId> rack_members(std::size_t rack) const;
   [[nodiscard]] std::size_t rack_of(MachineId id) const;
+
+  // --- topology zones (C4): named machine groups the scheduler's label
+  // filters select over (failure domains, accelerator pools, tiers). Every
+  // machine starts in the anonymous default zone "".
+  void set_zone(MachineId id, const std::string& zone);
+  [[nodiscard]] const std::string& zone_of(MachineId id) const;
+  /// Distinct zone names seen so far (including "" once machines exist).
+  [[nodiscard]] std::size_t zone_count() const { return zone_names_.size(); }
+  [[nodiscard]] std::vector<MachineId> zone_members(
+      const std::string& zone) const;
 
   /// Aggregate capacity over operational machines.
   [[nodiscard]] ResourceVector total_capacity() const;
@@ -74,6 +91,11 @@ class Datacenter {
   NetworkModel network_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::vector<std::size_t> rack_of_;  // indexed by MachineId
+  /// Zone names interned to dense ids; zone_id_of_ indexed by MachineId
+  /// (0 = the default zone "").
+  std::vector<std::uint32_t> zone_id_of_;
+  std::vector<std::string> zone_names_{""};
+  std::map<std::string, std::uint32_t> zone_ids_{{"", 0}};
 };
 
 /// A federation of datacenters with inter-site latencies (C10:

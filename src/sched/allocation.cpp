@@ -6,182 +6,16 @@
 #include <optional>
 #include <stdexcept>
 
+#include "sched/scoring.hpp"
 #include "sim/random.hpp"
 
 namespace mcs::sched {
 
 namespace {
 
-/// Tracks capacity planned within one decide() round so batches stay
-/// feasible. Dense vectors indexed by machine id (machine ids are dense
-/// per datacenter), plus a componentwise free-capacity upper bound that
-/// lets pick_machine reject can't-fit-anywhere demands in O(1) — the
-/// difference between O(placements * machines) and O(queue * machines)
-/// per round on a saturated floor.
-class PlannedCapacity {
- public:
-  explicit PlannedCapacity(const std::vector<const infra::Machine*>& machines) {
-    infra::MachineId max_id = 0;
-    for (const infra::Machine* m : machines) max_id = std::max(max_id, m->id());
-    free_.assign(max_id + 1, infra::ResourceVector{});
-    speed_.assign(max_id + 1, 1.0);
-    present_.assign(max_id + 1, 0);
-    for (const infra::Machine* m : machines) {
-      free_[m->id()] = m->available();
-      speed_[m->id()] = m->speed_factor();
-      present_[m->id()] = 1;
-    }
-    stale_ = kAllStale;  // first may_fit_anywhere() computes the real bound
-  }
-
-  [[nodiscard]] bool fits(infra::MachineId id,
-                          const infra::ResourceVector& r) const {
-    return id < present_.size() && present_[id] != 0 &&
-           r.fits_within(free_[id]);
-  }
-
-  /// Incremental headroom update: O(1) per call. `max_free_` stays an exact
-  /// componentwise maximum as long as at least one machine still sits at it
-  /// (`argmax_n_` counts them — crucial on uniform fleets, where first-fit
-  /// opens a fresh argmax machine per placement and a naive "argmax shrank →
-  /// re-scan" rule would trigger an O(machines) pass each time). Only when
-  /// the *last* machine at the bound shrinks does the component go stale and
-  /// get lazily re-scanned on the next may_fit_anywhere(). Allocation-free:
-  /// reachable from the engine's hot scheduling loop (H3).
-  // mcs-lint: hot
-  void take(infra::MachineId id, const infra::ResourceVector& r) {
-    infra::ResourceVector& f = free_[id];
-    take_component(f.cores, r.cores, max_free_.cores, argmax_n_[0],
-                   kCoresStale);
-    take_component(f.memory_gib, r.memory_gib, max_free_.memory_gib,
-                   argmax_n_[1], kMemoryStale);
-    take_component(f.accelerators, r.accelerators, max_free_.accelerators,
-                   argmax_n_[2], kAccelStale);
-  }
-
-  [[nodiscard]] double speed(infra::MachineId id) const { return speed_[id]; }
-
-  [[nodiscard]] const infra::ResourceVector& free_on(
-      infra::MachineId id) const {
-    return free_[id];
-  }
-
-  /// Necessary condition for `r` to fit on *some* machine: each component
-  /// must fit within the componentwise max of free capacity. O(1) reject
-  /// unless an argmax machine shrank since the last call (see take()).
-  // mcs-lint: hot
-  [[nodiscard]] bool may_fit_anywhere(const infra::ResourceVector& r) const {
-    if (stale_ != 0) refresh_bound();
-    return r.fits_within(max_free_);
-  }
-
- private:
-  static constexpr unsigned kCoresStale = 1u;
-  static constexpr unsigned kMemoryStale = 2u;
-  static constexpr unsigned kAccelStale = 4u;
-  static constexpr unsigned kAllStale = 7u;
-
-  // The bound is *exact* at every read: while `count > 0` some machine's
-  // free capacity equals it (and none exceeds it), and when the count hits
-  // zero the component is re-scanned before the next read. Decisions are
-  // therefore bit-identical to an eager per-take recompute.
-  // mcs-lint: hot
-  void take_component(double& free, double delta, double& bound,
-                      std::size_t& count, unsigned stale_bit) {
-    if (delta == 0.0) return;
-    const double old = free;
-    free -= delta;
-    if (free > bound) {
-      bound = free;  // raised past the bound: this machine is the sole argmax
-      count = 1;
-    } else if (free == bound) {
-      ++count;  // released back to exactly the bound: joins the argmax set
-    } else if (old == bound) {
-      if (--count == 0) stale_ |= stale_bit;  // last argmax shrank; re-scan
-    }
-  }
-
-  /// Re-scans only the stale components (each an O(machines) pass finding
-  /// the max *and* its multiplicity). Called from const may_fit_anywhere(),
-  /// hence the mutable bound state.
-  void refresh_bound() const {
-    if ((stale_ & kCoresStale) != 0) {
-      refresh_component(max_free_.cores, argmax_n_[0],
-                        [](const infra::ResourceVector& f) { return f.cores; });
-    }
-    if ((stale_ & kMemoryStale) != 0) {
-      refresh_component(max_free_.memory_gib, argmax_n_[1],
-                        [](const infra::ResourceVector& f) {
-                          return f.memory_gib;
-                        });
-    }
-    if ((stale_ & kAccelStale) != 0) {
-      refresh_component(max_free_.accelerators, argmax_n_[2],
-                        [](const infra::ResourceVector& f) {
-                          return f.accelerators;
-                        });
-    }
-    stale_ = 0;
-  }
-
-  template <typename Get>
-  void refresh_component(double& bound, std::size_t& count, Get get) const {
-    double v = 0.0;
-    std::size_t n = 0;
-    for (infra::MachineId id = 0; id < present_.size(); ++id) {
-      if (present_[id] == 0) continue;
-      const double f = get(free_[id]);
-      if (f > v) {
-        v = f;
-        n = 1;
-      } else if (f == v) {
-        ++n;
-      }
-    }
-    bound = v;
-    count = n;
-  }
-
-  std::vector<infra::ResourceVector> free_;
-  std::vector<double> speed_;
-  std::vector<std::uint8_t> present_;
-  mutable infra::ResourceVector max_free_;
-  mutable std::size_t argmax_n_[3] = {0, 0, 0};
-  mutable unsigned stale_ = kAllStale;
-};
-
-/// Picks a machine for `demand` under the fit heuristic; returns nullopt
-/// when nothing fits.
-std::optional<infra::MachineId> pick_machine(
-    const std::vector<const infra::Machine*>& machines,
-    const PlannedCapacity& planned, const infra::ResourceVector& demand,
-    Fit fit) {
-  if (!planned.may_fit_anywhere(demand)) return std::nullopt;
-  std::optional<infra::MachineId> best;
-  double best_score = 0.0;
-  for (const infra::Machine* m : machines) {
-    if (!planned.fits(m->id(), demand)) continue;
-    double score = 0.0;
-    switch (fit) {
-      case Fit::kFirst:
-        return m->id();
-      case Fit::kBest:
-        score = -(planned.free_on(m->id()).cores - demand.cores);
-        break;
-      case Fit::kWorst:
-        score = planned.free_on(m->id()).cores - demand.cores;
-        break;
-      case Fit::kFastest:
-        score = m->speed_factor();
-        break;
-    }
-    if (!best || score > best_score) {
-      best = m->id();
-      best_score = score;
-    }
-  }
-  return best;
-}
+// PlannedCapacity and pick_machine migrated to sched/scoring.hpp: the
+// placement pass (K=4 planned capacity, node scoring, zone/anti-affinity
+// admission) is shared with the engine, the fuzzer, and the benches.
 
 /// Shared skeleton: order the ready queue by a comparator, then greedily
 /// place under a fit heuristic.
@@ -205,7 +39,7 @@ class OrderedPolicy final : public AllocationPolicy {
     out.reserve(view.ready->size());
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
-      if (auto m = pick_machine(view.machines, planned, t.demand, fit_)) {
+      if (auto m = pick_machine(view.machines, planned, t, fit_, view)) {
         planned.take(*m, t.demand);
         out.push_back(Assignment{idx, *m});
       }
@@ -265,7 +99,7 @@ class EasyBackfilling final : public AllocationPolicy {
     // Greedily start the FCFS prefix.
     while (head_pos < order.size()) {
       const ReadyTask& t = (*view.ready)[order[head_pos]];
-      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      auto m = pick_machine(view.machines, planned, t, Fit::kFirst, view);
       if (!m) break;
       planned.take(*m, t.demand);
       out.push_back(Assignment{order[head_pos], *m});
@@ -284,7 +118,7 @@ class EasyBackfilling final : public AllocationPolicy {
     // (b) they avoid the reserved machine.
     for (std::size_t p = head_pos + 1; p < order.size(); ++p) {
       const ReadyTask& t = (*view.ready)[order[p]];
-      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      auto m = pick_machine(view.machines, planned, t, Fit::kFirst, view);
       if (!m) continue;
       const double speed = planned.speed(*m);
       const sim::SimTime est_end =
@@ -307,6 +141,7 @@ class EasyBackfilling final : public AllocationPolicy {
     infra::MachineId best_machine = 0;
     for (const infra::Machine* m : view.machines) {
       if (!t.demand.fits_within(m->capacity())) continue;
+      if (!machine_in_zone(t, m->id())) continue;
       // Sort this machine's running tasks by end time and release them
       // in order until the task fits.
       std::vector<const RunningView*> on_machine;
@@ -368,7 +203,7 @@ class ConservativeBackfilling final : public AllocationPolicy {
 
     for (std::size_t idx : order) {
       const ReadyTask& t = (*view.ready)[idx];
-      auto m = pick_machine(view.machines, planned, t.demand, Fit::kFirst);
+      auto m = pick_machine(view.machines, planned, t, Fit::kFirst, view);
       if (m) {
         // Starting now must not run past an existing reservation on this
         // machine (conservative guarantee: nobody already promised space
@@ -401,6 +236,7 @@ class ConservativeBackfilling final : public AllocationPolicy {
     infra::MachineId best_machine = 0;
     for (const infra::Machine* m : view.machines) {
       if (!t.demand.fits_within(m->capacity())) continue;
+      if (!machine_in_zone(t, m->id())) continue;
       std::vector<const RunningView*> on_machine;
       on_machine.reserve(view.running->size());
       for (const RunningView& r : *view.running) {
@@ -454,6 +290,7 @@ class Heft final : public AllocationPolicy {
       double best_finish = std::numeric_limits<double>::max();
       for (const infra::Machine* m : view.machines) {
         if (!planned.fits(m->id(), t.demand)) continue;
+        if (!placement_allows(view, t, m->id())) continue;
         const double finish = t.work_seconds / m->speed_factor();
         if (finish < best_finish) {
           best_finish = finish;
@@ -499,6 +336,7 @@ class MinMin final : public AllocationPolicy {
         std::optional<infra::MachineId> arg;
         for (const infra::Machine* m : view.machines) {
           if (!planned.fits(m->id(), t.demand)) continue;
+        if (!placement_allows(view, t, m->id())) continue;
           const double c = t.work_seconds / m->speed_factor();
           if (c < mct) {
             mct = c;
@@ -548,7 +386,10 @@ class RandomPolicy final : public AllocationPolicy {
       std::vector<infra::MachineId> options;
       options.reserve(view.machines.size());
       for (const infra::Machine* m : view.machines) {
-        if (planned.fits(m->id(), t.demand)) options.push_back(m->id());
+        if (planned.fits(m->id(), t.demand) &&
+            placement_allows(view, t, m->id())) {
+          options.push_back(m->id());
+        }
       }
       if (options.empty()) continue;
       const auto pick = static_cast<std::size_t>(rng_.uniform_int(

@@ -20,6 +20,34 @@
 
 namespace mcs::sched {
 
+/// Node-scoring policy for the placement pass (lowest score wins; ties
+/// break to the lowest machine id). The YT/YP EPodNodeScoreType lineage —
+/// see sched/scoring.hpp for the scoring machinery and DESIGN.md §13 for
+/// the math.
+enum class NodeScorePolicy : std::uint8_t {
+  kNone = 0,           ///< legacy Fit heuristic only
+  kRandomHash,         ///< salted hash of (job, machine): deterministic spread
+  kFreeShareVariance,  ///< balance post-placement free cpu/mem shares
+  kSquaredMinDelta,    ///< pack: minimize squared min free cpu/mem share
+};
+
+/// Placement configuration handed to policies through the SchedulerView
+/// (and to the engine through EngineConfig).
+struct PlacementContext {
+  NodeScorePolicy score = NodeScorePolicy::kNone;
+  /// Hash salt for kRandomHash (varies the spread pattern per experiment).
+  std::uint64_t salt = 0;
+};
+
+/// One row of the engine-built anti-affinity table: how many tasks of the
+/// job in `job_slot` currently run on `machine`. Sorted by (job_slot,
+/// machine); only jobs with a spread limit appear.
+struct AaCount {
+  std::uint32_t job_slot = 0;
+  std::uint32_t machine = 0;
+  std::uint32_t count = 0;
+};
+
 /// A task eligible to run now (dependencies satisfied).
 struct ReadyTask {
   workload::JobId job = 0;
@@ -40,6 +68,14 @@ struct ReadyTask {
   /// Absolute deadline derived from the job's latency SLO (C3: NFRs reach
   /// the scheduler); kTimeInfinity when the job has none.
   sim::SimTime deadline = sim::kTimeInfinity;
+  /// Zone label filter: bitset over machine ids this task may run on
+  /// (borrowed from the engine's LabelFilterCache; valid for the round).
+  /// Null = unconstrained.
+  const std::uint64_t* zone_mask = nullptr;
+  std::size_t zone_words = 0;
+  /// Anti-affinity: max concurrently-running tasks of this job per machine;
+  /// 0 = unlimited.
+  std::uint32_t spread_limit = 0;
 };
 
 /// A task currently executing (exposed so backfilling policies can reason
@@ -59,6 +95,13 @@ struct SchedulerView {
   /// Consumed core-seconds per user, indexed by ReadyTask::user_id
   /// (fair-share input).
   const std::vector<double>* user_usage = nullptr;
+  /// Scoring configuration; null or score == kNone means the legacy Fit
+  /// heuristic (bit-identical to the pre-scoring engine).
+  const PlacementContext* placement = nullptr;
+  /// Anti-affinity running counts, sorted by (job_slot, machine); null when
+  /// no live job carries a spread limit (the common case — building the
+  /// table costs nothing then).
+  const std::vector<AaCount>* aa = nullptr;
 };
 
 /// One placement decision: ready-queue index -> machine.

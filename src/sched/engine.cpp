@@ -88,6 +88,13 @@ void ExecutionEngine::submit(workload::Job job) {
   jr.first_start = 0;
   jr.started = false;
   jr.user_id = intern_user(jr.job.user);
+  // Placement constraints (C4): resolve the zone expression once through
+  // the label-filter cache (the returned reference is map-node stable) and
+  // count spread-limited jobs so unconstrained rounds skip AA bookkeeping.
+  jr.zone_mask = jr.job.placement.zones.empty()
+                     ? nullptr
+                     : &zone_cache_.mask_for(jr.job.placement.zones, dc_);
+  if (jr.job.placement.spread_limit > 0) ++spread_jobs_live_;
 
   // Successor CSR: counts, prefix sum, fill (targets of each task end up in
   // ascending order because tasks are topologically ordered).
@@ -126,22 +133,87 @@ void ExecutionEngine::set_policy(std::unique_ptr<AllocationPolicy> policy) {
 }
 
 bool ExecutionEngine::demand_satisfiable(
-    const infra::ResourceVector& demand) const {
+    const infra::ResourceVector& demand,
+    const std::vector<std::uint64_t>* zone_mask) const {
   // Memory can be partially borrowed when scavenging is on; cores and
   // accelerators cannot.
   const double needed_memory =
       config_.scavenging.enabled
-          ? demand.memory_gib * (1.0 - config_.scavenging.max_borrow_fraction)
-          : demand.memory_gib;
+          ? demand.mem() * (1.0 - config_.scavenging.max_borrow_fraction)
+          : demand.mem();
   const std::size_t machine_count = dc_.machine_count();
   for (std::uint32_t id = 0; id < machine_count; ++id) {
+    if (zone_mask != nullptr) {
+      const std::size_t word = id >> 6;
+      if (word >= zone_mask->size() ||
+          ((*zone_mask)[word] >> (id & 63) & 1) == 0) {
+        continue;
+      }
+    }
     const infra::ResourceVector& cap = dc_.machine(id).capacity();
-    if (demand.cores <= cap.cores && needed_memory <= cap.memory_gib &&
-        demand.accelerators <= cap.accelerators) {
+    if (demand.cpu() <= cap.cpu() && needed_memory <= cap.mem() &&
+        demand.gpu() <= cap.gpu() && demand.net() <= cap.net()) {
       return true;
     }
   }
   return false;
+}
+
+// mcs-lint: hot
+bool ExecutionEngine::placement_allows_start(const ReadyTask& rt,
+                                             infra::MachineId machine) const {
+  if (rt.zone_mask != nullptr) {
+    const std::size_t word = machine >> 6;
+    if (word >= rt.zone_words ||
+        (rt.zone_mask[word] >> (machine & 63) & 1) == 0) {
+      return false;
+    }
+  }
+  if (rt.spread_limit > 0) {
+    // Exact anti-affinity: count this job's tasks live on the machine.
+    // O(R) over running slots, but only paid by spread-limited tasks.
+    std::uint32_t live = 0;
+    for (std::uint32_t key = 0; key < running_.size(); ++key) {
+      if (!running_.live(key)) continue;
+      const RunningSlot& rs = running_[key];
+      if (rs.machine == machine && rs.job_slot == rt.job_slot &&
+          ++live >= rt.spread_limit) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// mcs-lint: hot
+void ExecutionEngine::build_aa_table() {
+  // Sorted (job_slot, machine) -> live-count table for policies to consult
+  // via aa_count(). Rebuilt each scheduling round; merge-dedup in place so
+  // steady state allocates nothing once capacity is warm.
+  aa_scratch_.clear();
+  if (aa_scratch_.capacity() < running_.size()) {
+    aa_scratch_.reserve(running_.size());
+  }
+  for (std::uint32_t key = 0; key < running_.size(); ++key) {
+    if (!running_.live(key)) continue;
+    const RunningSlot& rs = running_[key];
+    aa_scratch_.push_back(AaCount{rs.job_slot, rs.machine, 1});
+  }
+  std::sort(aa_scratch_.begin(), aa_scratch_.end(),
+            [](const AaCount& a, const AaCount& b) {
+              return a.job_slot != b.job_slot ? a.job_slot < b.job_slot
+                                              : a.machine < b.machine;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < aa_scratch_.size(); ++i) {
+    if (out > 0 && aa_scratch_[out - 1].job_slot == aa_scratch_[i].job_slot &&
+        aa_scratch_[out - 1].machine == aa_scratch_[i].machine) {
+      aa_scratch_[out - 1].count += aa_scratch_[i].count;
+    } else {
+      aa_scratch_[out++] = aa_scratch_[i];
+    }
+  }
+  aa_scratch_.resize(out);
 }
 
 void ExecutionEngine::arrive(std::uint32_t job_slot) {
@@ -154,7 +226,7 @@ void ExecutionEngine::arrive(std::uint32_t job_slot) {
   // a forever-pending job keeps all_done() false, which spins monitor
   // loops (autoscalers, portfolio) without end.
   for (std::size_t i = 0; i < n; ++i) {
-    if (!demand_satisfiable(jr.job.tasks[i].demand)) {
+    if (!demand_satisfiable(jr.job.tasks[i].demand, jr.zone_mask)) {
       complete_job(job_slot, /*abandoned=*/true);
       return;
     }
@@ -203,6 +275,11 @@ void ExecutionEngine::enqueue_ready(JobSlot& jr, std::uint32_t job_slot,
   rt.user_id = jr.user_id;
   rt.job_slot = job_slot;
   rt.rank = rank;
+  if (jr.zone_mask != nullptr) {
+    rt.zone_mask = jr.zone_mask->data();
+    rt.zone_words = jr.zone_mask->size();
+  }
+  rt.spread_limit = jr.job.placement.spread_limit;
   // C3: the job's latency SLO becomes an absolute deadline the EDF policy
   // can schedule against.
   if (const auto slo = jr.job.sla.objective(core::NfrDimension::kLatency)) {
@@ -282,6 +359,14 @@ void ExecutionEngine::try_schedule() {
     }
     view.running = &running_scratch_;
     view.user_usage = &user_usage_;
+    view.placement = &config_.placement;
+    // Anti-affinity is advisory at proposal time: a sorted per-round count
+    // table steers policies away from saturated machines; start_task makes
+    // the exact final call. Skipped entirely when no live job spreads.
+    if (spread_jobs_live_ > 0) {
+      build_aa_table();
+      view.aa = &aa_scratch_;
+    }
 
     const auto assignments = policy_->decide(view);
     machines_scratch_ = std::move(view.machines);
@@ -324,6 +409,7 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
   const ReadyTask rt = ready_[ready_index];
   infra::Machine& m = dc_.machine(machine_id);
   if (!m.usable() || is_draining(machine_id)) return false;
+  if (!placement_allows_start(rt, machine_id)) return false;
 
   infra::ResourceVector held = rt.demand;
   double runtime_multiplier = 1.0;
@@ -332,17 +418,17 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
     // Memory scavenging (C7, [118]): run with partial local memory when
     // enabled and only memory is short.
     const auto avail = m.available();
-    const bool cores_ok = held.cores <= avail.cores &&
-                          held.accelerators <= avail.accelerators;
+    const bool cores_ok = held.cpu() <= avail.cpu() &&
+                          held.gpu() <= avail.gpu();
     if (config_.scavenging.enabled && cores_ok &&
-        held.memory_gib > avail.memory_gib) {
-      const double local = std::max(avail.memory_gib, 0.0);
+        held.mem() > avail.mem()) {
+      const double local = std::max(avail.mem(), 0.0);
       const double borrowed_fraction =
-          held.memory_gib <= 0.0
+          held.mem() <= 0.0
               ? 0.0
-              : (held.memory_gib - local) / held.memory_gib;
+              : (held.mem() - local) / held.mem();
       if (borrowed_fraction <= config_.scavenging.max_borrow_fraction) {
-        held.memory_gib = local;
+        held.mem() = local;
         runtime_multiplier = 1.0 + config_.scavenging.penalty * borrowed_fraction;
         ctr_tasks_scavenged_->add();
       } else {
@@ -402,7 +488,7 @@ void ExecutionEngine::finish_task(std::uint32_t key, std::uint32_t gen) {
   if (m.usable()) m.release(rt.held);
 
   const double core_seconds =
-      rt.held.cores * sim::to_seconds(sim_.now() - rt.start);
+      rt.held.cpu() * sim::to_seconds(sim_.now() - rt.start);
   busy_core_seconds_ += core_seconds;
   ctr_tasks_finished_->add();
   h_task_runtime_s_->record(sim::to_seconds(sim_.now() - rt.start));
@@ -520,6 +606,8 @@ void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
     }
     jr.remaining = 0;
   }
+  if (jr.job.placement.spread_limit > 0) --spread_jobs_live_;
+  jr.zone_mask = nullptr;
   id_to_slot_.erase(jr.job.id);
   jobs_.release(job_slot);
   notify(abandoned ? EngineTransition::kJobAbandoned
@@ -532,9 +620,9 @@ bool ExecutionEngine::all_done() const {
 
 double ExecutionEngine::demand_cores() const {
   double cores = 0.0;
-  for (const ReadyTask& t : ready_) cores += t.demand.cores;
+  for (const ReadyTask& t : ready_) cores += t.demand.cpu();
   running_.for_each([&](std::uint32_t, const RunningSlot& rt) {
-    cores += rt.held.cores;
+    cores += rt.held.cpu();
   });
   return cores;
 }
@@ -545,7 +633,7 @@ double ExecutionEngine::supply_cores() const {
   const infra::Datacenter& dc = dc_;
   for (std::uint32_t id = 0; id < machine_count; ++id) {
     const infra::Machine& m = dc.machine(id);
-    if (m.usable() && !is_draining(id)) cores += m.capacity().cores;
+    if (m.usable() && !is_draining(id)) cores += m.capacity().cpu();
   }
   return cores;
 }
@@ -555,7 +643,7 @@ double ExecutionEngine::pending_work_core_seconds() const {
   jobs_.for_each([&](std::uint32_t, const JobSlot& jr) {
     for (std::size_t i = 0; i < jr.job.tasks.size(); ++i) {
       if (jr.done[i] == 0) {
-        work += jr.job.tasks[i].work_seconds * jr.job.tasks[i].demand.cores;
+        work += jr.job.tasks[i].work_seconds * jr.job.tasks[i].demand.cpu();
       }
     }
   });
@@ -563,7 +651,7 @@ double ExecutionEngine::pending_work_core_seconds() const {
   // already executed (approximate by elapsed fraction).
   running_.for_each([&](std::uint32_t, const RunningSlot& rt) {
     const double elapsed = sim::to_seconds(sim_.now() - rt.start);
-    work -= std::min(elapsed, rt.work_seconds) * rt.held.cores;
+    work -= std::min(elapsed, rt.work_seconds) * rt.held.cpu();
   });
   return std::max(work, 0.0);
 }
@@ -621,6 +709,7 @@ SchedulerView ExecutionEngine::snapshot_view(
   });
   view.running = &running_storage;
   view.user_usage = &user_usage_;
+  view.placement = &config_.placement;
   return view;
 }
 
@@ -654,7 +743,7 @@ RunResult summarize_run(const ExecutionEngine& engine,
   result.mean_wait_seconds = wait.mean();
   if (last_finish > first_submit) {
     result.makespan_seconds = sim::to_seconds(last_finish - first_submit);
-    const double capacity_cores = dc.total_capacity().cores;
+    const double capacity_cores = dc.total_capacity().cpu();
     if (capacity_cores > 0.0 && result.makespan_seconds > 0.0) {
       result.utilization = engine.busy_core_seconds() /
                            (capacity_cores * result.makespan_seconds);

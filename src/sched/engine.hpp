@@ -29,6 +29,7 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "sched/allocation.hpp"
+#include "sched/scoring.hpp"
 #include "sim/simulator.hpp"
 #include "workload/task.hpp"
 
@@ -90,6 +91,10 @@ struct EngineConfig {
   bool retry_failed_tasks = true; ///< resubmit tasks killed by failures
   std::size_t max_retries = 16;   ///< per task, before the job is abandoned
   ScavengingConfig scavenging;
+  /// Node-scoring configuration for the placement pass (sched/scoring.hpp).
+  /// The default (kNone) reproduces the legacy Fit-heuristic engine
+  /// bit-identically — the digest goldens pin it.
+  PlacementContext placement;
 };
 
 /// Final accounting for one completed (or abandoned) job.
@@ -237,6 +242,9 @@ class ExecutionEngine {
     sim::SimTime first_start = 0;
     bool started = false;
     std::uint32_t user_id = 0;
+    /// Zone label filter resolved at submit through the LabelFilterCache
+    /// (map-node-stable reference); null = unconstrained.
+    const std::vector<std::uint64_t>* zone_mask = nullptr;
   };
 
   struct RunningSlot {
@@ -251,8 +259,18 @@ class ExecutionEngine {
   };
 
   void arrive(std::uint32_t job_slot);
+  /// True when some machine's *total* capacity covers `demand` (granting
+  /// maximal memory scavenging), restricted to `zone_mask` when non-null.
   [[nodiscard]] bool demand_satisfiable(
-      const infra::ResourceVector& demand) const;
+      const infra::ResourceVector& demand,
+      const std::vector<std::uint64_t>* zone_mask) const;
+  /// Zone + anti-affinity re-validation against *live* running state (the
+  /// exact check backing the policies' advisory table).
+  [[nodiscard]] bool placement_allows_start(const ReadyTask& rt,
+                                            infra::MachineId machine) const;
+  /// Rebuilds the (job_slot, machine) -> running-count table policies
+  /// consult for spread constraints.
+  void build_aa_table();
   void enqueue_ready(JobSlot& jr, std::uint32_t job_slot,
                      std::size_t task_index, double rank);
   void try_schedule();
@@ -316,11 +334,18 @@ class ExecutionEngine {
   };
   TraceNames tn_;
 
+  /// Zone expression -> machine bitset cache (submit-time resolution only).
+  LabelFilterCache zone_cache_;
+  /// Live jobs carrying a spread limit; the anti-affinity table is only
+  /// built while this is non-zero, so unconstrained workloads pay nothing.
+  std::size_t spread_jobs_live_ = 0;
+
   // Scratch buffers reused across scheduling rounds (capacity persists, so
   // rebuilding the per-round view allocates nothing once warmed up).
   std::vector<const infra::Machine*> machines_scratch_;
   std::vector<RunningView> running_scratch_;
   std::vector<Assignment> sorted_scratch_;
+  std::vector<AaCount> aa_scratch_;
   std::vector<double> rank_scratch_;
   std::vector<std::uint32_t> succ_cursor_;
 };

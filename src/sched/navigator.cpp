@@ -23,9 +23,9 @@ FlatWorkload flatten(const std::vector<workload::Job>& jobs) {
     flat.max_critical_path_seconds =
         std::max(flat.max_critical_path_seconds, j.critical_path_seconds());
     for (const workload::Task& t : j.tasks) {
-      flat.tasks.emplace_back(t.work_seconds, t.demand.cores);
-      flat.max_task_cores = std::max(flat.max_task_cores, t.demand.cores);
-      flat.max_task_memory = std::max(flat.max_task_memory, t.demand.memory_gib);
+      flat.tasks.emplace_back(t.work_seconds, t.demand.cpu());
+      flat.max_task_cores = std::max(flat.max_task_cores, t.demand.cpu());
+      flat.max_task_memory = std::max(flat.max_task_memory, t.demand.mem());
     }
   }
   return flat;
@@ -38,8 +38,8 @@ double predict_makespan(const std::vector<workload::Job>& jobs,
                         const std::string& policy) {
   if (machines == 0) return std::numeric_limits<double>::infinity();
   FlatWorkload flat = flatten(jobs);
-  if (flat.max_task_cores > type.resources.cores ||
-      flat.max_task_memory > type.resources.memory_gib) {
+  if (flat.max_task_cores > type.resources.cpu() ||
+      flat.max_task_memory > type.resources.mem()) {
     return std::numeric_limits<double>::infinity();  // tasks cannot fit
   }
 
@@ -59,10 +59,10 @@ double predict_makespan(const std::vector<workload::Job>& jobs,
     // Fractional-core approximation: a task occupies its share of the
     // machine for its runtime.
     const double runtime = work / type.speed_factor;
-    const double occupancy = runtime * cores / type.resources.cores;
+    const double occupancy = runtime * cores / type.resources.cpu();
     *it += occupancy;
     makespan = std::max(makespan, *it + runtime * (1.0 - cores /
-                                                   type.resources.cores));
+                                                   type.resources.cpu()));
   }
   return std::max(makespan,
                   flat.max_critical_path_seconds / type.speed_factor);

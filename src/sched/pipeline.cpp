@@ -122,9 +122,9 @@ std::unique_ptr<PipelineStage> stage_score_spread(double weight) {
   return stage("score-spread", [weight](CandidateSet& c, const SchedulerView&) {
     for (const infra::Machine* m : c.machines) {
       const double free_fraction =
-          m->capacity().cores == 0.0
+          m->capacity().cpu() == 0.0
               ? 0.0
-              : c.planned_free->at(m->id()).cores / m->capacity().cores;
+              : c.planned_free->at(m->id()).cpu() / m->capacity().cpu();
       c.score[m->id()] += weight * free_fraction;
     }
   });
@@ -134,9 +134,9 @@ std::unique_ptr<PipelineStage> stage_score_pack(double weight) {
   return stage("score-pack", [weight](CandidateSet& c, const SchedulerView&) {
     for (const infra::Machine* m : c.machines) {
       const double used_fraction =
-          m->capacity().cores == 0.0
+          m->capacity().cpu() == 0.0
               ? 0.0
-              : 1.0 - c.planned_free->at(m->id()).cores / m->capacity().cores;
+              : 1.0 - c.planned_free->at(m->id()).cpu() / m->capacity().cpu();
       c.score[m->id()] += weight * used_fraction;
     }
   });

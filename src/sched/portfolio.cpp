@@ -20,7 +20,7 @@ double estimate_queue_makespan(const SchedulerView& view,
   std::vector<M> machines;
   for (const infra::Machine* m : view.machines) {
     M mm;
-    mm.cores = m->capacity().cores;
+    mm.cores = m->capacity().cpu();
     mm.speed = m->speed_factor();
     // Current running tasks delay availability: approximate with the
     // latest expected end among tasks on this machine.
@@ -48,7 +48,7 @@ double estimate_queue_makespan(const SchedulerView& view,
     std::size_t best = machines.size();
     double best_finish = std::numeric_limits<double>::max();
     for (std::size_t i = 0; i < machines.size(); ++i) {
-      if (t->demand.cores > machines[i].cores) continue;
+      if (t->demand.cpu() > machines[i].cores) continue;
       const double finish =
           machines[i].free_at + t->work_seconds / machines[i].speed;
       if (finish < best_finish) {

@@ -24,8 +24,8 @@ void write_archive(std::ostream& os, const std::vector<Job>& jobs) {
     os << "job " << j.id << ' ' << j.submit_time << ' '
        << (j.user.empty() ? "-" : j.user) << '\n';
     for (const Task& t : j.tasks) {
-      os << "task " << t.work_seconds << ' ' << t.demand.cores << ' '
-         << t.demand.memory_gib << ' ' << t.demand.accelerators << ' '
+      os << "task " << t.work_seconds << ' ' << t.demand.cpu() << ' '
+         << t.demand.mem() << ' ' << t.demand.gpu() << ' '
          << t.deps.size();
       for (std::size_t d : t.deps) os << ' ' << d;
       os << '\n';
@@ -56,8 +56,8 @@ std::vector<Job> read_archive(std::istream& is) {
       if (jobs.empty()) fail(line_no, "task before any job");
       Task t;
       std::size_t ndeps = 0;
-      if (!(fields >> t.work_seconds >> t.demand.cores >>
-            t.demand.memory_gib >> t.demand.accelerators >> ndeps)) {
+      if (!(fields >> t.work_seconds >> t.demand.cpu() >>
+            t.demand.mem() >> t.demand.gpu() >> ndeps)) {
         fail(line_no, "malformed task line");
       }
       for (std::size_t i = 0; i < ndeps; ++i) {

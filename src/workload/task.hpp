@@ -30,7 +30,23 @@ struct Task {
   std::vector<std::size_t> deps;
 
   [[nodiscard]] bool needs_accelerator() const {
-    return demand.accelerators > 0.0;
+    return demand.gpu() > 0.0;
+  }
+};
+
+/// Per-job placement constraints (C4): a zone label filter plus a simple
+/// anti-affinity spread limit. Defaults are unconstrained — legacy jobs
+/// schedule exactly as before.
+struct Placement {
+  /// Comma-separated allowed zone names (Datacenter zones); empty = any
+  /// machine. Resolved once at submit through the engine's
+  /// LabelFilterCache.
+  std::string zones;
+  /// Max concurrently-running tasks of this job per machine; 0 = unlimited.
+  std::uint32_t spread_limit = 0;
+
+  [[nodiscard]] bool constrained() const {
+    return !zones.empty() || spread_limit > 0;
   }
 };
 
@@ -40,6 +56,7 @@ struct Job {
   sim::SimTime submit_time = 0;
   std::vector<Task> tasks;
   core::Sla sla;
+  Placement placement;
 
   /// A job is a workflow when any task has dependencies.
   [[nodiscard]] bool is_workflow() const;

@@ -21,10 +21,10 @@ TEST(CatalogGapTest, BestPricePerfBalancesSpeedAndCost) {
                                    infra::SelectionObjective::kBestPricePerf);
   ASSERT_TRUE(pick.has_value());
   const double chosen_score =
-      pick->resources.cores * pick->speed_factor / pick->price_per_hour;
+      pick->resources.cpu() * pick->speed_factor / pick->price_per_hour;
   for (const auto& t : catalog.feasible(infra::ResourceVector{2, 4, 0})) {
     const double score =
-        t.resources.cores * t.speed_factor / t.price_per_hour;
+        t.resources.cpu() * t.speed_factor / t.price_per_hour;
     EXPECT_LE(score, chosen_score + 1e-9) << t.name;
   }
 }

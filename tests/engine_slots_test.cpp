@@ -160,7 +160,7 @@ TEST(EngineSlotsTest, MaxRetriesExceededAbandonsJobAndFreesFloor) {
   EXPECT_TRUE(s.abandoned);
   EXPECT_GE(s.task_failures, 1u);
   // The surviving machine must be fully released despite the abandon.
-  EXPECT_NEAR(dc.machine(1).used().cores, 0.0, 1e-9);
+  EXPECT_NEAR(dc.machine(1).used().cpu(), 0.0, 1e-9);
 }
 
 TEST(EngineSlotsTest, UserInterningSurvivesChurn) {

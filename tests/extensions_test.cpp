@@ -185,10 +185,10 @@ TEST(ArchiveTest, RoundTripPreservesEverything) {
     for (std::size_t t = 0; t < original[i].tasks.size(); ++t) {
       EXPECT_DOUBLE_EQ(restored[i].tasks[t].work_seconds,
                        original[i].tasks[t].work_seconds);
-      EXPECT_DOUBLE_EQ(restored[i].tasks[t].demand.cores,
-                       original[i].tasks[t].demand.cores);
-      EXPECT_DOUBLE_EQ(restored[i].tasks[t].demand.accelerators,
-                       original[i].tasks[t].demand.accelerators);
+      EXPECT_DOUBLE_EQ(restored[i].tasks[t].demand.cpu(),
+                       original[i].tasks[t].demand.cpu());
+      EXPECT_DOUBLE_EQ(restored[i].tasks[t].demand.gpu(),
+                       original[i].tasks[t].demand.gpu());
       EXPECT_EQ(restored[i].tasks[t].deps, original[i].tasks[t].deps);
     }
   }

@@ -23,11 +23,11 @@ TEST(ResourceVectorTest, FitsWithinIsComponentwise) {
 
 TEST(ResourceVectorTest, Arithmetic) {
   const ResourceVector sum = rv(2, 4, 1) + rv(1, 2, 0);
-  EXPECT_DOUBLE_EQ(sum.cores, 3.0);
-  EXPECT_DOUBLE_EQ(sum.memory_gib, 6.0);
-  EXPECT_DOUBLE_EQ(sum.accelerators, 1.0);
+  EXPECT_DOUBLE_EQ(sum.cpu(), 3.0);
+  EXPECT_DOUBLE_EQ(sum.mem(), 6.0);
+  EXPECT_DOUBLE_EQ(sum.gpu(), 1.0);
   const ResourceVector diff = sum - rv(3, 6, 1);
-  EXPECT_DOUBLE_EQ(diff.cores, 0.0);
+  EXPECT_DOUBLE_EQ(diff.cpu(), 0.0);
 }
 
 // ---- Machine -----------------------------------------------------------------
@@ -65,7 +65,7 @@ TEST(MachineTest, FailureDropsAllocations) {
   EXPECT_FALSE(m.can_fit(rv(1, 1)));
   m.repair();
   EXPECT_TRUE(m.usable());
-  EXPECT_DOUBLE_EQ(m.used().cores, 0.0);
+  EXPECT_DOUBLE_EQ(m.used().cpu(), 0.0);
 }
 
 TEST(MachineTest, PowerModel) {
@@ -93,7 +93,7 @@ TEST(DatacenterTest, UniformRacksBuildTopology) {
   EXPECT_EQ(dc.rack_count(), 4u);
   EXPECT_EQ(dc.rack_members(2).size(), 8u);
   EXPECT_EQ(dc.rack_of(17), 2u);  // 17 / 8 == rack 2
-  EXPECT_DOUBLE_EQ(dc.total_capacity().cores, 32 * 16.0);
+  EXPECT_DOUBLE_EQ(dc.total_capacity().cpu(), 32 * 16.0);
 }
 
 TEST(DatacenterTest, AvailabilityTracksFailures) {
@@ -103,7 +103,7 @@ TEST(DatacenterTest, AvailabilityTracksFailures) {
   dc.machine(0).fail();
   dc.machine(1).fail();
   EXPECT_DOUBLE_EQ(dc.availability(), 0.8);
-  EXPECT_DOUBLE_EQ(dc.total_capacity().cores, 8 * 4.0);  // failed excluded
+  EXPECT_DOUBLE_EQ(dc.total_capacity().cpu(), 8 * 4.0);  // failed excluded
 }
 
 TEST(DatacenterTest, IntraRackLatencyLowerThanCrossRack) {
@@ -160,7 +160,7 @@ TEST(CatalogTest, AcceleratorDemandSelectsAcceleratedFamily) {
   const auto catalog = InstanceCatalog::representative();
   const auto pick = catalog.select(rv(2, 8, 1), SelectionObjective::kCheapest);
   ASSERT_TRUE(pick.has_value());
-  EXPECT_GE(pick->resources.accelerators, 1.0);
+  EXPECT_GE(pick->resources.gpu(), 1.0);
 }
 
 TEST(CatalogTest, ImpossibleDemandReturnsNothing) {

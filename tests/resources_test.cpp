@@ -1,0 +1,353 @@
+// Property tests for the fixed-K resource vector types (core/resources.hpp)
+// and the planned-capacity dominant-component bound (sched/scoring.hpp):
+// randomized algebraic laws for ResourceCapacities/ResourceQuantities, the
+// incremental bound checked against a naive O(M*K) recompute under mixed
+// take/release sequences, and the per-dimension FP-residue regression.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/resources.hpp"
+#include "infra/topology.hpp"
+#include "sched/scoring.hpp"
+#include "sim/random.hpp"
+
+namespace mcs {
+namespace {
+
+using core::kResourceDims;
+using core::ResourceCapacities;
+using core::ResourceDim;
+using core::ResourceQuantities;
+// ResourceCapacities is an alias of std::array, so its free-function
+// operators are not found by ADL from this namespace.
+using core::operator+;
+using core::operator-;
+using core::operator+=;
+using core::operator-=;
+
+ResourceCapacities random_caps(sim::Rng& rng, std::uint64_t hi = 64) {
+  ResourceCapacities c{};
+  for (std::size_t d = 0; d < kResourceDims; ++d) {
+    c[d] = static_cast<std::uint64_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(hi)));
+  }
+  return c;
+}
+
+ResourceQuantities random_quants(sim::Rng& rng, double hi = 16.0) {
+  ResourceQuantities q;
+  for (std::size_t d = 0; d < kResourceDims; ++d) q[d] = rng.uniform(0.0, hi);
+  return q;
+}
+
+// ---- ResourceCapacities algebra ------------------------------------------------
+
+TEST(ResourceCapacitiesTest, AdditionIsComponentwise) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    const ResourceCapacities b = random_caps(rng);
+    const ResourceCapacities sum = a + b;
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      EXPECT_EQ(sum[d], a[d] + b[d]);
+    }
+  }
+}
+
+TEST(ResourceCapacitiesTest, AdditionCommutesAndAssociates) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    const ResourceCapacities b = random_caps(rng);
+    const ResourceCapacities c = random_caps(rng);
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+  }
+}
+
+TEST(ResourceCapacitiesTest, SubtractionSaturatesAtZero) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    const ResourceCapacities b = random_caps(rng);
+    const ResourceCapacities diff = a - b;
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      EXPECT_EQ(diff[d], a[d] >= b[d] ? a[d] - b[d] : 0u);
+    }
+  }
+}
+
+TEST(ResourceCapacitiesTest, SubtractThenAddRestoresWhenDominated) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    ResourceCapacities b = random_caps(rng);
+    for (std::size_t d = 0; d < kResourceDims; ++d) b[d] = std::min(a[d], b[d]);
+    ASSERT_TRUE(core::dominates(a, b));
+    EXPECT_EQ((a - b) + b, a);
+  }
+}
+
+TEST(ResourceCapacitiesTest, DominatesIsAPartialOrder) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    const ResourceCapacities b = random_caps(rng);
+    EXPECT_TRUE(core::dominates(a, a));  // reflexive
+    EXPECT_TRUE(core::dominates(a + b, a));
+    EXPECT_TRUE(core::dominates(a + b, b));
+    if (core::dominates(a, b) && core::dominates(b, a)) {
+      EXPECT_EQ(a, b);  // antisymmetric
+    }
+  }
+}
+
+TEST(ResourceCapacitiesTest, MaxOfIsLeastUpperBoundOfThePair) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities a = random_caps(rng);
+    const ResourceCapacities b = random_caps(rng);
+    const ResourceCapacities m = core::max_of(a, b);
+    EXPECT_TRUE(core::dominates(m, a));
+    EXPECT_TRUE(core::dominates(m, b));
+    EXPECT_EQ(m, core::max_of(b, a));
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      EXPECT_TRUE(m[d] == a[d] || m[d] == b[d]);  // no slack above the pair
+    }
+  }
+}
+
+TEST(ResourceCapacitiesTest, QuantityRoundTripIsExactForShapes) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceCapacities c = random_caps(rng);
+    EXPECT_EQ(core::quantize_ceil(core::to_quantities(c)), c);
+  }
+}
+
+TEST(ResourceCapacitiesTest, QuantizeCeilCoversTheQuantity) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceQuantities q = random_quants(rng);
+    const ResourceQuantities cover = core::to_quantities(core::quantize_ceil(q));
+    EXPECT_TRUE(q.fits_within(cover));
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      EXPECT_LT(cover[d] - q[d], 1.0);  // ceil, not some looser cover
+    }
+  }
+}
+
+TEST(ResourceCapacitiesTest, QuantizeCeilClampsNegativeToZero) {
+  const ResourceQuantities q{-3.0, -0.5, 0.0, 2.25};
+  const ResourceCapacities c = core::quantize_ceil(q);
+  EXPECT_EQ(c, (ResourceCapacities{0, 0, 0, 3}));
+}
+
+// ---- ResourceQuantities --------------------------------------------------------
+
+TEST(ResourceQuantitiesTest, AccessorsAliasTheIndexedComponents) {
+  ResourceQuantities q{1.0, 2.0, 3.0, 4.0};
+  EXPECT_EQ(q.cpu(), q[0]);
+  EXPECT_EQ(q.mem(), q[1]);
+  EXPECT_EQ(q.gpu(), q[2]);
+  EXPECT_EQ(q.net(), q[3]);
+  EXPECT_EQ(q[ResourceDim::kGpu], 3.0);
+  q.net() = 7.0;
+  EXPECT_EQ(q[ResourceDim::kNet], 7.0);
+  q[ResourceDim::kCpu] = 9.0;
+  EXPECT_EQ(q.cpu(), 9.0);
+}
+
+TEST(ResourceQuantitiesTest, DefaultConstructsToZeroInEveryDimension) {
+  const ResourceQuantities q;
+  for (std::size_t d = 0; d < kResourceDims; ++d) EXPECT_EQ(q[d], 0.0);
+  EXPECT_TRUE(q.nonnegative());
+  EXPECT_EQ(q, ResourceQuantities{});
+}
+
+TEST(ResourceQuantitiesTest, ArithmeticIsComponentwise) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceQuantities a = random_quants(rng);
+    const ResourceQuantities b = random_quants(rng);
+    const ResourceQuantities sum = a + b;
+    const ResourceQuantities diff = a - b;
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      EXPECT_EQ(sum[d], a[d] + b[d]);
+      EXPECT_EQ(diff[d], a[d] - b[d]);
+    }
+    EXPECT_EQ((a + b) - b + b - b, a + b - b);  // same op sequence, same bits
+  }
+}
+
+TEST(ResourceQuantitiesTest, FitsWithinMatchesComponentwiseComparison) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    const ResourceQuantities a = random_quants(rng, 4.0);
+    const ResourceQuantities b = random_quants(rng, 4.0);
+    bool expected = true;
+    for (std::size_t d = 0; d < kResourceDims; ++d) {
+      if (a[d] > b[d]) expected = false;
+    }
+    EXPECT_EQ(a.fits_within(b), expected);
+  }
+  // Each dimension individually breaks the fit.
+  const ResourceQuantities cap{4.0, 4.0, 4.0, 4.0};
+  for (std::size_t d = 0; d < kResourceDims; ++d) {
+    ResourceQuantities probe{1.0, 1.0, 1.0, 1.0};
+    probe[d] = 4.5;
+    EXPECT_FALSE(probe.fits_within(cap));
+  }
+}
+
+TEST(ResourceQuantitiesTest, NonnegativeDetectsEachDimension) {
+  for (std::size_t d = 0; d < kResourceDims; ++d) {
+    ResourceQuantities q{1.0, 1.0, 1.0, 1.0};
+    q[d] = -1e-12;
+    EXPECT_FALSE(q.nonnegative());
+  }
+}
+
+// ---- PlannedCapacity vs naive reference ----------------------------------------
+
+/// Naive shadow of PlannedCapacity: recomputes the componentwise bound from
+/// scratch at every probe — O(M*K), the cost the incremental version avoids.
+struct NaivePlanned {
+  std::vector<ResourceQuantities> free;
+
+  [[nodiscard]] bool may_fit_anywhere(const ResourceQuantities& r) const {
+    ResourceQuantities max_free;
+    for (const ResourceQuantities& f : free) {
+      for (std::size_t d = 0; d < kResourceDims; ++d) {
+        max_free[d] = std::max(max_free[d], f[d]);
+      }
+    }
+    return r.fits_within(max_free);
+  }
+};
+
+TEST(PlannedCapacityTest, BoundMatchesNaiveRecomputeUnderTakesAndReleases) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    sim::Rng rng(seed);
+    infra::Datacenter dc("pc", "sim");
+    const std::size_t machine_count =
+        static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t m = 0; m < machine_count; ++m) {
+      dc.add_machine("m" + std::to_string(m),
+                     infra::ResourceVector{rng.uniform(2.0, 16.0),
+                                           rng.uniform(2.0, 64.0),
+                                           rng.chance(0.3) ? 2.0 : 0.0,
+                                           rng.chance(0.5) ? 10.0 : 0.0},
+                     1.0, 0);
+    }
+    const auto machines = static_cast<const infra::Datacenter&>(dc).machines();
+    sched::PlannedCapacity planned(machines);
+    NaivePlanned naive;
+    for (const infra::Machine* m : machines) naive.free.push_back(m->available());
+
+    // Mixed sequence: placements (positive deltas), releases (negative
+    // deltas re-raising a machine's free capacity, exercising the
+    // argmax-raise path), and probes after every step.
+    std::vector<std::pair<infra::MachineId, ResourceQuantities>> placed;
+    for (int step = 0; step < 200; ++step) {
+      if (!placed.empty() && rng.chance(0.35)) {
+        const std::size_t k = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(placed.size()) - 1));
+        const auto [id, r] = placed[k];
+        placed.erase(placed.begin() + static_cast<std::ptrdiff_t>(k));
+        planned.take(id, ResourceQuantities{} - r);  // release
+        naive.free[id] += r;
+      } else {
+        const auto id = static_cast<infra::MachineId>(rng.uniform_int(
+            0, static_cast<std::int64_t>(machine_count) - 1));
+        ResourceQuantities r;
+        for (std::size_t d = 0; d < kResourceDims; ++d) {
+          r[d] = rng.chance(0.5) ? rng.uniform(0.0, 4.0) : 0.0;
+        }
+        planned.take(id, r);
+        naive.free[id] -= r;
+        placed.emplace_back(id, r);
+      }
+      for (infra::MachineId id = 0; id < machine_count; ++id) {
+        ASSERT_EQ(planned.free_on(id), naive.free[id]);
+      }
+      for (int probe = 0; probe < 4; ++probe) {
+        const ResourceQuantities r = random_quants(rng, 20.0);
+        ASSERT_EQ(planned.may_fit_anywhere(r), naive.may_fit_anywhere(r))
+            << "seed " << seed << " step " << step;
+      }
+    }
+  }
+}
+
+TEST(PlannedCapacityTest, FitsRespectsPlannedTakes) {
+  infra::Datacenter dc("pc", "sim");
+  dc.add_machine("m0", infra::ResourceVector{8.0, 32.0, 0.0, 0.0}, 1.0, 0);
+  const auto machines = static_cast<const infra::Datacenter&>(dc).machines();
+  sched::PlannedCapacity planned(machines);
+  const infra::ResourceVector half{4.0, 16.0, 0.0, 0.0};
+  EXPECT_TRUE(planned.fits(0, half));
+  planned.take(0, half);
+  EXPECT_TRUE(planned.fits(0, half));
+  planned.take(0, half);
+  EXPECT_FALSE(planned.fits(0, infra::ResourceVector{0.5, 0.0, 0.0, 0.0}));
+  EXPECT_FALSE(planned.fits(7, infra::ResourceVector{0.0, 0.0, 0.0, 0.0}));
+}
+
+TEST(PlannedCapacityTest, RejectsPerDimensionIncludingNet) {
+  infra::Datacenter dc("pc", "sim");
+  dc.add_machine("m0", infra::ResourceVector{8.0, 32.0, 2.0, 10.0}, 1.0, 0);
+  dc.add_machine("m1", infra::ResourceVector{16.0, 16.0, 0.0, 0.0}, 1.0, 0);
+  const auto machines = static_cast<const infra::Datacenter&>(dc).machines();
+  sched::PlannedCapacity planned(machines);
+  // Componentwise max over the fleet is {16, 32, 2, 10}.
+  EXPECT_TRUE(
+      planned.may_fit_anywhere(infra::ResourceVector{16.0, 32.0, 2.0, 10.0}));
+  EXPECT_FALSE(
+      planned.may_fit_anywhere(infra::ResourceVector{16.5, 0.0, 0.0, 0.0}));
+  EXPECT_FALSE(
+      planned.may_fit_anywhere(infra::ResourceVector{0.0, 32.5, 0.0, 0.0}));
+  EXPECT_FALSE(
+      planned.may_fit_anywhere(infra::ResourceVector{0.0, 0.0, 2.5, 0.0}));
+  EXPECT_FALSE(
+      planned.may_fit_anywhere(infra::ResourceVector{0.0, 0.0, 0.0, 10.5}));
+}
+
+// ---- Per-dimension FP residue (machine snap-to-zero) ---------------------------
+
+TEST(MachineResidueTest, FractionalChurnLeavesExactZeroInEveryDimension) {
+  // 0.1 is not representable in binary; summing and subtracting it leaves
+  // ~1e-17 residue unless the release path snaps each dimension to zero.
+  infra::Machine m(0, "m", infra::ResourceVector{1.0, 1.0, 1.0, 1.0}, 1.0);
+  const infra::ResourceVector slice{0.1, 0.1, 0.1, 0.1};
+  for (int round = 0; round < 3; ++round) m.allocate(slice);
+  for (int round = 0; round < 3; ++round) m.release(slice);
+  for (std::size_t d = 0; d < kResourceDims; ++d) {
+    EXPECT_EQ(m.used()[d], 0.0) << core::to_string(
+        static_cast<ResourceDim>(d));
+  }
+  // The regression's point: an exactly-full demand must fit afterwards.
+  EXPECT_TRUE(m.can_fit(infra::ResourceVector{1.0, 1.0, 1.0, 1.0}));
+}
+
+TEST(MachineResidueTest, NetOnlyChurnSnapsLikeTheOtherDimensions) {
+  infra::Machine m(0, "m", infra::ResourceVector{4.0, 4.0, 0.0, 5.0}, 1.0);
+  const infra::ResourceVector net_slice{1.0, 1.0, 0.0, 0.7};
+  for (int round = 0; round < 4; ++round) m.allocate(net_slice);
+  for (int round = 0; round < 4; ++round) m.release(net_slice);
+  EXPECT_EQ(m.used().net(), 0.0);
+  EXPECT_TRUE(m.can_fit(infra::ResourceVector{4.0, 4.0, 0.0, 5.0}));
+}
+
+TEST(MachineResidueTest, VectorCapacityConstructorMatchesQuantities) {
+  const core::ResourceCapacities shape{8, 32, 2, 10};
+  infra::Machine from_shape(0, "a", shape, 1.5);
+  infra::Machine from_quants(1, "b", core::to_quantities(shape), 1.5);
+  EXPECT_EQ(from_shape.capacity(), from_quants.capacity());
+  EXPECT_EQ(from_shape.capacity().net(), 10.0);
+}
+
+}  // namespace
+}  // namespace mcs

@@ -96,7 +96,7 @@ TEST(EngineTest, NeverOvercommitsMachines) {
   std::function<void()> check = [&] {
     for (const infra::Machine* m :
          static_cast<const infra::Datacenter&>(dc).machines()) {
-      if (m->used().cores > m->capacity().cores + 1e-9) ok = false;
+      if (m->used().cpu() > m->capacity().cpu() + 1e-9) ok = false;
     }
     if (!engine.all_done()) sim.schedule_after(sim::kSecond, check);
   };

@@ -11,6 +11,8 @@
 //     --out FILE      where --shrink writes the repro (default
 //                     mcs_check_repro_<index>.repro)
 //     --digest        print only `summary <16-hex>` (for determinism diffs)
+//     --het           draw the vector/placement heterogeneity knobs
+//                     (zones, spread limits, net dimension, score policies)
 //     --print-spec I  print the generated spec for batch index I and exit
 //
 // Exit code: 0 = no violations, 1 = violations found (or replayed scenario
@@ -39,7 +41,7 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--base B] [--threads N] [--seed I]\n"
                "       [--replay FILE] [--shrink I [--out FILE]] [--digest]\n"
-               "       [--print-spec I]\n";
+               "       [--print-spec I] [--het]\n";
   return 2;
 }
 
@@ -110,10 +112,10 @@ int run_replay(const std::string& path) {
 }
 
 int run_shrink(std::uint64_t base_seed, std::size_t index,
-               const std::string& out_path) {
+               const std::string& out_path, bool het) {
   const std::uint64_t seed = mcs::check::seed_for_index(base_seed, index);
   mcs::check::ShrinkResult shrunk =
-      mcs::check::shrink(mcs::check::make_spec(seed));
+      mcs::check::shrink(mcs::check::make_spec(seed, het));
   if (!shrunk.failing) {
     std::cout << "index " << index << " (seed " << seed
               << ") passes; nothing to shrink\n";
@@ -152,6 +154,7 @@ int main(int argc, char** argv) {
   std::uint64_t base_seed = 1;
   std::size_t threads = 0;  // 0 => MCS_THREADS env, else hardware
   bool digest_only = false;
+  bool het = false;
   bool have_single = false;
   std::size_t single_index = 0;
   bool have_shrink = false;
@@ -194,6 +197,8 @@ int main(int argc, char** argv) {
       out_path = argv[++i];
     } else if (arg == "--digest") {
       digest_only = true;
+    } else if (arg == "--het") {
+      het = true;
     } else {
       return usage(argv[0]);
     }
@@ -202,13 +207,13 @@ int main(int argc, char** argv) {
   if (!replay_path.empty()) return run_replay(replay_path);
   if (have_print_spec) {
     std::cout << mcs::check::to_text(mcs::check::make_spec(
-        mcs::check::seed_for_index(base_seed, print_spec_index)));
+        mcs::check::seed_for_index(base_seed, print_spec_index), het));
     return 0;
   }
-  if (have_shrink) return run_shrink(base_seed, shrink_index, out_path);
+  if (have_shrink) return run_shrink(base_seed, shrink_index, out_path, het);
   if (have_single) {
     const SeedRunResult r = mcs::check::run_seed(
-        mcs::check::seed_for_index(base_seed, single_index));
+        mcs::check::seed_for_index(base_seed, single_index), het);
     print_result(r);
     return r.ok ? 0 : 1;
   }
@@ -217,6 +222,7 @@ int main(int argc, char** argv) {
   FuzzOptions opt;
   opt.seeds = seeds;
   opt.base_seed = base_seed;
+  opt.het = het;
   opt.pool = &pool;
   const FuzzReport report = mcs::check::run_fuzz(opt);
 
