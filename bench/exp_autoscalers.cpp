@@ -62,6 +62,10 @@ CellResult run_cell(const std::string& name, std::uint64_t trace_seed,
   obs::Registry cell_registry;  // autoscale + engine instruments land here
   config.tracer = cellobs.tracer();
   config.registry = cellobs.enabled() ? &cell_registry : nullptr;
+  config.engine.lifecycle_spans = cellobs.enabled();
+  // SLO counters land in cell_registry; run_autoscaled finalizes the
+  // tracker (its Simulator is internal), so no cellobs.finalize here.
+  config.slo = cellobs.make_slo(cell_registry);
   const auto r = autoscale::run_autoscaled(
       dc, std::move(jobs), autoscale::make_autoscaler(name), config);
 

@@ -114,9 +114,12 @@ CellResult run_cell(failures::CorrelationMode mode, const exp::SweepPoint& p,
     infra::Datacenter dc("f-dc", "eu");
     dc.add_uniform_racks(4, 16, infra::ResourceVector{4.0, 16.0, 0.0}, 1.0);
     sim::Simulator sim;
-    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
     exp::CellObs cellobs(cli);
+    sched::EngineConfig engine_config;
+    engine_config.lifecycle_spans = cellobs.enabled();
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs(), engine_config);
     engine.set_tracer(cellobs.tracer());
+    engine.set_slo(cellobs.make_slo(engine.registry()));
 
     sim::Rng wrng(workload_seed);
     workload::TraceConfig trace;
@@ -139,6 +142,7 @@ CellResult run_cell(failures::CorrelationMode mode, const exp::SweepPoint& p,
                  [&](infra::MachineId) { engine.kick(); });
     sim.run_until();
 
+    cellobs.finalize(sim.now());
     out.obs = cellobs.capture(&engine.registry(),
                               p.scenario == 0 && p.rep == 0);
     const auto r = sched::summarize_run(engine, dc);

@@ -135,15 +135,21 @@ CellResult run_cell(const Regime& regime, const exp::SweepPoint& p,
   {
     auto dc = make_dc(regime.heterogeneous);
     sim::Simulator sim;
-    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs());
     exp::CellObs cellobs(cli);
+    sched::EngineConfig config;
+    // Lifecycle spans ride along with any observability flag; a plain
+    // `--digest` run keeps the pinned default-config digests.
+    config.lifecycle_spans = cellobs.enabled();
+    sched::ExecutionEngine engine(sim, dc, sched::make_fcfs(), config);
     engine.set_tracer(cellobs.tracer());
+    engine.set_slo(cellobs.make_slo(engine.registry()));
     engine.submit_all(jobs);
     sched::PortfolioScheduler portfolio(sim, dc, engine,
                                         sched::default_portfolio(),
                                         30 * sim::kSecond);
     portfolio.start();
     sim.run_until();
+    cellobs.finalize(sim.now());
     const auto r = sched::summarize_run(engine, dc);
     cell.obs = cellobs.capture(&engine.registry(),
                                p.scenario == 0 && p.rep == 0);

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Report-digest determinism check (the obs.report-determinism gate).
+#
+# Runs a sweep binary with `--reps 8 --slo <spec> --report <tmp>` twice at
+# MCS_THREADS=1 and twice at MCS_THREADS=8 and requires all four written
+# mcs-report-v1 JSON documents to be byte-identical. The report folds the
+# merged instrument registry (lifecycle-span histograms, SLO counters),
+# the SLO attainment rows, the exemplar cost table, and the trace digest —
+# so this is the standing check that the whole telemetry pipeline, from
+# engine span stamping through SloTracker windows to %.17g JSON rendering,
+# is a pure function of the scenario seeds, independent of thread count.
+#
+# Usage: scripts/check_report_determinism.sh /path/to/exp_scheduling \
+#            [SLO_SPEC] [REPS]
+set -euo pipefail
+
+if [[ $# -lt 1 || ! -x "$1" ]]; then
+  echo "usage: $0 /path/to/sweep_exp [SLO_SPEC] [REPS]" >&2
+  exit 2
+fi
+
+exe="$1"
+slo="${2:-bot:120:0.9;workflow:900:0.9}"
+reps="${3:-8}"
+name="$(basename "${exe}")"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+
+first=""
+for run in 1:a 1:b 8:a 8:b; do
+  threads="${run%%:*}"
+  tag="${run##*:}"
+  report="${tmpdir}/${name}.t${threads}${tag}.json"
+  MCS_THREADS=${threads} "${exe}" --reps "${reps}" --slo "${slo}" \
+      --report "${report}" > /dev/null
+  if [[ ! -s "${report}" ]]; then
+    echo "FAIL: ${name} MCS_THREADS=${threads} (${tag}) wrote no report" >&2
+    exit 1
+  fi
+  echo "${name} MCS_THREADS=${threads} (${tag}): $(wc -c < "${report}") bytes"
+  if [[ -z "${first}" ]]; then
+    first="${report}"
+  elif ! cmp -s "${first}" "${report}"; then
+    echo "FAIL: ${name} report JSON differs across repeats/thread counts" >&2
+    diff "${first}" "${report}" | head -20 >&2 || true
+    exit 1
+  fi
+done
+
+echo "OK: mcs-report-v1 JSON byte-identical across repeats and thread counts"

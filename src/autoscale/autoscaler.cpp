@@ -249,7 +249,7 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
   auto policy = config.allocation_policy.empty()
                     ? sched::make_fcfs()
                     : sched::make_policy(config.allocation_policy);
-  sched::ExecutionEngine engine(sim, dc, std::move(policy));
+  sched::ExecutionEngine engine(sim, dc, std::move(policy), config.engine);
   sched::ProvisionedPool pool(sim, dc, engine, config.provisioning);
   pool.start_with(config.min_machines);
 
@@ -274,6 +274,7 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
   // samples into the tracer; tick/scale tallies into the registry.
   obs::Tracer* tracer = config.tracer;
   engine.set_tracer(tracer);
+  engine.set_slo(config.slo);
   obs::NameId n_decision{}, n_demand{}, n_supply{}, n_target{};
   if (tracer != nullptr) {
     n_decision = tracer->intern("autoscale.decision");
@@ -358,6 +359,7 @@ AutoscaleRunResult run_autoscaled(infra::Datacenter& dc,
     result.avg_machines = pool.supply_series().time_average(0, horizon);
   }
   result.cost = pool.cost();
+  if (config.slo != nullptr) config.slo->finalize(sim.now());
   // Hand the engine's lifecycle instruments to the caller's registry so
   // one registry holds the whole run's telemetry.
   if (config.registry != nullptr) config.registry->merge(engine.registry());

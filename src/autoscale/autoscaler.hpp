@@ -97,6 +97,12 @@ struct AutoscaleRunConfig {
   /// the caller passes `&engine.registry()`-style shared registries).
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
+  /// Engine construction knobs (lifecycle spans, retries, scavenging...).
+  sched::EngineConfig engine;
+  /// Optional SLO tracker (obs/slo.hpp) fed by the engine's completions.
+  /// run_autoscaled finalizes it at the end of the run — the Simulator is
+  /// internal, so the caller never sees the final sim time.
+  obs::SloTracker* slo = nullptr;
 };
 
 struct AutoscaleRunResult {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 
@@ -9,6 +10,7 @@
 #include "exp/sweep.hpp"
 #include "metrics/stats.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
 #include "sched/engine.hpp"
 #include "sim/random.hpp"
 
@@ -220,6 +222,10 @@ ScenarioSpec make_spec(std::uint64_t seed, bool het) {
 }
 
 SeedRunResult run_spec(const ScenarioSpec& spec) {
+  return run_spec(spec, /*capture_registry=*/false);
+}
+
+SeedRunResult run_spec(const ScenarioSpec& spec, bool capture_registry) {
   SeedRunResult result;
   result.seed = spec.seed;
 
@@ -233,6 +239,10 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   config.scavenging.enabled = spec.scavenging;
   config.placement.score = sched::score_policy_from_string(spec.score_policy);
   config.placement.salt = spec.score_salt;
+  // An SLO spec opts the scenario into lifecycle spans; without one the
+  // instrument set and trace events — and therefore the digest — match
+  // the legacy goldens exactly.
+  config.lifecycle_spans = !spec.slo.empty();
 
   sched::ExecutionEngine engine(sim, dc, sched::make_policy(spec.policy),
                                 config);
@@ -249,6 +259,16 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   // covers the tracing layer.
   obs::Tracer recorder(/*capacity=*/512);
   engine.set_tracer(&recorder);
+
+  // SLO engine: its counters land in engine.registry() and its threshold
+  // crossings in the recorder ring, so SLO state folds into the seed
+  // digest below with no extra plumbing.
+  std::unique_ptr<obs::SloTracker> slo;
+  if (!spec.slo.empty()) {
+    slo = std::make_unique<obs::SloTracker>(obs::parse_slo_specs(spec.slo),
+                                            engine.registry(), &recorder);
+    engine.set_slo(slo.get());
+  }
 
   // The injector outlives run_until (its events capture `this`).
   std::vector<failures::FailureEvent> failure_trace;
@@ -313,6 +333,9 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
     result.ok = false;
     result.violation = std::string("EXCEPTION: ") + ex.what();
   }
+  // Close open SLO violation intervals before any digesting/dumping so
+  // the violation-minute counters are complete (and deterministic).
+  if (slo != nullptr) slo->finalize(sim.now());
   if (!result.ok) result.trace_dump = obs::dump_to_string(recorder);
 
   result.events = sim.executed();
@@ -350,6 +373,10 @@ SeedRunResult run_spec(const ScenarioSpec& spec) {
   digest.add_u64(recorder.digest());
   engine.registry().fold_digest(digest);
   result.digest = digest.value();
+  if (capture_registry) {
+    result.registry = std::make_shared<obs::Registry>();
+    result.registry->merge(engine.registry());
+  }
   return result;
 }
 
@@ -371,17 +398,26 @@ FuzzReport run_fuzz(const FuzzOptions& opt) {
   sweep.pool = opt.pool;
 
   const bool het = opt.het;
+  const std::string slo = opt.slo;
+  const bool capture = opt.capture_registry;
   const auto results = exp::run_sweep<SeedRunResult>(
-      opt.seeds, sweep,
-      [het](const exp::SweepPoint& p) { return run_seed(p.seed, het); });
+      opt.seeds, sweep, [het, slo, capture](const exp::SweepPoint& p) {
+        ScenarioSpec spec = make_spec(p.seed, het);
+        spec.slo = slo;
+        return run_spec(spec, capture);
+      });
 
   FuzzReport report;
   report.seeds_run = results.size();
+  if (capture) report.registry = std::make_shared<obs::Registry>();
   metrics::Digest summary;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const SeedRunResult& r = results[i];
     summary.add_u64(r.seed);
     summary.add_u64(r.digest);
+    if (capture && r.registry != nullptr) {
+      report.registry->merge(*r.registry);
+    }
     report.total_events += r.events;
     report.total_transitions += r.transitions;
     report.total_checks += r.checks;
@@ -441,6 +477,7 @@ std::string to_text(const ScenarioSpec& spec) {
   out << "failure_limit=" << spec.failure_limit << "\n";
   out << "flap_count=" << spec.flap_count << "\n";
   out << "horizon=" << spec.horizon << "\n";
+  out << "slo=" << spec.slo << "\n";
   out << "score_policy=" << spec.score_policy << "\n";
   out << "score_salt=" << spec.score_salt << "\n";
   out << "net_capacity=" << spec.net_capacity << "\n";
@@ -522,6 +559,7 @@ ScenarioSpec from_text(const std::string& text) {
       else if (key == "failure_limit") spec.failure_limit = std::stoull(value);
       else if (key == "flap_count") spec.flap_count = std::stoull(value);
       else if (key == "horizon") spec.horizon = std::stoll(value);
+      else if (key == "slo") spec.slo = value;
       else if (key == "score_policy") spec.score_policy = value;
       else if (key == "score_salt") spec.score_salt = std::stoull(value);
       else if (key == "net_capacity") spec.net_capacity = std::stod(value);

@@ -19,10 +19,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "failures/failure_model.hpp"
+#include "obs/registry.hpp"
 #include "parallel/thread_pool.hpp"
 #include "workload/trace.hpp"
 
@@ -62,6 +64,12 @@ struct ScenarioSpec {
   std::size_t flap_count = 0;
 
   sim::SimTime horizon = 2 * sim::kHour;
+
+  // SLO engine (obs/slo.hpp parse format; empty = off). A non-empty spec
+  // switches the engine to lifecycle_spans mode, so the per-class span
+  // histograms and SLO counters fold into the seed digest — scenarios
+  // without it reproduce the legacy digests bit-identically.
+  std::string slo;
 
   // Vector/placement heterogeneity profile (het + placement substreams).
   // Every knob defaults to inactive, so legacy seeds reproduce
@@ -104,10 +112,16 @@ struct SeedRunResult {
   std::size_t jobs_abandoned = 0;
   std::size_t tasks_killed = 0;
   std::uint64_t digest = 0;  ///< order-sensitive hash of the run's trace
+  /// Snapshot of the engine registry (spans, SLO counters, ...); only
+  /// populated when the run asked for registry capture (--report path).
+  std::shared_ptr<obs::Registry> registry;
 };
 
 /// Runs one materialized scenario to quiescence under the oracle. Never
 /// throws for oracle violations — they are reported in the result.
+/// `capture_registry` snapshots the engine registry into the result.
+[[nodiscard]] SeedRunResult run_spec(const ScenarioSpec& spec,
+                                     bool capture_registry);
 [[nodiscard]] SeedRunResult run_spec(const ScenarioSpec& spec);
 
 /// make_spec + run_spec for a raw seed value.
@@ -124,6 +138,10 @@ struct FuzzOptions {
   std::uint64_t base_seed = 1;
   /// Draw the vector/placement heterogeneity knobs for every scenario.
   bool het = false;
+  /// SLO spec applied to every scenario (obs/slo.hpp format; empty = off).
+  std::string slo;
+  /// Merge every seed's registry into FuzzReport::registry (flat order).
+  bool capture_registry = false;
   /// Pool to fan out on; parallel::default_pool() when null.
   parallel::ThreadPool* pool = nullptr;
 };
@@ -139,6 +157,9 @@ struct FuzzReport {
   std::size_t total_completed = 0;
   std::size_t total_abandoned = 0;
   std::size_t total_tasks_killed = 0;
+  /// All seeds' registries merged in flat batch order; null unless
+  /// FuzzOptions::capture_registry (the mcs_check --report input).
+  std::shared_ptr<obs::Registry> registry;
 };
 
 /// Fans `opt.seeds` scenarios across the pool; deterministic at any thread

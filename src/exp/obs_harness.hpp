@@ -25,10 +25,12 @@
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <vector>
 
 #include "exp/sweep.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 
 namespace mcs::exp {
@@ -36,8 +38,9 @@ namespace mcs::exp {
 /// Per-cell observability state. Alive for the duration of one cell run.
 class CellObs {
  public:
-  /// Tracing/metrics activate when the CLI asked for either; `ring`
-  /// bounds the per-cell event ring (flight-recorder overwrite beyond).
+  /// Tracing/metrics/reporting/SLO activate when the CLI asked for any of
+  /// them; `ring` bounds the per-cell event ring (flight-recorder
+  /// overwrite beyond).
   explicit CellObs(const SweepCli& cli, std::size_t ring = 1 << 16);
 
   /// The cell tracer, or nullptr when observability is off — pass
@@ -47,6 +50,15 @@ class CellObs {
   }
   [[nodiscard]] bool enabled() const { return tracer_.has_value(); }
 
+  /// Builds the cell's SLO tracker over `registry` (its counters land
+  /// there) when the CLI carried `--slo`; nullptr otherwise. Pass the
+  /// result to ExecutionEngine::set_slo. Owned by this CellObs.
+  [[nodiscard]] obs::SloTracker* make_slo(obs::Registry& registry);
+
+  /// Closes open SLO violation intervals at sim time `at` — call once,
+  /// with the cell's final sim time, before capture(). No-op without SLO.
+  void finalize(sim::SimTime at);
+
   /// Captures the cell's observation result. `registry` is typically
   /// &engine.registry(); may be nullptr. `exemplar` cells (flat index 0:
   /// scenario 0, rep 0) keep the full dump for the --trace file.
@@ -54,6 +66,8 @@ class CellObs {
 
  private:
   std::optional<obs::Tracer> tracer_;
+  std::vector<obs::SloSpec> slo_specs_;
+  std::unique_ptr<obs::SloTracker> slo_;
 };
 
 /// Serializable per-cell observation result (cheap to move through
@@ -71,9 +85,10 @@ class ObsAggregate {
   void fold(const ObsCapture& capture);
 
   /// Writes the exemplar Chrome trace to cli.trace_path (when tracing),
-  /// prints `trace digest <16-hex>` to `out`, and prints the merged
-  /// registry when cli.metrics. No-op when observability is off. Returns
-  /// false if the trace file could not be written.
+  /// prints `trace digest <16-hex>` to `out`, prints the merged registry
+  /// when cli.metrics, and writes the mcs-report-v1 JSON to
+  /// cli.report_path when reporting. No-op when observability is off.
+  /// Returns false if an output file could not be written.
   bool report(const SweepCli& cli, std::ostream& out) const;
 
   /// Digest over all cells' trace digests (flat order).
@@ -81,11 +96,13 @@ class ObsAggregate {
     return digest_.value();
   }
   [[nodiscard]] const obs::Registry& registry() const { return merged_; }
+  [[nodiscard]] std::uint64_t cells() const { return cells_; }
 
  private:
   metrics::Digest digest_;
   obs::Registry merged_;
   std::shared_ptr<obs::TraceDump> exemplar_;
+  std::uint64_t cells_ = 0;
 };
 
 }  // namespace mcs::exp

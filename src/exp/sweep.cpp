@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/slo.hpp"
+
 namespace mcs::exp {
 
 std::uint64_t substream_seed(std::uint64_t base, std::uint64_t index) {
@@ -55,9 +57,31 @@ SweepCli parse_sweep_cli(int argc, const char* const* argv) {
       }
     } else if (arg == "--metrics") {
       cli.metrics = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--report: missing file path");
+      }
+      cli.report_path = argv[++i];
+    } else if (arg.rfind("--report=", 0) == 0) {
+      cli.report_path = arg.substr(9);
+      if (cli.report_path.empty()) {
+        throw std::invalid_argument("--report: missing file path");
+      }
+    } else if (arg == "--slo") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--slo: missing spec");
+      }
+      cli.slo_spec = argv[++i];
+    } else if (arg.rfind("--slo=", 0) == 0) {
+      cli.slo_spec = arg.substr(6);
+      if (cli.slo_spec.empty()) {
+        throw std::invalid_argument("--slo: missing spec");
+      }
     }
   }
   if (cli.reps == 0) cli.reps = 1;
+  // Fail fast on a malformed SLO spec — before any cell runs.
+  if (cli.slo()) (void)obs::parse_slo_specs(cli.slo_spec);
   return cli;
 }
 

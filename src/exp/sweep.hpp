@@ -86,14 +86,21 @@ std::vector<R> run_sweep(std::size_t scenarios, const SweepOptions& opt,
 /// (override pool size; 0 = MCS_THREADS/hardware), `--trace FILE`
 /// (write a Chrome trace_event JSON of the exemplar cell to FILE, plus a
 /// `trace digest <16-hex>` line over *all* cells), `--metrics` (print the
-/// merged instrument registry after the tables).
+/// merged instrument registry after the tables), `--report FILE` (write
+/// the stable-key mcs-report-v1 JSON over all cells, see obs/report.hpp),
+/// `--slo SPEC` (attach the SLO engine; obs/slo.hpp parse format,
+/// validated at parse time).
 struct SweepCli {
   std::size_t reps = 1;
   bool digest = false;
   std::size_t threads = 0;
-  std::string trace_path;  ///< empty = tracing off
+  std::string trace_path;   ///< empty = tracing off
   bool metrics = false;
+  std::string report_path;  ///< empty = no report file
+  std::string slo_spec;     ///< empty = SLO engine off
   [[nodiscard]] bool trace() const { return !trace_path.empty(); }
+  [[nodiscard]] bool report() const { return !report_path.empty(); }
+  [[nodiscard]] bool slo() const { return !slo_spec.empty(); }
 };
 
 /// Parses the flags above; unknown arguments are ignored so binaries can

@@ -135,8 +135,8 @@ double Histogram::mean() const {
   return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
 }
 
-double Histogram::quantile(double q) const {
-  if (count_ == 0) return 0.0;
+std::size_t Histogram::quantile_bucket(double q) const {
+  if (count_ == 0) return kBuckets;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target observation (0-based, nearest-rank style).
@@ -145,14 +145,18 @@ double Histogram::quantile(double q) const {
   std::uint64_t seen = 0;
   for (std::size_t b = 0; b < kBuckets; ++b) {
     seen += bins_[b];
-    if (seen > rank) {
-      // Geometric midpoint of [floor, 2*floor); bucket 0 reports 0.
-      const double lo = bucket_floor(b);
-      const double mid = lo == 0.0 ? 0.0 : lo * 1.5;
-      return std::min(std::max(mid, min_), max_);
-    }
+    if (seen > rank) return b;
   }
-  return max_;
+  return kBuckets - 1;
+}
+
+double Histogram::quantile(double q) const {
+  const std::size_t b = quantile_bucket(q);
+  if (b == kBuckets) return 0.0;
+  // Geometric midpoint of [floor, 2*floor); bucket 0 reports 0.
+  const double lo = bucket_floor(b);
+  const double mid = lo == 0.0 ? 0.0 : lo * 1.5;
+  return std::min(std::max(mid, min_), max_);
 }
 
 void Digest::add_bytes(const void* data, std::size_t len) {

@@ -117,8 +117,16 @@ class Histogram {
 
   /// Bucket-resolution quantile estimate, q in [0,1]: walks the bins and
   /// returns the geometric midpoint of the bucket holding the q-th
-  /// observation (clamped to the recorded min/max).
+  /// observation (clamped to the recorded min/max). The true quantile is
+  /// guaranteed to lie inside that bucket's [floor, 2*floor) range — a
+  /// relative error of at most 2x, honestly reportable via
+  /// quantile_bucket() + bucket_floor().
   [[nodiscard]] double quantile(double q) const;
+
+  /// Index of the bucket holding the q-th observation (nearest-rank,
+  /// 0-based) — the bucket whose bounds bracket the true quantile.
+  /// Returns kBuckets when the histogram is empty.
+  [[nodiscard]] std::size_t quantile_bucket(double q) const;
 
  private:
   std::uint64_t bins_[kBuckets] = {};

@@ -87,6 +87,21 @@ const metrics::Histogram* Registry::find_histogram(
              : nullptr;
 }
 
+Registry::InstrumentView Registry::view(std::size_t i) const {
+  const Slot& s = order_[i];
+  InstrumentView v;
+  v.name = s.name;
+  v.kind = s.kind;
+  switch (s.kind) {
+    case InstrumentKind::kCounter: v.counter = &counters_[s.index]; break;
+    case InstrumentKind::kGauge: v.gauge = &gauges_[s.index]; break;
+    case InstrumentKind::kHistogram:
+      v.histogram = &histograms_[s.index];
+      break;
+  }
+  return v;
+}
+
 void Registry::merge(const Registry& other) {
   for (const Slot& s : other.order_) {
     switch (s.kind) {

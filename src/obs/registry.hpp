@@ -94,6 +94,18 @@ class Registry {
 
   [[nodiscard]] std::size_t size() const { return order_.size(); }
 
+  /// Read-only view of one registered instrument (export/report path).
+  /// Exactly one of the three pointers is non-null, matching `kind`.
+  struct InstrumentView {
+    std::string_view name;
+    InstrumentKind kind = InstrumentKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const metrics::Histogram* histogram = nullptr;
+  };
+  /// The i-th instrument in registration order (i < size()).
+  [[nodiscard]] InstrumentView view(std::size_t i) const;
+
   /// Looks up an instrument without creating it; nullptr when absent or
   /// of a different kind.
   [[nodiscard]] const Counter* find_counter(std::string_view name) const;

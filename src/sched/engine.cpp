@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "metrics/stats.hpp"
@@ -23,6 +24,10 @@ const char* to_string(EngineTransition t) {
   return "?";
 }
 
+const char* workload_class_name(std::size_t klass) {
+  return klass == 0 ? "bot" : "workflow";
+}
+
 ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
                                  std::unique_ptr<AllocationPolicy> policy,
                                  EngineConfig config)
@@ -42,6 +47,21 @@ ExecutionEngine::ExecutionEngine(sim::Simulator& sim, infra::Datacenter& dc,
   h_job_response_s_ = &registry_.histogram("job.response_seconds");
   h_job_slowdown_ = &registry_.histogram("job.slowdown");
   h_task_runtime_s_ = &registry_.histogram("task.runtime_seconds");
+  // Lifecycle spans are opt-in: the instrument set of a default-config
+  // engine is pinned by the scalar-digest goldens (fold_digest hashes
+  // names), so the per-class decomposition only registers when asked for.
+  if (config_.lifecycle_spans) {
+    for (std::size_t c = 0; c < kWorkloadClasses; ++c) {
+      const std::string prefix =
+          std::string("span.") + workload_class_name(c) + ".";
+      spans_[c].queueing = &registry_.histogram(prefix + "queueing_seconds");
+      spans_[c].placement = &registry_.histogram(prefix + "placement_seconds");
+      spans_[c].service = &registry_.histogram(prefix + "service_seconds");
+      spans_[c].response = &registry_.histogram(prefix + "response_seconds");
+      spans_[c].slowdown = &registry_.histogram(prefix + "slowdown");
+      spans_[c].abandon = &registry_.histogram(prefix + "abandon_seconds");
+    }
+  }
 }
 
 void ExecutionEngine::set_tracer(obs::Tracer* tracer) {
@@ -55,6 +75,26 @@ void ExecutionEngine::set_tracer(obs::Tracer* tracer) {
   tn_.tasks_killed = tracer_->intern("tasks.killed");
   tn_.drain = tracer_->intern("drain");
   tn_.undrain = tracer_->intern("undrain");
+  // The span names only exist when spans can be emitted: the trace digest
+  // hashes the name table, and default-config digests are golden-pinned.
+  if (config_.lifecycle_spans) {
+    tn_.task_queue = tracer_->intern("task.queue");
+    tn_.job_place = tracer_->intern("job.place");
+  }
+}
+
+void ExecutionEngine::set_slo(obs::SloTracker* slo) {
+  slo_ = slo;
+  for (auto& list : slo_by_class_) list.clear();
+  if (slo_ == nullptr) return;
+  for (std::size_t i = 0; i < slo_->specs().size(); ++i) {
+    const std::string& k = slo_->specs()[i].klass;
+    for (std::size_t c = 0; c < kWorkloadClasses; ++c) {
+      if (k == "all" || k == workload_class_name(c)) {
+        slo_by_class_[c].push_back(i);
+      }
+    }
+  }
 }
 
 std::uint32_t ExecutionEngine::intern_user(const std::string& name) {
@@ -87,6 +127,7 @@ void ExecutionEngine::submit(workload::Job job) {
   jr.failures = 0;
   jr.first_start = 0;
   jr.started = false;
+  jr.klass = jr.job.is_workflow() ? 1 : 0;
   jr.user_id = intern_user(jr.job.user);
   // Placement constraints (C4): resolve the zone expression once through
   // the label-filter cache (the returned reference is map-node stable) and
@@ -446,6 +487,29 @@ bool ExecutionEngine::start_task(std::size_t ready_index,
   if (!jr.started) {
     jr.started = true;
     jr.first_start = sim_.now();
+    if (config_.lifecycle_spans) {
+      // Placement latency: submit -> first task start, once per job.
+      spans_[jr.klass].placement->record(
+          sim::to_seconds(sim_.now() - rt.job_submit));
+      if (tracer_ != nullptr) {
+        tracer_->complete(rt.job_submit, sim_.now() - rt.job_submit,
+                          tn_.job_place, 0,
+                          static_cast<std::int64_t>(rt.job));
+      }
+    }
+  }
+  if (config_.lifecycle_spans) {
+    // Queueing delay: became_ready -> start, stamped per attempt — a task
+    // re-queued after a machine crash contributes a fresh sample, so the
+    // per-class queueing histogram attributes retry waits to the retry.
+    spans_[jr.klass].queueing->record(
+        sim::to_seconds(sim_.now() - rt.became_ready));
+    if (tracer_ != nullptr) {
+      tracer_->complete(rt.became_ready, sim_.now() - rt.became_ready,
+                        tn_.task_queue, machine_id,
+                        static_cast<std::int64_t>(rt.job),
+                        static_cast<std::int64_t>(rt.task_index));
+    }
   }
 
   const double runtime_s =
@@ -494,6 +558,11 @@ void ExecutionEngine::finish_task(std::uint32_t key, std::uint32_t gen) {
   h_task_runtime_s_->record(sim::to_seconds(sim_.now() - rt.start));
 
   JobSlot& jr = jobs_[rt.job_slot];
+  if (config_.lifecycle_spans) {
+    // Service time: start -> finish (only tasks that actually finished —
+    // killed tasks never reach here, so crashes can't pollute service).
+    spans_[jr.klass].service->record(sim::to_seconds(sim_.now() - rt.start));
+  }
   user_usage_[jr.user_id] += core_seconds;
   jr.done[rt.task_index] = 1;
   --jr.remaining;
@@ -578,6 +647,28 @@ void ExecutionEngine::complete_job(std::uint32_t job_slot, bool abandoned) {
     h_job_wait_s_->record(stats.wait_seconds);
     h_job_response_s_->record(stats.response_seconds);
     h_job_slowdown_->record(stats.slowdown);
+  }
+  if (config_.lifecycle_spans) {
+    // Per-class decomposition: an abandoned job records only how long it
+    // occupied the system before abandonment — never to response/slowdown
+    // (those histograms hold completed jobs only, like the legacy ones).
+    SpanInstruments& sp = spans_[jr.klass];
+    if (abandoned) {
+      sp.abandon->record(stats.response_seconds);
+    } else {
+      sp.response->record(stats.response_seconds);
+      sp.slowdown->record(stats.slowdown);
+    }
+  }
+  if (slo_ != nullptr) {
+    // An abandoned job is an infinitely-late sample: it counts against
+    // every applicable objective and can never be "good".
+    const double latency = abandoned
+                               ? std::numeric_limits<double>::infinity()
+                               : stats.response_seconds;
+    for (std::size_t i : slo_by_class_[jr.klass]) {
+      slo_->observe(i, stats.finish, latency);
+    }
   }
   if (tracer_ != nullptr) {
     tracer_->complete(stats.submit, stats.finish - stats.submit,

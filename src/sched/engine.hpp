@@ -27,6 +27,7 @@
 #include "infra/topology.hpp"
 #include "metrics/elasticity.hpp"
 #include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "sched/allocation.hpp"
 #include "sched/scoring.hpp"
@@ -95,7 +96,20 @@ struct EngineConfig {
   /// The default (kNone) reproduces the legacy Fit-heuristic engine
   /// bit-identically — the digest goldens pin it.
   PlacementContext placement;
+  /// Job-lifecycle spans: per-workload-class latency-decomposition
+  /// histograms (span.<class>.queueing/placement/service/response/
+  /// slowdown/abandon_seconds) plus task.queue / job.place trace spans.
+  /// Off by default — the registry/trace digests of a default-config
+  /// engine are pinned by the scalar goldens, so the extra instruments
+  /// and events only exist when a harness opts in.
+  bool lifecycle_spans = false;
 };
+
+/// Workload classes the lifecycle spans and SLO engine distinguish:
+/// single-task bots vs multi-task workflows (workload::Job::is_workflow).
+inline constexpr std::size_t kWorkloadClasses = 2;
+/// Class index -> name ("bot", "workflow"), the span/SLO instrument infix.
+[[nodiscard]] const char* workload_class_name(std::size_t klass);
 
 /// Final accounting for one completed (or abandoned) job.
 struct JobStats {
@@ -158,6 +172,15 @@ class ExecutionEngine {
   /// at install time so the emit paths stay allocation-free.
   void set_tracer(obs::Tracer* tracer);
   [[nodiscard]] obs::Tracer* tracer() const { return tracer_; }
+
+  /// Installs (or clears, with nullptr) the SLO engine: on every job
+  /// completion/abandonment the engine feeds the response latency to the
+  /// specs whose class matches the job ("bot"/"workflow"/"all" — matching
+  /// is resolved to dense index lists here, so the completion path does no
+  /// string work). The tracker must outlive the engine or be cleared
+  /// first; the caller owns finalize() at end of run.
+  void set_slo(obs::SloTracker* slo);
+  [[nodiscard]] obs::SloTracker* slo() const { return slo_; }
 
   // --- state & metrics -------------------------------------------------------
 
@@ -241,6 +264,7 @@ class ExecutionEngine {
     std::size_t failures = 0;
     sim::SimTime first_start = 0;
     bool started = false;
+    std::uint8_t klass = 0;  ///< workload class (0 bot, 1 workflow)
     std::uint32_t user_id = 0;
     /// Zone label filter resolved at submit through the LabelFilterCache
     /// (map-node-stable reference); null = unconstrained.
@@ -326,11 +350,28 @@ class ExecutionEngine {
   metrics::Histogram* h_job_slowdown_ = nullptr;
   metrics::Histogram* h_task_runtime_s_ = nullptr;
 
+  /// Per-workload-class latency-decomposition histograms; the pointers are
+  /// null unless config.lifecycle_spans registered them in the ctor.
+  struct SpanInstruments {
+    metrics::Histogram* queueing = nullptr;   ///< ready -> start, per attempt
+    metrics::Histogram* placement = nullptr;  ///< submit -> first start
+    metrics::Histogram* service = nullptr;    ///< task start -> finish
+    metrics::Histogram* response = nullptr;   ///< submit -> finish
+    metrics::Histogram* slowdown = nullptr;   ///< response / critical path
+    metrics::Histogram* abandon = nullptr;    ///< submit -> abandonment
+  };
+  SpanInstruments spans_[kWorkloadClasses];
+
+  /// SLO engine attach (set_slo): per-class applicable spec indices, so
+  /// the job-completion path feeds observations without string matching.
+  obs::SloTracker* slo_ = nullptr;
+  std::vector<std::size_t> slo_by_class_[kWorkloadClasses];
+
   /// Flight recorder (optional) + names interned at set_tracer time.
   obs::Tracer* tracer_ = nullptr;
   struct TraceNames {
     obs::NameId job_arrived{}, job{}, job_abandoned{}, task_start{}, task{},
-        tasks_killed{}, drain{}, undrain{};
+        tasks_killed{}, drain{}, undrain{}, task_queue{}, job_place{};
   };
   TraceNames tn_;
 

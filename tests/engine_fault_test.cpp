@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include "check/oracle.hpp"
+#include "obs/registry.hpp"
+#include "obs/slo.hpp"
 #include "sched/engine.hpp"
 #include "workload/task.hpp"
 
@@ -180,6 +182,134 @@ TEST(EngineFaultTest, CrashOfDrainingIdleMachineStaysDrained) {
   ASSERT_TRUE(engine.all_done());
   EXPECT_TRUE(engine.is_draining(0));
   EXPECT_EQ(engine.tasks_killed(), 0u);
+}
+
+// ---- Lifecycle spans on the fault paths (PR 10) -----------------------------
+
+TEST(EngineFaultTest, SpansAttributeRequeuedWaitsToTheRetry) {
+  // Crash-with-retry from the first scenario, now with lifecycle spans on:
+  // queueing delay is stamped per *attempt*, so the two requeued tasks
+  // contribute fresh samples (6 total for 4 tasks) and the retry waits —
+  // which start at the crash — keep the per-class queueing attribution
+  // monotone instead of silently folding into the first attempt's wait.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.max_retries = 2;
+  config.lifecycle_spans = true;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.run_until();
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  EXPECT_EQ(engine.tasks_killed(), 2u);
+
+  const auto* queueing =
+      engine.registry().find_histogram("span.bot.queueing_seconds");
+  ASSERT_NE(queueing, nullptr);
+  EXPECT_EQ(queueing->count(), 6u);  // 4 first attempts + 2 retries
+  // The retried tasks waited from the crash instant to their restart on
+  // the surviving machine — a strictly positive queueing sample.
+  EXPECT_GT(queueing->max(), 0.0);
+
+  // Service time is recorded per *finished* execution only: killed
+  // attempts never reach finish_task, so exactly 4 samples land.
+  const auto* service =
+      engine.registry().find_histogram("span.bot.service_seconds");
+  ASSERT_NE(service, nullptr);
+  EXPECT_EQ(service->count(), 4u);
+
+  // One completed job: placement + response + slowdown once, no abandon.
+  const auto* placement =
+      engine.registry().find_histogram("span.bot.placement_seconds");
+  const auto* response =
+      engine.registry().find_histogram("span.bot.response_seconds");
+  const auto* abandon =
+      engine.registry().find_histogram("span.bot.abandon_seconds");
+  ASSERT_NE(placement, nullptr);
+  ASSERT_NE(response, nullptr);
+  ASSERT_NE(abandon, nullptr);
+  EXPECT_EQ(placement->count(), 1u);
+  EXPECT_EQ(response->count(), 1u);
+  EXPECT_EQ(abandon->count(), 0u);
+}
+
+TEST(EngineFaultTest, AbandonedJobRecordsOnlyTheAbandonHistogram) {
+  // Retries disabled: the crash abandons the job. The per-class abandon
+  // histogram records its time-in-system; response/slowdown stay empty
+  // (they hold completed jobs only), and the SLO engine sees the abandon
+  // as an infinitely-late sample — counted, never good.
+  auto dc = make_dc(2, 2.0, 8.0);
+  sim::Simulator sim;
+  EngineConfig config;
+  config.retry_failed_tasks = false;
+  config.lifecycle_spans = true;
+  ExecutionEngine engine(sim, dc, make_fcfs(), config);
+  obs::Registry slo_registry;
+  obs::SloTracker slo(obs::parse_slo_specs("all:100000:0.9"), slo_registry,
+                      nullptr);
+  engine.set_slo(&slo);
+  check::InvariantChecker oracle(sim, dc, exclusive());
+  oracle.attach(engine);
+
+  engine.submit(workload::make_bag_of_tasks(1, 4, 100.0));
+  sim.schedule_at(10 * sim::kSecond, [&] {
+    dc.machine(0).fail();
+    engine.on_machine_failed(0);
+  });
+  sim.run_until();
+  slo.finalize(sim.now());
+
+  oracle.verify(engine, "end-of-run");
+  ASSERT_TRUE(engine.all_done());
+  ASSERT_EQ(engine.completed().size(), 1u);
+  EXPECT_TRUE(engine.completed()[0].abandoned);
+
+  const auto* abandon =
+      engine.registry().find_histogram("span.bot.abandon_seconds");
+  const auto* response =
+      engine.registry().find_histogram("span.bot.response_seconds");
+  const auto* slowdown = engine.registry().find_histogram("span.bot.slowdown");
+  ASSERT_NE(abandon, nullptr);
+  ASSERT_NE(response, nullptr);
+  ASSERT_NE(slowdown, nullptr);
+  EXPECT_EQ(abandon->count(), 1u);
+  EXPECT_GT(abandon->max(), 0.0);  // it occupied the system until the crash
+  EXPECT_EQ(response->count(), 0u);
+  EXPECT_EQ(slowdown->count(), 0u);
+  // Legacy completed-job histograms also skip the abandoned job.
+  const auto* legacy =
+      engine.registry().find_histogram("job.response_seconds");
+  ASSERT_NE(legacy, nullptr);
+  EXPECT_EQ(legacy->count(), 0u);
+
+  // An 'all'-class SLO with an unreachably high threshold still marks the
+  // abandoned job bad: infinity beats any finite threshold.
+  EXPECT_EQ(slo_registry.counter("slo.all.samples").value(), 1u);
+  EXPECT_EQ(slo_registry.counter("slo.all.good").value(), 0u);
+}
+
+TEST(EngineFaultTest, DefaultConfigRegistersNoSpanInstruments) {
+  // The spans are strictly opt-in: a default-config engine must not even
+  // register the histograms (the scalar digest goldens pin the default
+  // registry shape).
+  auto dc = make_dc(1, 2.0, 8.0);
+  sim::Simulator sim;
+  ExecutionEngine engine(sim, dc, make_fcfs(), {});
+  engine.submit(workload::make_bag_of_tasks(1, 1, 5.0));
+  sim.run_until();
+  EXPECT_EQ(engine.registry().find_histogram("span.bot.queueing_seconds"),
+            nullptr);
+  EXPECT_EQ(engine.registry().find_histogram("span.workflow.response_seconds"),
+            nullptr);
 }
 
 }  // namespace

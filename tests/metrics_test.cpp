@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "metrics/elasticity.hpp"
 #include "metrics/report.hpp"
@@ -512,6 +513,79 @@ TEST(HistogramTest, AccumulatorExportWithoutSamplesThrows) {
   Accumulator acc(false);
   acc.add(1.0);
   EXPECT_THROW((void)acc.histogram(), std::logic_error);
+}
+
+TEST(HistogramTest, QuantileBucketNearestRank) {
+  // quantile_bucket is nearest-rank over the bins: with 4 samples in
+  // distinct buckets, q=0 hits the first, q=1 the last, and the midpoints
+  // walk the ranks in order.
+  Histogram h;
+  for (double v : {1.0, 3.0, 9.0, 27.0}) h.record(v);
+  EXPECT_EQ(h.quantile_bucket(0.0), Histogram::bucket_of(1.0));
+  EXPECT_EQ(h.quantile_bucket(0.34), Histogram::bucket_of(3.0));
+  EXPECT_EQ(h.quantile_bucket(0.67), Histogram::bucket_of(9.0));
+  EXPECT_EQ(h.quantile_bucket(1.0), Histogram::bucket_of(27.0));
+  // Out-of-range q clamps instead of indexing out of the bins.
+  EXPECT_EQ(h.quantile_bucket(-1.0), Histogram::bucket_of(1.0));
+  EXPECT_EQ(h.quantile_bucket(2.0), Histogram::bucket_of(27.0));
+}
+
+TEST(HistogramTest, QuantileBucketEmptyAndSingleSample) {
+  Histogram empty;
+  // The empty sentinel is kBuckets (no bucket holds rank 0), and the
+  // point estimate degrades to 0.
+  EXPECT_EQ(empty.quantile_bucket(0.5), Histogram::kBuckets);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+
+  Histogram one;
+  one.record(5.0);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(one.quantile_bucket(q), Histogram::bucket_of(5.0));
+    // A single sample is its own quantile at every q: the bucket midpoint
+    // clamps to [min, max] = [5, 5].
+    EXPECT_DOUBLE_EQ(one.quantile(q), 5.0);
+  }
+}
+
+TEST(HistogramTest, QuantileErrorBoundedByHoldingBucket) {
+  // The honest-resolution contract: the true quantile lies inside the
+  // holding bucket, and the point estimate is inside the same bucket
+  // clamped to [min, max] — i.e. within a factor of 2 of the truth for
+  // any positive sample (log2 bins).
+  Histogram h;
+  std::vector<double> values;
+  for (int i = 1; i <= 1000; ++i) values.push_back(0.37 * i);
+  for (double v : values) h.record(v);
+  for (double q : {0.5, 0.95, 0.99, 0.999}) {
+    const double exact =
+        values[static_cast<std::size_t>(q * (values.size() - 1))];
+    const std::size_t b = h.quantile_bucket(q);
+    ASSERT_LT(b, Histogram::kBuckets);
+    EXPECT_GE(exact, Histogram::bucket_floor(b));
+    if (b + 1 < Histogram::kBuckets) {
+      EXPECT_LT(exact, Histogram::bucket_floor(b + 1));
+    }
+    const double est = h.quantile(q);
+    EXPECT_GT(est, exact / 2.0);
+    EXPECT_LT(est, exact * 2.0);
+  }
+}
+
+TEST(HistogramTest, QuantileStableUnderMerge) {
+  // Merging per-cell histograms must reproduce the direct-feed quantiles
+  // exactly (integer bin state), regardless of how samples were split.
+  Histogram direct, a, b, c;
+  for (int i = 0; i < 900; ++i) {
+    const double v = 1.0 + (i * 37) % 500;
+    direct.record(v);
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : c).record(v);
+  }
+  a.merge(b);
+  a.merge(c);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(a.quantile_bucket(q), direct.quantile_bucket(q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(a.quantile(q), direct.quantile(q)) << "q=" << q;
+  }
 }
 
 TEST(StatsTest, Hex16FormatsFixedWidth) {

@@ -3,12 +3,16 @@
 // merge/digest behavior, and the engine/injector emission integration.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "failures/failure_model.hpp"
 #include "obs/export.hpp"
 #include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "sched/engine.hpp"
 #include "workload/trace.hpp"
@@ -362,6 +366,190 @@ TEST(FailureObs, InjectorCountsAndEmits) {
   }
   EXPECT_EQ(fails, 2u);
   EXPECT_EQ(repairs, 2u);
+}
+
+// ---- SLO engine (src/obs/slo) -----------------------------------------------
+
+TEST(Slo, ParseSpecListAppliesDefaultsAndRoundTrips) {
+  const auto specs = obs::parse_slo_specs("bot:60:0.95;workflow:600:0.9:120:3");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].klass, "bot");
+  EXPECT_DOUBLE_EQ(specs[0].threshold_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(specs[0].target, 0.95);
+  EXPECT_EQ(specs[0].window, 5 * sim::kMinute);  // default
+  EXPECT_DOUBLE_EQ(specs[0].burn_threshold, 2.0);  // default
+  EXPECT_EQ(specs[1].window, 2 * sim::kMinute);
+  EXPECT_DOUBLE_EQ(specs[1].burn_threshold, 3.0);
+  // to_string renders the parse format: reparsing reproduces the spec.
+  const auto back = obs::parse_slo_specs(obs::to_string(specs[1]));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].klass, specs[1].klass);
+  EXPECT_DOUBLE_EQ(back[0].threshold_seconds, specs[1].threshold_seconds);
+  EXPECT_DOUBLE_EQ(back[0].target, specs[1].target);
+  EXPECT_EQ(back[0].window, specs[1].window);
+  EXPECT_DOUBLE_EQ(back[0].burn_threshold, specs[1].burn_threshold);
+  EXPECT_TRUE(obs::parse_slo_specs("").empty());
+}
+
+TEST(Slo, ParseRejectsMalformedSpecs) {
+  for (const char* bad :
+       {"bot", "bot:60", "bot:60:0.9:300:2:extra", ":60:0.9", "bot:x:0.9",
+        "bot:0:0.9", "bot:-5:0.9", "bot:60:0", "bot:60:1.5", "bot:60:0.9:0",
+        "bot:60:0.9:300:0", "all:1:0.5;all:2:0.5"}) {
+    EXPECT_THROW((void)obs::parse_slo_specs(bad), std::invalid_argument)
+        << "accepted: " << bad;
+  }
+}
+
+TEST(Slo, TrackerAccountsViolationMinutesExactly) {
+  obs::SloSpec spec;
+  spec.klass = "all";
+  spec.threshold_seconds = 1.0;
+  spec.target = 0.5;
+  spec.window = sim::kMinute;
+  obs::Registry registry;
+  obs::SloTracker slo({spec}, registry, nullptr);
+
+  slo.observe(0, 1 * sim::kSecond, 0.5);  // good: 1/1
+  EXPECT_FALSE(slo.violating(0));
+  slo.observe(0, 2 * sim::kSecond, 2.0);  // 1/2 == target, still met
+  EXPECT_FALSE(slo.violating(0));
+  slo.observe(0, 3 * sim::kSecond, 2.0);  // 1/3 < target: violation begins
+  EXPECT_TRUE(slo.violating(0));
+  slo.observe(0, 10 * sim::kSecond, 0.5);  // 2/4: recovered, 7 s violated
+  EXPECT_FALSE(slo.violating(0));
+  EXPECT_EQ(registry.counter("slo.all.violation_us").value(),
+            static_cast<std::uint64_t>(7 * sim::kSecond));
+
+  slo.observe(0, 20 * sim::kSecond, 9.0);  // 2/5 < target: violating again
+  EXPECT_TRUE(slo.violating(0));
+  slo.finalize(30 * sim::kSecond);  // closes the open interval: +10 s
+  EXPECT_EQ(registry.counter("slo.all.violation_us").value(),
+            static_cast<std::uint64_t>(17 * sim::kSecond));
+  EXPECT_EQ(registry.counter("slo.all.samples").value(), 5u);
+  EXPECT_EQ(registry.counter("slo.all.good").value(), 2u);
+}
+
+TEST(Slo, BurnCrossingsCountUpwardEdgesOnly) {
+  obs::SloSpec spec;
+  spec.klass = "all";
+  spec.threshold_seconds = 1.0;
+  spec.target = 0.5;
+  spec.window = sim::kMinute;
+  spec.burn_threshold = 1.0;
+  obs::Registry registry;
+  obs::Tracer tracer(64);
+  obs::SloTracker slo({spec}, registry, &tracer);
+
+  slo.observe(0, 1 * sim::kSecond, 9.0);  // bad 1 > budget 0.5: crossing
+  slo.observe(0, 2 * sim::kSecond, 9.0);  // still burning, no new edge
+  slo.observe(0, 3 * sim::kSecond, 0.1);
+  slo.observe(0, 4 * sim::kSecond, 0.1);  // bad 2 == budget 2: recovered
+  slo.observe(0, 5 * sim::kSecond, 9.0);  // bad 3 > budget 2.5: crossing
+  EXPECT_EQ(registry.counter("slo.all.burn_crossings").value(), 2u);
+
+  const obs::TraceDump dump = obs::snapshot(tracer);
+  std::size_t burns = 0;
+  for (const auto& e : dump.events) {
+    if (dump.names[e.name] == "slo.all.burn") ++burns;
+  }
+  EXPECT_EQ(burns, 2u);
+}
+
+TEST(Slo, SlidingWindowEvictsExpiredSamples) {
+  obs::SloSpec spec;
+  spec.klass = "all";
+  spec.threshold_seconds = 1.0;
+  spec.target = 0.9;
+  spec.window = 64 * sim::kSecond;  // slot width exactly 1 s
+  obs::Registry registry;
+  obs::SloTracker slo({spec}, registry, nullptr);
+
+  slo.observe(0, 1 * sim::kSecond, 9.0);  // bad: violating
+  EXPECT_TRUE(slo.violating(0));
+  // Two minutes later the bad sample has rotated out of the window: the
+  // fresh good sample is judged alone and the violation interval closes.
+  slo.observe(0, 120 * sim::kSecond, 0.1);
+  EXPECT_FALSE(slo.violating(0));
+  EXPECT_DOUBLE_EQ(slo.window_attainment(0), 1.0);
+  EXPECT_EQ(registry.counter("slo.all.violation_us").value(),
+            static_cast<std::uint64_t>(119 * sim::kSecond));
+}
+
+// ---- Report rendering (src/obs/report) --------------------------------------
+
+TEST(Report, JsonIsByteStableAcrossWrites) {
+  obs::Registry registry;
+  registry.counter("jobs.completed").add(7);
+  registry.gauge("pool.size").set(3.5);
+  auto& h = registry.histogram("job.response_seconds");
+  for (double v : {0.5, 1.0, 2.0, 64.0}) h.record(v);
+  const auto specs = obs::parse_slo_specs("all:60:0.9");
+  registry.counter("slo.all.samples").add(10);
+  registry.counter("slo.all.good").add(9);
+
+  obs::ReportInputs in;
+  in.registry = &registry;
+  in.slo = &specs;
+  in.cells = 4;
+  std::ostringstream a, b;
+  obs::write_report_json(a, in);
+  obs::write_report_json(b, in);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.str().rfind("{\"schema\":\"mcs-report-v1\",\"cells\":4,", 0), 0u);
+  EXPECT_NE(a.str().find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(a.str().find("\"p999\":{\"value\":"), std::string::npos);
+  EXPECT_NE(a.str().find("\"attainment\":0.9"), std::string::npos);
+  EXPECT_NE(a.str().find("\"met\":true"), std::string::npos);
+  // The text rendering covers the same sections without throwing.
+  std::ostringstream text;
+  obs::write_report_text(text, in);
+  EXPECT_NE(text.str().find("slo attainment"), std::string::npos);
+  EXPECT_NE(text.str().find("MET"), std::string::npos);
+}
+
+TEST(Report, QuantileEstimateBoundsBracketTheTruth) {
+  metrics::Histogram h;
+  h.record(3.0);
+  h.record(5.0);
+  const obs::QuantileEstimate top = obs::histogram_quantile(h, 1.0);
+  EXPECT_GE(top.lo, 3.0);   // clamped to min
+  EXPECT_LE(top.hi, 5.0);   // clamped to max
+  EXPECT_GE(top.value, top.lo);
+  EXPECT_LE(top.value, top.hi);
+  const obs::QuantileEstimate empty =
+      obs::histogram_quantile(metrics::Histogram{}, 0.5);
+  EXPECT_DOUBLE_EQ(empty.value, 0.0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 0.0);
+}
+
+TEST(Report, FoldCostsSumsCompleteSpansPerName) {
+  obs::Tracer tracer(64);
+  const auto task = tracer.intern("task");
+  const auto blip = tracer.intern("blip");
+  (void)tracer.intern("unused");  // zero events: omitted from the fold
+  tracer.complete(10, 5, task, 0);
+  tracer.complete(20, 7, task, 1);
+  tracer.instant(30, blip, 0);
+  const auto rows = obs::fold_costs(obs::snapshot(tracer));
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].name, "task");
+  EXPECT_EQ(rows[0].events, 2u);
+  EXPECT_EQ(rows[0].span_us, 12u);
+  EXPECT_EQ(rows[1].name, "blip");
+  EXPECT_EQ(rows[1].events, 1u);
+  EXPECT_EQ(rows[1].span_us, 0u);  // instants carry no duration
+}
+
+TEST(Report, SloRowsWithoutCountersReportZeroSamplesAsMet) {
+  obs::Registry registry;  // SLO engine never attached
+  const auto specs = obs::parse_slo_specs("bot:60:0.95");
+  const auto rows = obs::slo_rows(specs, registry);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].samples, 0u);
+  EXPECT_DOUBLE_EQ(rows[0].attainment, 1.0);
+  EXPECT_TRUE(rows[0].met);
 }
 
 }  // namespace

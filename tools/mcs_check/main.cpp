@@ -14,6 +14,9 @@
 //     --het           draw the vector/placement heterogeneity knobs
 //                     (zones, spread limits, net dimension, score policies)
 //     --print-spec I  print the generated spec for batch index I and exit
+//     --slo SPEC      attach the SLO engine to every scenario (obs/slo.hpp
+//                     format); SLO state folds into every seed digest
+//     --report FILE   write the batch's merged mcs-report-v1 JSON to FILE
 //
 // Exit code: 0 = no violations, 1 = violations found (or replayed scenario
 // fails), 2 = usage error. The batch summary digest is bit-identical at any
@@ -28,6 +31,8 @@
 #include "check/fuzz.hpp"
 #include "check/shrink.hpp"
 #include "metrics/stats.hpp"
+#include "obs/report.hpp"
+#include "obs/slo.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace {
@@ -41,7 +46,8 @@ int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--seeds N] [--base B] [--threads N] [--seed I]\n"
                "       [--replay FILE] [--shrink I [--out FILE]] [--digest]\n"
-               "       [--print-spec I] [--het]\n";
+               "       [--print-spec I] [--het] [--slo SPEC]\n"
+               "       [--report FILE]\n";
   return 2;
 }
 
@@ -163,6 +169,8 @@ int main(int argc, char** argv) {
   std::size_t print_spec_index = 0;
   std::string replay_path;
   std::string out_path;
+  std::string slo_spec;
+  std::string report_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -195,6 +203,10 @@ int main(int argc, char** argv) {
       replay_path = argv[++i];
     } else if (arg == "--out" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (arg == "--slo" && i + 1 < argc) {
+      slo_spec = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
     } else if (arg == "--digest") {
       digest_only = true;
     } else if (arg == "--het") {
@@ -212,8 +224,12 @@ int main(int argc, char** argv) {
   }
   if (have_shrink) return run_shrink(base_seed, shrink_index, out_path, het);
   if (have_single) {
-    const SeedRunResult r = mcs::check::run_seed(
+    // Carry --slo into the single-seed replay so `--seed I` stays
+    // bit-identical to index I of a batch run with the same spec.
+    ScenarioSpec spec = mcs::check::make_spec(
         mcs::check::seed_for_index(base_seed, single_index), het);
+    spec.slo = slo_spec;
+    const SeedRunResult r = mcs::check::run_spec(spec);
     print_result(r);
     return r.ok ? 0 : 1;
   }
@@ -223,8 +239,29 @@ int main(int argc, char** argv) {
   opt.seeds = seeds;
   opt.base_seed = base_seed;
   opt.het = het;
+  opt.slo = slo_spec;
+  opt.capture_registry = !report_path.empty();
   opt.pool = &pool;
   const FuzzReport report = mcs::check::run_fuzz(opt);
+
+  if (!report_path.empty() && report.registry != nullptr) {
+    const std::vector<mcs::obs::SloSpec> specs =
+        mcs::obs::parse_slo_specs(slo_spec);
+    mcs::obs::ReportInputs inputs;
+    inputs.registry = report.registry.get();
+    inputs.slo = &specs;
+    inputs.cells = report.seeds_run;
+    std::ofstream file(report_path);
+    if (!file) {
+      std::cerr << "mcs_check: cannot write report: " << report_path << "\n";
+      return 2;
+    }
+    mcs::obs::write_report_json(file, inputs);
+    if (!digest_only) {
+      std::cout << "report written to " << report_path << " ("
+                << report.seeds_run << " seeds)\n";
+    }
+  }
 
   if (digest_only) {
     std::cout << "summary " << hex16(report.summary_digest) << "\n";

@@ -10,7 +10,8 @@
 //                                          chrome://tracing or Perfetto)
 //   mcs_trace --digest <dump.trace>        16-hex trace digest (the value
 //                                          folded into fuzz/sweep digests)
-//   mcs_trace --stats <dump.trace>         name table + event/drop counts
+//   mcs_trace --stats <dump.trace>         per-name event counts + span
+//                                          duration sums (cost attribution)
 //
 // Exit codes: 0 ok, 1 bad usage, 2 unreadable/malformed dump.
 #include <fstream>
@@ -20,6 +21,7 @@
 
 #include "metrics/stats.hpp"
 #include "obs/export.hpp"
+#include "obs/report.hpp"
 
 namespace {
 
@@ -35,13 +37,11 @@ int usage() {
 void print_stats(std::ostream& out, const mcs::obs::TraceDump& dump) {
   out << "events " << dump.events.size() << " dropped " << dump.dropped
       << " total " << dump.total << "\n";
-  // Per-name event counts, name-table order.
-  std::vector<std::uint64_t> counts(dump.names.size(), 0);
-  for (const auto& e : dump.events) {
-    if (e.name < counts.size()) ++counts[e.name];
-  }
-  for (std::size_t i = 0; i < dump.names.size(); ++i) {
-    out << "  " << dump.names[i] << " = " << counts[i] << "\n";
+  // Cost attribution in name-table order — the same fold the report's
+  // cost table uses, so both views always agree.
+  for (const mcs::obs::CostRow& r : mcs::obs::fold_costs(dump)) {
+    out << "  " << r.name << " = " << r.events << " events, span "
+        << r.span_us << " us\n";
   }
 }
 
